@@ -1,0 +1,121 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"isgc/internal/cliconfig"
+)
+
+// TestEndToEndBinaries builds the real isgc-master and isgc-worker
+// executables and runs a full CR(4,2) training session over TCP with one
+// deliberately slow worker — the complete multi-process deployment story.
+func TestEndToEndBinaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping binary e2e in -short mode")
+	}
+	dir := t.TempDir()
+	masterBin := filepath.Join(dir, "isgc-master")
+	workerBin := filepath.Join(dir, "isgc-worker")
+	for _, b := range []struct{ out, pkg string }{
+		{masterBin, "isgc/cmd/isgc-master"},
+		{workerBin, "isgc/cmd/isgc-worker"},
+	} {
+		cmd := exec.Command("go", "build", "-o", b.out, b.pkg)
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", b.pkg, err, out)
+		}
+	}
+
+	addr := freeAddr(t)
+	master := exec.Command(masterBin,
+		"-addr", addr, "-n", "4", "-c", "2", "-scheme", "cr",
+		"-w", "2", "-steps", "6", "-threshold", "0", "-seed", "42")
+	var masterOut strings.Builder
+	master.Stdout = &masterOut
+	master.Stderr = &masterOut
+	if err := master.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	workerErrs := make(chan string, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			args := []string{
+				"-addr", addr, "-id", fmt.Sprint(i), "-n", "4", "-c", "2",
+				"-scheme", "cr", "-seed", "42",
+			}
+			if i == 0 {
+				args = append(args, "-delay", "150ms") // a real straggler process
+			}
+			w := exec.Command(workerBin, args...)
+			if out, err := w.CombinedOutput(); err != nil {
+				workerErrs <- fmt.Sprintf("worker %d: %v\n%s", i, err, out)
+			}
+		}()
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- master.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("master failed: %v\n%s", err, masterOut.String())
+		}
+	case <-time.After(90 * time.Second):
+		_ = master.Process.Kill()
+		t.Fatalf("master timed out\n%s", masterOut.String())
+	}
+	wg.Wait()
+	close(workerErrs)
+	for msg := range workerErrs {
+		t.Fatal(msg)
+	}
+
+	out := masterOut.String()
+	if !strings.Contains(out, "done: steps=6") {
+		t.Fatalf("master output missing completion line:\n%s", out)
+	}
+	if !strings.Contains(out, "avail=2") {
+		t.Fatalf("master never gathered w=2 workers:\n%s", out)
+	}
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func TestRunRejectsBadScheme(t *testing.T) {
+	spec := cliconfig.SchemeSpec{Scheme: "bogus", N: 4, C: 2}
+	if err := run("127.0.0.1:0", spec, cliconfig.DefaultData(1), 2, 0, 0.1, 1, 0); err == nil {
+		t.Fatal("expected error for unknown scheme")
+	}
+}
+
+func TestRunRejectsBadDataset(t *testing.T) {
+	spec := cliconfig.SchemeSpec{Scheme: "cr", N: 4, C: 2}
+	d := cliconfig.DefaultData(1)
+	d.Samples = 0
+	if err := run("127.0.0.1:0", spec, d, 2, 0, 0.1, 1, 0); err == nil {
+		t.Fatal("expected error for empty dataset")
+	}
+}

@@ -1,0 +1,101 @@
+// Command isgc-master runs the training master of the TCP cluster runtime.
+// Start it first, then launch n isgc-worker processes pointing at its
+// address; the master trains until the loss threshold or the step cap and
+// prints the per-step trace.
+//
+// Master and workers must agree on -n, -c, -scheme, -batch, and -seed so
+// the deterministic loaders produce identical batches on partition
+// replicas.
+//
+// Example (CR(4,2), wait for the 2 fastest workers):
+//
+//	isgc-master -addr 127.0.0.1:7000 -n 4 -c 2 -scheme cr -w 2 &
+//	for i in 0 1 2 3; do isgc-worker -addr 127.0.0.1:7000 -id $i -n 4 -c 2 -scheme cr & done
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"isgc/internal/cliconfig"
+	"isgc/internal/cluster"
+	"isgc/internal/engine"
+	"isgc/internal/isgc"
+	"isgc/internal/model"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7000", "listen address")
+		n         = flag.Int("n", 4, "number of workers / partitions")
+		c         = flag.Int("c", 2, "partitions per worker")
+		scheme    = flag.String("scheme", "cr", "placement scheme: fr, cr, or hr")
+		c1        = flag.Int("c1", 1, "HR upper rows (scheme=hr)")
+		g         = flag.Int("g", 2, "HR group count (scheme=hr)")
+		w         = flag.Int("w", 0, "workers to wait for per step (0 = all)")
+		deadline  = flag.Duration("deadline", 0, "per-step gather deadline (overrides -w when > 0)")
+		lr        = flag.Float64("lr", 0.2, "learning rate")
+		batch     = flag.Int("batch", 8, "per-partition batch size (must match workers)")
+		maxSteps  = flag.Int("steps", 200, "maximum steps")
+		threshold = flag.Float64("threshold", 0.3, "loss threshold (0 disables)")
+		seed      = flag.Int64("seed", 42, "shared seed (must match workers)")
+		samples   = flag.Int("samples", 240, "synthetic dataset size (must match workers)")
+	)
+	flag.Parse()
+	spec := cliconfig.SchemeSpec{Scheme: *scheme, N: *n, C: *c, C1: *c1, G: *g}
+	data := cliconfig.DefaultData(*seed)
+	data.Samples = *samples
+	data.Batch = *batch
+	if err := run(*addr, spec, data, *w, *deadline, *lr, *maxSteps, *threshold); err != nil {
+		fmt.Fprintln(os.Stderr, "isgc-master:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, spec cliconfig.SchemeSpec, dspec cliconfig.DataSpec, w int, deadline time.Duration, lr float64, maxSteps int, threshold float64) error {
+	p, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	st, err := engine.NewISGC(isgc.New(p, dspec.Seed))
+	if err != nil {
+		return err
+	}
+	data, err := dspec.BuildDataset()
+	if err != nil {
+		return err
+	}
+	if w <= 0 {
+		w = spec.N
+	}
+	master, err := cluster.NewMaster(cluster.MasterConfig{
+		Addr:          addr,
+		Strategy:      st,
+		Model:         model.SoftmaxRegression{Features: dspec.Features, Classes: dspec.Classes},
+		Data:          data,
+		LearningRate:  lr,
+		W:             w,
+		Deadline:      deadline,
+		MaxSteps:      maxSteps,
+		LossThreshold: threshold,
+		Seed:          dspec.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("master: %s on %s, waiting for %d workers (w=%d per step, deadline=%v)\n",
+		p, master.Addr(), spec.N, w, deadline)
+	res, err := master.Run()
+	if err != nil {
+		return err
+	}
+	for _, rec := range res.Run.Records {
+		fmt.Printf("step %3d: avail=%d recovered=%.2f loss=%.4f elapsed=%v\n",
+			rec.Step, rec.Available, rec.RecoveredFraction, rec.Loss, rec.Elapsed)
+	}
+	fmt.Printf("done: steps=%d converged=%v final_loss=%.4f total=%v\n",
+		res.Run.Steps(), res.Converged, res.Run.FinalLoss(), res.Run.TotalTime())
+	return nil
+}

@@ -1,0 +1,88 @@
+// Command isgc-worker runs one worker of the TCP cluster runtime. It must
+// agree with the master on -n, -c, -scheme, -batch, -samples, and -seed so
+// partition replicas see identical mini-batches (the paper's controlled-
+// seed requirement for summable coded gradients).
+//
+// A straggler can be simulated with -delay, e.g. -delay 500ms makes this
+// worker sleep ~Exp(500ms) before every upload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"isgc/internal/cliconfig"
+	"isgc/internal/cluster"
+	"isgc/internal/model"
+	"isgc/internal/straggler"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7000", "master address")
+		id      = flag.Int("id", 0, "worker id in [0, n)")
+		n       = flag.Int("n", 4, "number of workers / partitions")
+		c       = flag.Int("c", 2, "partitions per worker")
+		scheme  = flag.String("scheme", "cr", "placement scheme: fr, cr, or hr")
+		c1      = flag.Int("c1", 1, "HR upper rows (scheme=hr)")
+		g       = flag.Int("g", 2, "HR group count (scheme=hr)")
+		batch   = flag.Int("batch", 8, "per-partition batch size (must match master)")
+		seed    = flag.Int64("seed", 42, "shared seed (must match master)")
+		samples = flag.Int("samples", 240, "synthetic dataset size (must match master)")
+		delay   = flag.Duration("delay", 0, "mean of an exponential straggler delay before each upload (0 = none)")
+	)
+	flag.Parse()
+	spec := cliconfig.SchemeSpec{Scheme: *scheme, N: *n, C: *c, C1: *c1, G: *g}
+	dspec := cliconfig.DefaultData(*seed)
+	dspec.Samples = *samples
+	dspec.Batch = *batch
+	if err := run(*addr, *id, spec, dspec, *delay); err != nil {
+		fmt.Fprintln(os.Stderr, "isgc-worker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, id int, spec cliconfig.SchemeSpec, dspec cliconfig.DataSpec, delay time.Duration) error {
+	p, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	if id < 0 || id >= spec.N {
+		return fmt.Errorf("worker id %d out of range [0,%d)", id, spec.N)
+	}
+	data, err := dspec.BuildDataset()
+	if err != nil {
+		return err
+	}
+	pids := p.Partitions(id)
+	loaders, err := dspec.BuildLoaders(data, spec.N, pids)
+	if err != nil {
+		return err
+	}
+	var delayModel straggler.Model
+	if delay > 0 {
+		delayModel = straggler.Exponential{Mean: delay}
+	}
+	w, err := cluster.NewWorker(cluster.WorkerConfig{
+		Addr:       addr,
+		ID:         id,
+		Partitions: pids,
+		Loaders:    loaders,
+		Model:      model.SoftmaxRegression{Features: dspec.Features, Classes: dspec.Classes},
+		Encode:     cluster.SumEncoder(),
+		Delay:      delayModel,
+		DelaySeed:  dspec.Seed + int64(id),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("worker %d: partitions %v, connected to %s\n", id, pids, addr)
+	steps, err := w.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("worker %d: served %d steps\n", id, steps)
+	return nil
+}

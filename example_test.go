@@ -1,0 +1,79 @@
+package isgc_test
+
+import (
+	"fmt"
+	"log"
+
+	"isgc"
+)
+
+// The paper's Fig. 1(d): CR(4,2) recovers the full gradient from just two
+// non-conflicting workers, a configuration where classic gradient coding
+// recovers nothing.
+func Example() {
+	scheme, err := isgc.NewCR(4, 2, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	chosen := scheme.Decode([]int{1, 3}) // workers 0 and 2 straggled
+	fmt.Println("chosen:", chosen)
+	fmt.Println("recovered:", scheme.Recovered(chosen))
+	fmt.Printf("fraction: %.2f\n", scheme.RecoveredFraction([]int{1, 3}))
+	// Output:
+	// chosen: [1 3]
+	// recovered: [0 1 2 3]
+	// fraction: 1.00
+}
+
+// Hybrid repetition interpolates between CR and FR: higher c1 removes
+// conflict edges and improves worst-case recovery.
+func ExampleNewHR() {
+	for c1 := 0; c1 <= 3; c1++ {
+		scheme, err := isgc.NewHR(8, c1, 4-c1, 2, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e, err := scheme.ExpectedRecovery(2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("c1=%d E[recovery at w=2]=%.3f\n", c1, e)
+	}
+	// Output:
+	// c1=0 E[recovery at w=2]=0.571
+	// c1=1 E[recovery at w=2]=0.607
+	// c1=2 E[recovery at w=2]=0.679
+	// c1=3 E[recovery at w=2]=0.786
+}
+
+// EncodeLocal and Aggregate form the worker/master halves of one step.
+func ExampleScheme_EncodeLocal() {
+	scheme, err := isgc.NewFR(4, 2, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Worker 0 holds partitions {0, 1}; it uploads their plain sum.
+	coded, err := scheme.EncodeLocal(0, [][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(coded)
+	// Output: [4 6]
+}
+
+// AlphaBounds gives the paper's Theorems 10-11 guarantees without any
+// sampling.
+func ExampleScheme_AlphaBounds() {
+	scheme, err := isgc.NewCR(12, 3, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, w := range []int{3, 6, 12} {
+		lo, hi := scheme.AlphaBounds(w)
+		fmt.Printf("w=%d: %d..%d independent workers\n", w, lo, hi)
+	}
+	// Output:
+	// w=3: 1..3 independent workers
+	// w=6: 2..4 independent workers
+	// w=12: 4..4 independent workers
+}

@@ -1,0 +1,107 @@
+// Training: a Fig. 12-style end-to-end comparison of the straggler
+// mitigation schemes — Sync-SGD, classic GC, IS-SGD, and IS-GC over FR and
+// CR — on a synthetic classification task with exponential stragglers.
+//
+// For each scheme the program trains to a fixed loss threshold and reports
+// the four panels of the paper's Fig. 12: fraction of gradients recovered,
+// steps to threshold, average step time, and total training time.
+//
+// Run with: go run ./examples/training
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"isgc/internal/dataset"
+	"isgc/internal/engine"
+	"isgc/internal/gc"
+	icore "isgc/internal/isgc"
+	"isgc/internal/model"
+	"isgc/internal/placement"
+	"isgc/internal/straggler"
+)
+
+func main() {
+	const (
+		n         = 4
+		c         = 2
+		batch     = 1
+		lr        = 0.2
+		threshold = 0.30
+		seed      = 7
+	)
+	data, err := dataset.SyntheticClusters(240, 6, 3, 1.0, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mdl := model.SoftmaxRegression{Features: 6, Classes: 3}
+
+	frPlace, err := placement.FR(n, c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	crPlace, err := placement.CR(n, c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gcCode, err := gc.NewCR(n, c, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mustStrategy := func(st engine.Strategy, err error) engine.Strategy {
+		if err != nil {
+			log.Fatal(err)
+		}
+		return st
+	}
+	type entry struct {
+		st engine.Strategy
+		w  int
+	}
+	var entries []entry
+	for w := 1; w <= n; w++ {
+		entries = append(entries,
+			entry{mustStrategy(engine.NewISSGD(n)), w},
+			entry{mustStrategy(engine.NewISGC(icore.New(frPlace, seed))), w},
+			entry{mustStrategy(engine.NewISGC(icore.New(crPlace, seed))), w},
+		)
+	}
+	entries = append(entries,
+		entry{mustStrategy(engine.NewSyncSGD(n)), n},
+		entry{mustStrategy(engine.NewClassicGC(gcCode)), n - c + 1},
+	)
+
+	fmt.Printf("%-10s %-3s %-10s %-8s %-12s %-12s\n",
+		"scheme", "w", "recovered", "steps", "step_time", "total_time")
+	for _, e := range entries {
+		res, err := engine.Train(engine.Config{
+			Strategy:            e.st,
+			Model:               mdl,
+			Data:                data,
+			BatchSize:           batch,
+			LearningRate:        lr,
+			W:                   e.w,
+			MaxSteps:            3000,
+			LossThreshold:       threshold,
+			ComputePerPartition: 30 * time.Millisecond,
+			Upload:              250 * time.Millisecond,
+			Profile:             straggler.NewProfile(n, straggler.Exponential{Mean: 400 * time.Millisecond}, seed),
+			Seed:                seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %-3d %-10.3f %-8d %-12v %-12v\n",
+			e.st.Name(), e.w,
+			res.Run.MeanRecovered(),
+			res.StepsToThreshold,
+			res.Run.MeanStepTime().Round(time.Millisecond),
+			res.Run.TotalTime().Round(time.Millisecond))
+	}
+	fmt.Println("\nNote how IS-GC recovers more gradients than IS-SGD at every w,")
+	fmt.Println("and how the total time is minimized at an intermediate w — the")
+	fmt.Println("flexibility classic GC (fixed w = n-c+1) cannot offer.")
+}

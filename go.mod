@@ -1,0 +1,3 @@
+module isgc
+
+go 1.22

@@ -1,0 +1,278 @@
+// Package analysis provides the numerical tools behind the paper's
+// theoretical claims (Sec. VII):
+//
+//   - empirical estimation of the smoothness constant L (Assumption 1) and
+//     the gradient second-moment bound σ² (Assumption 3) for a workload;
+//   - per-step validation of the Theorem 12 descent inequality
+//     E[f(β^{t+1})] ≤ f(β^t) − η‖∇f(β^t)‖² + L·η²·σ²/2
+//     (stated here for the count-normalized update the engine performs, so
+//     the recovered gradient is an unbiased estimate of ∇f per
+//     Assumption 2);
+//   - exact and Monte-Carlo computation of the expected recovered fraction
+//     E[α(G[W'])]·c/n over uniform random w-subsets W', the quantity
+//     plotted in Figs. 12(a) and 13(a).
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"isgc/internal/bitset"
+	"isgc/internal/dataset"
+	"isgc/internal/graph"
+	"isgc/internal/linalg"
+	"isgc/internal/model"
+	"isgc/internal/placement"
+)
+
+// EstimateLipschitz returns an empirical lower estimate of the Lipschitz
+// constant L of ∇f on the full dataset: the maximum of
+// ‖∇f(a) − ∇f(b)‖ / ‖a − b‖ over random parameter pairs drawn within
+// radius of the model's initialization. For convex quadratic-like losses
+// this converges quickly to the true L from below; callers should apply a
+// safety factor when using it as an upper bound.
+func EstimateLipschitz(m model.Model, data []dataset.Sample, trials int, radius float64, seed int64) float64 {
+	if trials <= 0 || radius <= 0 {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	base := m.InitParams(seed)
+	best := 0.0
+	a := make([]float64, len(base))
+	b := make([]float64, len(base))
+	for t := 0; t < trials; t++ {
+		for j := range base {
+			a[j] = base[j] + radius*rng.NormFloat64()
+			b[j] = base[j] + radius*rng.NormFloat64()
+		}
+		ga := m.Grad(a, data)
+		gb := m.Grad(b, data)
+		linalg.AXPY(ga, -1, gb)
+		num := linalg.Norm2(ga)
+		den := 0.0
+		for j := range a {
+			den += (a[j] - b[j]) * (a[j] - b[j])
+		}
+		den = math.Sqrt(den)
+		if den > 1e-12 && num/den > best {
+			best = num / den
+		}
+	}
+	return best
+}
+
+// EstimateSigma2 returns an empirical estimate of σ² = max E‖ĝ‖² over
+// partial-recovery gradient estimates: it samples random partition subsets
+// of each size, computes the count-normalized partial mean gradient at
+// parameters near the initialization, and returns the maximum squared norm
+// observed (Assumption 3's bound).
+func EstimateSigma2(m model.Model, parts [][]dataset.Sample, trials int, radius float64, seed int64) float64 {
+	if trials <= 0 || len(parts) == 0 {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	base := m.InitParams(seed)
+	p := make([]float64, len(base))
+	worst := 0.0
+	n := len(parts)
+	for t := 0; t < trials; t++ {
+		for j := range base {
+			p[j] = base[j] + radius*rng.NormFloat64()
+		}
+		k := 1 + rng.Intn(n)
+		perm := rng.Perm(n)[:k]
+		ghat := make([]float64, len(base))
+		for _, d := range perm {
+			linalg.AddTo(ghat, m.Grad(p, parts[d]))
+		}
+		linalg.Scale(ghat, 1/float64(k))
+		if sq := linalg.Dot(ghat, ghat); sq > worst {
+			worst = sq
+		}
+	}
+	return worst
+}
+
+// DescentReport summarizes a Theorem 12 validation run.
+type DescentReport struct {
+	// Steps is the number of SGD steps checked.
+	Steps int
+	// Violations counts steps where the realized loss exceeded the
+	// Theorem 12 bound (with the estimated L and σ²).
+	Violations int
+	// MaxSlack is the largest amount by which the bound exceeded the
+	// realized loss (how loose the bound is at its loosest).
+	MaxSlack float64
+	// FinalLoss is the loss after the run.
+	FinalLoss float64
+	// L and Sigma2 are the constants used.
+	L, Sigma2 float64
+}
+
+// CheckDescent runs `steps` SGD steps with partial recovery — at each step
+// a uniformly random availability pattern recovers `recover` of the n
+// partitions — and validates the Theorem 12 inequality
+//
+//	f(β^{t+1}) ≤ f(β^t) − η·⟨∇f(β^t), ĝ⟩ + L·η²·‖ĝ‖²/2
+//
+// pathwise (the deterministic descent lemma, whose expectation over
+// Assumptions 2-3 is Theorem 12), plus the averaged form with σ². The
+// pathwise form must hold for every step whenever L is a true Lipschitz
+// bound; the report counts violations (expected: 0 with a safety margin on
+// L).
+func CheckDescent(m model.Model, data []dataset.Sample, n, recover int, eta float64, steps int, lSafety float64, seed int64) (*DescentReport, error) {
+	if n <= 0 || recover <= 0 || recover > n {
+		return nil, fmt.Errorf("analysis: need 0 < recover ≤ n, got n=%d recover=%d", n, recover)
+	}
+	if eta <= 0 || steps <= 0 {
+		return nil, fmt.Errorf("analysis: need eta > 0 and steps > 0")
+	}
+	if len(data)%n != 0 {
+		return nil, fmt.Errorf("analysis: %d samples not divisible by n=%d", len(data), n)
+	}
+	size := len(data) / n
+	parts := make([][]dataset.Sample, n)
+	for d := range parts {
+		parts[d] = data[d*size : (d+1)*size]
+	}
+
+	lip := EstimateLipschitz(m, data, 60, 0.5, seed) * lSafety
+	sigma2 := EstimateSigma2(m, parts, 120, 0.5, seed+1)
+
+	rng := rand.New(rand.NewSource(seed + 2))
+	params := m.InitParams(seed)
+	rep := &DescentReport{Steps: steps, L: lip, Sigma2: sigma2}
+	for t := 0; t < steps; t++ {
+		lossBefore := m.Loss(params, data)
+		gradFull := m.Grad(params, data)
+
+		// Partial recovery: `recover` uniformly random partitions.
+		perm := rng.Perm(n)[:recover]
+		ghat := make([]float64, len(params))
+		for _, d := range perm {
+			linalg.AddTo(ghat, m.Grad(params, parts[d]))
+		}
+		linalg.Scale(ghat, 1/float64(recover))
+
+		linalg.AXPY(params, -eta, ghat)
+		lossAfter := m.Loss(params, data)
+
+		bound := lossBefore - eta*linalg.Dot(gradFull, ghat) + lip*eta*eta*linalg.Dot(ghat, ghat)/2
+		if lossAfter > bound+1e-12 {
+			rep.Violations++
+		}
+		if slack := bound - lossAfter; slack > rep.MaxSlack {
+			rep.MaxSlack = slack
+		}
+	}
+	rep.FinalLoss = m.Loss(params, data)
+	return rep, nil
+}
+
+// VarianceProfile returns, for each recovery count k = 1..n, the empirical
+// mean squared error E‖ĝ_mean − ∇f‖² of the count-normalized partial
+// gradient built from k uniformly random partitions, evaluated at random
+// parameters near the initialization. The profile quantifies the variance
+// mechanism behind Fig. 12(b): with i.i.d. partitions the MSE decays like
+// (n-k)/(k·(n-1)) · σ²_part (sampling without replacement), so more
+// recovery ⇒ lower-variance steps ⇒ fewer steps to threshold, vanishing
+// exactly at k = n.
+func VarianceProfile(m model.Model, parts [][]dataset.Sample, trials int, radius float64, seed int64) ([]float64, error) {
+	n := len(parts)
+	if n == 0 || trials <= 0 {
+		return nil, fmt.Errorf("analysis: need partitions and trials > 0")
+	}
+	all := make([]dataset.Sample, 0)
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	base := m.InitParams(seed)
+	p := make([]float64, len(base))
+	out := make([]float64, n)
+	for k := 1; k <= n; k++ {
+		sum := 0.0
+		for t := 0; t < trials; t++ {
+			for j := range base {
+				p[j] = base[j] + radius*rng.NormFloat64()
+			}
+			full := m.Grad(p, all)
+			ghat := make([]float64, len(base))
+			for _, d := range rng.Perm(n)[:k] {
+				linalg.AddTo(ghat, m.Grad(p, parts[d]))
+			}
+			linalg.Scale(ghat, 1/float64(k))
+			linalg.AXPY(ghat, -1, full)
+			sum += linalg.Dot(ghat, ghat)
+		}
+		out[k-1] = sum / float64(trials)
+	}
+	return out, nil
+}
+
+// ExpectedRecovery returns E[α(G[W'])]·c/n where W' is a uniformly random
+// w-subset of the n workers — the expected recovered fraction plotted in
+// Figs. 12(a)/13(a). For small instances (C(n, w) ≤ exactLimit) the
+// expectation is exact by enumeration; otherwise it is estimated from
+// `trials` Monte-Carlo draws. The exact path makes the figure values
+// checkable to machine precision.
+func ExpectedRecovery(p *placement.Placement, w int, exactLimit, trials int, seed int64) (float64, error) {
+	n := p.N()
+	if w <= 0 || w > n {
+		return 0, fmt.Errorf("analysis: need 0 < w ≤ %d, got %d", n, w)
+	}
+	scale := float64(p.C()) / float64(n)
+	if binomial(n, w) <= int64(exactLimit) {
+		sum, count := 0.0, 0
+		forEachSubset(n, w, func(workers []int) {
+			avail := bitset.FromSlice(workers)
+			sum += float64(graph.IndependenceNumber(p.ConflictGraph(), avail))
+			count++
+		})
+		return sum / float64(count) * scale, nil
+	}
+	if trials <= 0 {
+		return 0, fmt.Errorf("analysis: instance too large for exact enumeration and trials=%d", trials)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sum := 0.0
+	for t := 0; t < trials; t++ {
+		avail := bitset.FromSlice(rng.Perm(n)[:w])
+		sum += float64(graph.IndependenceNumber(p.ConflictGraph(), avail))
+	}
+	return sum / float64(trials) * scale, nil
+}
+
+func binomial(n, k int) int64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	out := int64(1)
+	for i := 1; i <= k; i++ {
+		out = out * int64(n-k+i) / int64(i)
+		if out < 0 || out > 1<<40 {
+			return 1 << 40 // saturate: definitely not "small"
+		}
+	}
+	return out
+}
+
+func forEachSubset(n, k int, fn func([]int)) {
+	idx := make([]int, k)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == k {
+			fn(idx)
+			return
+		}
+		for v := start; v <= n-(k-depth); v++ {
+			idx[depth] = v
+			rec(v+1, depth+1)
+		}
+	}
+	rec(0, 0)
+}

@@ -1,0 +1,292 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"isgc/internal/dataset"
+	"isgc/internal/model"
+	"isgc/internal/placement"
+)
+
+func linearTask(t *testing.T, m, dim int) (model.Model, []dataset.Sample) {
+	t.Helper()
+	d, _, err := dataset.SyntheticLinear(m, dim, 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := make([]dataset.Sample, d.Len())
+	for i := range samples {
+		samples[i] = d.At(i)
+	}
+	return model.LinearRegression{Features: dim}, samples
+}
+
+// For linear regression the true Lipschitz constant of the mean gradient
+// is λ_max(XᵀX)/m ≤ tr(XᵀX)/m; the empirical estimate must land in
+// (0, tr/m] — the gradient map is exactly linear, so every sampled ratio
+// is a valid lower bound and none can exceed λ_max.
+func TestEstimateLipschitzLinearRegression(t *testing.T) {
+	mdl, data := linearTask(t, 200, 4)
+	est := EstimateLipschitz(mdl, data, 80, 1.0, 1)
+	if est <= 0 {
+		t.Fatal("estimate must be positive")
+	}
+	// tr(XᵀX)/m = mean squared row norm.
+	trace := 0.0
+	for _, s := range data {
+		for _, x := range s.X {
+			trace += x * x
+		}
+	}
+	trace /= float64(len(data))
+	if est > trace+1e-9 {
+		t.Fatalf("estimate %v exceeds trace bound %v", est, trace)
+	}
+	// With x ~ N(0, I_4), λ_max ≈ a bit above 1; the estimate should be
+	// at least the average eigenvalue (= trace/4).
+	if est < trace/4-0.2 {
+		t.Fatalf("estimate %v suspiciously below mean eigenvalue %v", est, trace/4)
+	}
+}
+
+func TestEstimateLipschitzDegenerateInputs(t *testing.T) {
+	mdl, data := linearTask(t, 10, 2)
+	if EstimateLipschitz(mdl, data, 0, 1, 1) != 0 {
+		t.Error("trials=0 must yield 0")
+	}
+	if EstimateLipschitz(mdl, data, 5, 0, 1) != 0 {
+		t.Error("radius=0 must yield 0")
+	}
+}
+
+func TestEstimateSigma2Positive(t *testing.T) {
+	mdl, data := linearTask(t, 40, 3)
+	parts := [][]dataset.Sample{data[:10], data[10:20], data[20:30], data[30:]}
+	s2 := EstimateSigma2(mdl, parts, 50, 0.5, 2)
+	if s2 <= 0 {
+		t.Fatalf("σ² estimate %v, want > 0", s2)
+	}
+	if EstimateSigma2(mdl, nil, 50, 0.5, 2) != 0 {
+		t.Error("no partitions must yield 0")
+	}
+	if EstimateSigma2(mdl, parts, 0, 0.5, 2) != 0 {
+		t.Error("trials=0 must yield 0")
+	}
+}
+
+// Theorem 12 (pathwise descent form): with a safety factor on the
+// estimated L, the inequality must hold at every step, for full and for
+// partial recovery.
+func TestCheckDescentNoViolations(t *testing.T) {
+	mdl, data := linearTask(t, 240, 4)
+	for _, recover := range []int{1, 2, 4} {
+		rep, err := CheckDescent(mdl, data, 4, recover, 0.05, 120, 1.5, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Violations != 0 {
+			t.Fatalf("recover=%d: %d/%d descent violations (L=%v)", recover, rep.Violations, rep.Steps, rep.L)
+		}
+		if rep.Steps != 120 {
+			t.Fatalf("steps = %d", rep.Steps)
+		}
+		if rep.L <= 0 || rep.Sigma2 <= 0 {
+			t.Fatal("constants must be positive")
+		}
+		if math.IsNaN(rep.FinalLoss) || rep.FinalLoss < 0 {
+			t.Fatalf("final loss %v", rep.FinalLoss)
+		}
+		if rep.MaxSlack < 0 {
+			t.Fatalf("MaxSlack %v", rep.MaxSlack)
+		}
+	}
+}
+
+// Convergence corollary of Theorem 12: with a small enough η the loss
+// decreases substantially even under partial recovery.
+func TestCheckDescentConverges(t *testing.T) {
+	mdl, data := linearTask(t, 240, 4)
+	initial := mdl.Loss(mdl.InitParams(7), data)
+	rep, err := CheckDescent(mdl, data, 4, 2, 0.05, 200, 1.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rep.FinalLoss < 0.3*initial) {
+		t.Fatalf("loss %v → %v: insufficient descent under partial recovery", initial, rep.FinalLoss)
+	}
+}
+
+func TestCheckDescentErrors(t *testing.T) {
+	mdl, data := linearTask(t, 240, 4)
+	cases := []struct {
+		n, recover int
+		eta        float64
+		steps      int
+	}{
+		{0, 1, 0.1, 10},
+		{4, 0, 0.1, 10},
+		{4, 5, 0.1, 10},
+		{4, 2, 0, 10},
+		{4, 2, 0.1, 0},
+		{7, 2, 0.1, 10}, // 240 not divisible by 7
+	}
+	for i, tc := range cases {
+		if _, err := CheckDescent(mdl, data, tc.n, tc.recover, tc.eta, tc.steps, 1.5, 1); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+// The variance of the count-normalized partial gradient must decrease
+// monotonically (up to sampling noise) in the recovered count and vanish
+// at full recovery — the mechanism behind Fig. 12(b)'s step counts.
+func TestVarianceProfileDecreases(t *testing.T) {
+	mdl, data := linearTask(t, 240, 4)
+	parts := make([][]dataset.Sample, 4)
+	for d := range parts {
+		parts[d] = data[d*60 : (d+1)*60]
+	}
+	prof, err := VarianceProfile(mdl, parts, 200, 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof) != 4 {
+		t.Fatalf("profile length %d", len(prof))
+	}
+	for k := 1; k < len(prof); k++ {
+		if prof[k] > prof[k-1]*1.1 {
+			t.Fatalf("variance not decreasing: k=%d %v after %v", k+1, prof[k], prof[k-1])
+		}
+	}
+	if prof[3] > 1e-20 {
+		t.Fatalf("full recovery must have zero MSE, got %v", prof[3])
+	}
+	if prof[0] <= 0 {
+		t.Fatalf("partial recovery must have positive MSE, got %v", prof[0])
+	}
+	// Without-replacement scaling: MSE(k=1)/MSE(k=2) ≈ (3/1)/(2/2·... ) —
+	// ratio (n-k)/(k) / ((n-k')/(k')) for n=4: k=1: 3/1=3, k=2: 2/2=1 ⇒
+	// ratio 3. Allow generous sampling slack.
+	ratio := prof[0] / prof[1]
+	if ratio < 2 || ratio > 4.5 {
+		t.Fatalf("MSE(1)/MSE(2) = %v, want ≈3 (without-replacement scaling)", ratio)
+	}
+}
+
+func TestVarianceProfileErrors(t *testing.T) {
+	mdl, _ := linearTask(t, 10, 2)
+	if _, err := VarianceProfile(mdl, nil, 10, 0.5, 1); err == nil {
+		t.Error("no partitions must error")
+	}
+	if _, err := VarianceProfile(mdl, make([][]dataset.Sample, 2), 0, 0.5, 1); err == nil {
+		t.Error("trials=0 must error")
+	}
+}
+
+// Exact expected recovery for FR(4,2) at w=2: availability pairs are the 6
+// 2-subsets; the 2 same-group pairs recover 1 worker (fraction 1/2), the 4
+// cross-group pairs recover 2 workers (fraction 1):
+// E = (2·1/2 + 4·1)/6 = 5/6.
+func TestExpectedRecoveryExactFR(t *testing.T) {
+	p, err := placement.FR(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExpectedRecovery(p, 2, 1000, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-5.0/6) > 1e-12 {
+		t.Fatalf("E[recovery] = %v, want 5/6", got)
+	}
+}
+
+// CR(4,2) at w=2: the 2 diagonal pairs recover everything, the 4 adjacent
+// pairs recover half: E = (4·1/2 + 2·1)/6 = 2/3.
+func TestExpectedRecoveryExactCR(t *testing.T) {
+	p, err := placement.CR(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExpectedRecovery(p, 2, 1000, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("E[recovery] = %v, want 2/3", got)
+	}
+}
+
+// Monte-Carlo path agrees with the exact path within sampling error.
+func TestExpectedRecoveryMonteCarloAgreesWithExact(t *testing.T) {
+	p, err := placement.CR(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ExpectedRecovery(p, 4, 1000, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := ExpectedRecovery(p, 4, 1, 20000, 2) // force Monte Carlo
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exact-mc) > 0.02 {
+		t.Fatalf("exact %v vs MC %v", exact, mc)
+	}
+}
+
+func TestExpectedRecoveryErrors(t *testing.T) {
+	p, err := placement.CR(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExpectedRecovery(p, 0, 100, 100, 1); err == nil {
+		t.Error("w=0 must error")
+	}
+	if _, err := ExpectedRecovery(p, 7, 100, 100, 1); err == nil {
+		t.Error("w>n must error")
+	}
+	if _, err := ExpectedRecovery(p, 3, 1, 0, 1); err == nil {
+		t.Error("too-large exact with trials=0 must error")
+	}
+}
+
+// Theorem 4 corollary at the expectation level: E[recovery] of FR ≥ CR for
+// every w (exact enumeration).
+func TestExpectedRecoveryFRDominatesCR(t *testing.T) {
+	fr, err := placement.FR(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := placement.CR(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 1; w <= 8; w++ {
+		efr, err := ExpectedRecovery(fr, w, 1000, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ecr, err := ExpectedRecovery(cr, w, 1000, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if efr < ecr-1e-12 {
+			t.Fatalf("w=%d: E[FR]=%v < E[CR]=%v", w, efr, ecr)
+		}
+	}
+}
+
+func TestBinomialSaturation(t *testing.T) {
+	if binomial(4, 2) != 6 {
+		t.Fatal("binomial(4,2)")
+	}
+	if binomial(4, 5) != 0 || binomial(4, -1) != 0 {
+		t.Fatal("out-of-range binomial")
+	}
+	if binomial(100, 50) != 1<<40 {
+		t.Fatal("large binomial must saturate")
+	}
+}

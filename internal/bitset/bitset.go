@@ -1,0 +1,264 @@
+// Package bitset provides a compact set of non-negative integers backed by
+// machine words. It is the workhorse behind the conflict-graph adjacency
+// structures and the exact maximum-independent-set oracle: all hot-path
+// operations (intersection, population count, iteration) are word-parallel.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a growable bitset. The zero value is an empty set ready for use.
+// Set is not safe for concurrent mutation.
+type Set struct {
+	words []uint64
+}
+
+// New returns a set with capacity for values in [0, n). The set may still
+// grow beyond n via Add.
+func New(n int) *Set {
+	if n < 0 {
+		n = 0
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromSlice builds a set containing every value in vs.
+func FromSlice(vs []int) *Set {
+	s := &Set{}
+	for _, v := range vs {
+		s.Add(v)
+	}
+	return s
+}
+
+func (s *Set) grow(word int) {
+	if word < len(s.words) {
+		return
+	}
+	w := make([]uint64, word+1)
+	copy(w, s.words)
+	s.words = w
+}
+
+// Add inserts v into the set. Negative values are ignored.
+func (s *Set) Add(v int) {
+	if v < 0 {
+		return
+	}
+	w := v / wordBits
+	s.grow(w)
+	s.words[w] |= 1 << uint(v%wordBits)
+}
+
+// Remove deletes v from the set if present.
+func (s *Set) Remove(v int) {
+	if v < 0 {
+		return
+	}
+	w := v / wordBits
+	if w < len(s.words) {
+		s.words[w] &^= 1 << uint(v%wordBits)
+	}
+}
+
+// Contains reports whether v is in the set.
+func (s *Set) Contains(v int) bool {
+	if v < 0 {
+		return false
+	}
+	w := v / wordBits
+	return w < len(s.words) && s.words[w]&(1<<uint(v%wordBits)) != 0
+}
+
+// Len returns the number of elements in the set.
+func (s *Set) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set has no elements.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// Clear removes all elements, retaining capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+func (s *Set) alignTo(o *Set) {
+	if len(o.words) > len(s.words) {
+		s.grow(len(o.words) - 1)
+	}
+}
+
+// UnionWith adds every element of o to s.
+func (s *Set) UnionWith(o *Set) {
+	s.alignTo(o)
+	for i, w := range o.words {
+		s.words[i] |= w
+	}
+}
+
+// IntersectWith removes from s every element not in o.
+func (s *Set) IntersectWith(o *Set) {
+	for i := range s.words {
+		if i < len(o.words) {
+			s.words[i] &= o.words[i]
+		} else {
+			s.words[i] = 0
+		}
+	}
+}
+
+// DifferenceWith removes from s every element of o.
+func (s *Set) DifferenceWith(o *Set) {
+	for i := range s.words {
+		if i < len(o.words) {
+			s.words[i] &^= o.words[i]
+		}
+	}
+}
+
+// Intersects reports whether s and o share at least one element.
+func (s *Set) Intersects(o *Set) bool {
+	n := len(s.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IntersectionCount returns |s ∩ o| without allocating.
+func (s *Set) IntersectionCount(o *Set) int {
+	n := len(s.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	c := 0
+	for i := 0; i < n; i++ {
+		c += bits.OnesCount64(s.words[i] & o.words[i])
+	}
+	return c
+}
+
+// Equal reports whether s and o contain exactly the same elements.
+func (s *Set) Equal(o *Set) bool {
+	long, short := s.words, o.words
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	for i, w := range short {
+		if long[i] != w {
+			return false
+		}
+	}
+	for _, w := range long[len(short):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every element of s is in o.
+func (s *Set) SubsetOf(o *Set) bool {
+	for i, w := range s.words {
+		var ow uint64
+		if i < len(o.words) {
+			ow = o.words[i]
+		}
+		if w&^ow != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Min returns the smallest element, or -1 if the set is empty.
+func (s *Set) Min() int {
+	for i, w := range s.words {
+		if w != 0 {
+			return i*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Max returns the largest element, or -1 if the set is empty.
+func (s *Set) Max() int {
+	for i := len(s.words) - 1; i >= 0; i-- {
+		if w := s.words[i]; w != 0 {
+			return i*wordBits + wordBits - 1 - bits.LeadingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Range calls fn for each element in ascending order. If fn returns false,
+// iteration stops.
+func (s *Set) Range(fn func(v int) bool) {
+	for i, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(i*wordBits + b) {
+				return
+			}
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// Slice returns the elements in ascending order.
+func (s *Set) Slice() []int {
+	out := make([]int, 0, s.Len())
+	s.Range(func(v int) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// String renders the set as "{a, b, c}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.Range(func(v int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", v)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

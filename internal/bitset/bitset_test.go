@@ -1,0 +1,248 @@
+package bitset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddContainsRemove(t *testing.T) {
+	s := New(10)
+	for _, v := range []int{0, 3, 63, 64, 65, 200} {
+		s.Add(v)
+		if !s.Contains(v) {
+			t.Fatalf("Contains(%d) = false after Add", v)
+		}
+	}
+	if s.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", s.Len())
+	}
+	s.Remove(63)
+	if s.Contains(63) {
+		t.Fatal("Contains(63) = true after Remove")
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", s.Len())
+	}
+}
+
+func TestNegativeValuesIgnored(t *testing.T) {
+	s := New(4)
+	s.Add(-1)
+	if !s.Empty() {
+		t.Fatal("Add(-1) should be a no-op")
+	}
+	if s.Contains(-5) {
+		t.Fatal("Contains(-5) should be false")
+	}
+	s.Remove(-2) // must not panic
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var s Set
+	s.Add(70)
+	if !s.Contains(70) || s.Len() != 1 {
+		t.Fatal("zero-value Set should be usable")
+	}
+}
+
+func TestNewNegativeCapacity(t *testing.T) {
+	s := New(-3)
+	s.Add(1)
+	if !s.Contains(1) {
+		t.Fatal("New(-3) should yield an empty usable set")
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := FromSlice([]int{1, 2, 3, 100})
+	b := FromSlice([]int{2, 3, 4})
+
+	u := a.Clone()
+	u.UnionWith(b)
+	if got, want := u.String(), "{1, 2, 3, 4, 100}"; got != want {
+		t.Fatalf("union = %s, want %s", got, want)
+	}
+
+	i := a.Clone()
+	i.IntersectWith(b)
+	if got, want := i.String(), "{2, 3}"; got != want {
+		t.Fatalf("intersection = %s, want %s", got, want)
+	}
+
+	d := a.Clone()
+	d.DifferenceWith(b)
+	if got, want := d.String(), "{1, 100}"; got != want {
+		t.Fatalf("difference = %s, want %s", got, want)
+	}
+
+	if !a.Intersects(b) {
+		t.Fatal("a.Intersects(b) = false")
+	}
+	if a.IntersectionCount(b) != 2 {
+		t.Fatalf("IntersectionCount = %d, want 2", a.IntersectionCount(b))
+	}
+	if FromSlice([]int{1}).Intersects(FromSlice([]int{2})) {
+		t.Fatal("disjoint sets must not intersect")
+	}
+}
+
+func TestEqualDifferentWordLengths(t *testing.T) {
+	a := FromSlice([]int{1, 2})
+	b := New(1000)
+	b.Add(1)
+	b.Add(2)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("Equal must ignore trailing zero words")
+	}
+	b.Add(999)
+	if a.Equal(b) || b.Equal(a) {
+		t.Fatal("sets differing in a high word must not be Equal")
+	}
+}
+
+func TestSubsetOf(t *testing.T) {
+	a := FromSlice([]int{2, 4})
+	b := FromSlice([]int{1, 2, 3, 4})
+	if !a.SubsetOf(b) {
+		t.Fatal("a ⊆ b expected")
+	}
+	if b.SubsetOf(a) {
+		t.Fatal("b ⊄ a expected")
+	}
+	var empty Set
+	if !empty.SubsetOf(a) {
+		t.Fatal("∅ ⊆ a expected")
+	}
+	big := FromSlice([]int{500})
+	if big.SubsetOf(a) {
+		t.Fatal("{500} ⊄ a expected")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	var s Set
+	if s.Min() != -1 || s.Max() != -1 {
+		t.Fatal("Min/Max of empty set must be -1")
+	}
+	s.Add(65)
+	s.Add(7)
+	s.Add(129)
+	if s.Min() != 7 {
+		t.Fatalf("Min = %d, want 7", s.Min())
+	}
+	if s.Max() != 129 {
+		t.Fatalf("Max = %d, want 129", s.Max())
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	s := FromSlice([]int{1, 2, 3, 4, 5})
+	var seen []int
+	s.Range(func(v int) bool {
+		seen = append(seen, v)
+		return len(seen) < 3
+	})
+	if len(seen) != 3 {
+		t.Fatalf("Range visited %d elements, want 3", len(seen))
+	}
+}
+
+func TestSliceSorted(t *testing.T) {
+	s := FromSlice([]int{300, 5, 64, 63, 0})
+	got := s.Slice()
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("Slice() not sorted: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("Slice() len = %d, want 5", len(got))
+	}
+}
+
+func TestClearRetainsUsability(t *testing.T) {
+	s := FromSlice([]int{1, 2, 3})
+	s.Clear()
+	if !s.Empty() {
+		t.Fatal("set not empty after Clear")
+	}
+	s.Add(2)
+	if s.Len() != 1 {
+		t.Fatal("set unusable after Clear")
+	}
+}
+
+// Property: set semantics match a map[int]bool reference implementation
+// under a random operation sequence.
+func TestQuickAgainstMapReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(0)
+		ref := map[int]bool{}
+		for i := 0; i < 300; i++ {
+			v := rng.Intn(200)
+			switch rng.Intn(3) {
+			case 0:
+				s.Add(v)
+				ref[v] = true
+			case 1:
+				s.Remove(v)
+				delete(ref, v)
+			default:
+				if s.Contains(v) != ref[v] {
+					return false
+				}
+			}
+		}
+		if s.Len() != len(ref) {
+			return false
+		}
+		for v := range ref {
+			if !s.Contains(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: De Morgan-ish identity |A∪B| = |A| + |B| − |A∩B|.
+func TestQuickInclusionExclusion(t *testing.T) {
+	f := func(av, bv []uint16) bool {
+		a, b := New(0), New(0)
+		for _, v := range av {
+			a.Add(int(v) % 500)
+		}
+		for _, v := range bv {
+			b.Add(int(v) % 500)
+		}
+		u := a.Clone()
+		u.UnionWith(b)
+		return u.Len() == a.Len()+b.Len()-a.IntersectionCount(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Clone is independent of the original.
+func TestQuickCloneIndependence(t *testing.T) {
+	f := func(vs []uint16) bool {
+		a := New(0)
+		for _, v := range vs {
+			a.Add(int(v) % 300)
+		}
+		c := a.Clone()
+		if !c.Equal(a) {
+			return false
+		}
+		c.Add(301)
+		return !a.Contains(301)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

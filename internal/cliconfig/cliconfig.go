@@ -1,0 +1,92 @@
+// Package cliconfig holds the configuration logic shared by the
+// isgc-master and isgc-worker binaries: parsing the scheme flags into a
+// placement, and constructing the deterministic per-partition loaders that
+// both sides must agree on (the paper's controlled-seed requirement — a
+// partition's mini-batch at step t must be identical on every worker
+// replicating it, or coded gradients stop being summable).
+package cliconfig
+
+import (
+	"fmt"
+
+	"isgc/internal/dataset"
+	"isgc/internal/placement"
+)
+
+// SchemeSpec captures the placement flags of both binaries.
+type SchemeSpec struct {
+	// Scheme is "fr", "cr", or "hr".
+	Scheme string
+	// N is the worker/partition count, C the partitions per worker.
+	N, C int
+	// C1 and G configure HR (Scheme == "hr"): the placement is
+	// HR(N, C1, C-C1, G).
+	C1, G int
+}
+
+// Build resolves the spec to a placement.
+func (s SchemeSpec) Build() (*placement.Placement, error) {
+	switch s.Scheme {
+	case "fr":
+		return placement.FR(s.N, s.C)
+	case "cr":
+		return placement.CR(s.N, s.C)
+	case "hr":
+		if s.C1 < 0 || s.C1 > s.C {
+			return nil, fmt.Errorf("cliconfig: need 0 ≤ c1 ≤ c, got c1=%d c=%d", s.C1, s.C)
+		}
+		return placement.HR(s.N, s.C1, s.C-s.C1, s.G)
+	default:
+		return nil, fmt.Errorf("cliconfig: unknown scheme %q (want fr, cr, or hr)", s.Scheme)
+	}
+}
+
+// DataSpec captures the dataset flags both binaries must agree on.
+type DataSpec struct {
+	// Samples, Features, Classes, Separation parameterize the synthetic
+	// classification dataset.
+	Samples, Features, Classes int
+	Separation                 float64
+	// Seed is the shared dataset/loader seed.
+	Seed int64
+	// Batch is the per-partition mini-batch size.
+	Batch int
+}
+
+// DefaultData returns the dataset configuration both binaries default to.
+func DefaultData(seed int64) DataSpec {
+	return DataSpec{Samples: 240, Features: 6, Classes: 3, Separation: 1.5, Seed: seed, Batch: 8}
+}
+
+// BuildDataset generates the shared synthetic dataset.
+func (d DataSpec) BuildDataset() (*dataset.Dataset, error) {
+	return dataset.SyntheticClusters(d.Samples, d.Features, d.Classes, d.Separation, d.Seed)
+}
+
+// LoaderSeed returns the canonical loader seed for a partition; master and
+// every worker replica derive the same value, which is what makes replica
+// batches identical.
+func (d DataSpec) LoaderSeed(part int) int64 {
+	return d.Seed + int64(part)*7919
+}
+
+// BuildLoaders partitions the dataset and returns loaders for the given
+// partition ids (a worker passes its own placement row; the full range
+// gives the master's view).
+func (d DataSpec) BuildLoaders(data *dataset.Dataset, n int, partIDs []int) ([]*dataset.Loader, error) {
+	parts, err := data.Partition(n)
+	if err != nil {
+		return nil, fmt.Errorf("cliconfig: %w", err)
+	}
+	out := make([]*dataset.Loader, len(partIDs))
+	for j, id := range partIDs {
+		if id < 0 || id >= n {
+			return nil, fmt.Errorf("cliconfig: partition %d out of range [0,%d)", id, n)
+		}
+		out[j], err = dataset.NewLoader(parts[id], d.Batch, d.LoaderSeed(id))
+		if err != nil {
+			return nil, fmt.Errorf("cliconfig: partition %d: %w", id, err)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,98 @@
+package cliconfig
+
+import (
+	"testing"
+
+	"isgc/internal/placement"
+)
+
+func TestSchemeSpecBuild(t *testing.T) {
+	cases := []struct {
+		spec SchemeSpec
+		kind placement.Kind
+		ok   bool
+	}{
+		{SchemeSpec{Scheme: "fr", N: 4, C: 2}, placement.KindFR, true},
+		{SchemeSpec{Scheme: "cr", N: 7, C: 3}, placement.KindCR, true},
+		{SchemeSpec{Scheme: "hr", N: 8, C: 4, C1: 2, G: 2}, placement.KindHR, true},
+		{SchemeSpec{Scheme: "hr", N: 8, C: 4, C1: 0, G: 2}, placement.KindCR, true}, // c1=0 → CR
+		{SchemeSpec{Scheme: "fr", N: 5, C: 2}, 0, false},                            // c∤n
+		{SchemeSpec{Scheme: "hr", N: 8, C: 4, C1: 5, G: 2}, 0, false},               // c1 > c
+		{SchemeSpec{Scheme: "hr", N: 8, C: 4, C1: -1, G: 2}, 0, false},
+		{SchemeSpec{Scheme: "mystery", N: 4, C: 2}, 0, false},
+	}
+	for i, tc := range cases {
+		p, err := tc.spec.Build()
+		if tc.ok {
+			if err != nil {
+				t.Errorf("case %d: %v", i, err)
+				continue
+			}
+			if p.Kind() != tc.kind {
+				t.Errorf("case %d: kind %v, want %v", i, p.Kind(), tc.kind)
+			}
+		} else if err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestDataSpecLoaders(t *testing.T) {
+	d := DefaultData(42)
+	data, err := d.BuildDataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.Len() != 240 || data.Dim() != 6 {
+		t.Fatalf("dataset shape %dx%d", data.Len(), data.Dim())
+	}
+	loaders, err := d.BuildLoaders(data, 4, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaders) != 2 {
+		t.Fatalf("loaders = %d", len(loaders))
+	}
+	// Replica consistency: building loaders twice gives identical batches.
+	again, err := d.BuildLoaders(data, 4, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 10; step++ {
+		a, b := loaders[0].Batch(step), again[0].Batch(step)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("step %d: replica batches differ", step)
+			}
+		}
+	}
+}
+
+func TestBuildLoadersErrors(t *testing.T) {
+	d := DefaultData(1)
+	data, err := d.BuildDataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.BuildLoaders(data, 7, []int{0}); err == nil {
+		t.Error("indivisible partitioning must error")
+	}
+	if _, err := d.BuildLoaders(data, 4, []int{4}); err == nil {
+		t.Error("out-of-range partition must error")
+	}
+	if _, err := d.BuildLoaders(data, 4, []int{-1}); err == nil {
+		t.Error("negative partition must error")
+	}
+}
+
+func TestLoaderSeedDistinctPerPartition(t *testing.T) {
+	d := DefaultData(5)
+	seen := map[int64]bool{}
+	for part := 0; part < 16; part++ {
+		s := d.LoaderSeed(part)
+		if seen[s] {
+			t.Fatalf("duplicate loader seed for partition %d", part)
+		}
+		seen[s] = true
+	}
+}

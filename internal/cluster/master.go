@@ -1,0 +1,289 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"isgc/internal/bitset"
+	"isgc/internal/dataset"
+	"isgc/internal/engine"
+	"isgc/internal/linalg"
+	"isgc/internal/model"
+	"isgc/internal/trace"
+)
+
+// MasterConfig configures a training master.
+type MasterConfig struct {
+	// Addr is the listen address, e.g. "127.0.0.1:0".
+	Addr string
+	// Strategy decodes coded gradients (shared vocabulary with the
+	// in-process engine).
+	Strategy engine.Strategy
+	// Model evaluates the training loss; the master holds the parameters.
+	Model model.Model
+	// Data is the full training set (for loss evaluation).
+	Data *dataset.Dataset
+	// LearningRate is η.
+	LearningRate float64
+	// W is the number of workers to wait for per step (flexible schemes).
+	W int
+	// Deadline, when positive, replaces the fastest-w gather for flexible
+	// schemes with the Sec. IV deadline policy: each step the master
+	// accepts every gradient that arrives within Deadline of the step
+	// broadcast and then proceeds (waiting for at least one arrival).
+	// Rigid schemes (Sync-SGD, classic GC) ignore it.
+	Deadline time.Duration
+	// MaxSteps bounds the run.
+	MaxSteps int
+	// LossThreshold stops early when reached (0 disables).
+	LossThreshold float64
+	// Seed initializes the parameters (must match the workers' data seed
+	// discipline).
+	Seed int64
+	// AcceptTimeout bounds how long the master waits for all workers to
+	// register (default 10s).
+	AcceptTimeout time.Duration
+}
+
+// Master orchestrates distributed training over TCP.
+type Master struct {
+	cfg MasterConfig
+	ln  net.Listener
+
+	mu    sync.Mutex
+	conns map[int]*conn
+
+	// accepted[i] counts the steps in which worker i's gradient was
+	// gathered before the cut-off — the per-worker availability view an
+	// operator uses to spot enduring stragglers. Written only by the
+	// training loop; read via ArrivalCounts after Run returns.
+	accepted []int
+}
+
+// ArrivalCounts returns, per worker, how many steps gathered that worker's
+// gradient. Valid after Run returns.
+func (m *Master) ArrivalCounts() []int {
+	out := make([]int, len(m.accepted))
+	copy(out, m.accepted)
+	return out
+}
+
+// arrival is one gradient delivery tagged with its origin.
+type arrival struct {
+	worker int
+	step   int
+	coded  []float64
+}
+
+// NewMaster starts listening; workers may connect immediately after.
+func NewMaster(cfg MasterConfig) (*Master, error) {
+	switch {
+	case cfg.Strategy == nil:
+		return nil, fmt.Errorf("cluster: nil strategy")
+	case cfg.Model == nil:
+		return nil, fmt.Errorf("cluster: nil model")
+	case cfg.Data == nil:
+		return nil, fmt.Errorf("cluster: nil dataset")
+	case cfg.LearningRate <= 0:
+		return nil, fmt.Errorf("cluster: need LearningRate > 0")
+	case cfg.MaxSteps <= 0:
+		return nil, fmt.Errorf("cluster: need MaxSteps > 0")
+	}
+	if cfg.AcceptTimeout <= 0 {
+		cfg.AcceptTimeout = 10 * time.Second
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen: %w", err)
+	}
+	return &Master{cfg: cfg, ln: ln, conns: map[int]*conn{}}, nil
+}
+
+// Addr returns the actual listen address (useful with ":0").
+func (m *Master) Addr() string { return m.ln.Addr().String() }
+
+// Run accepts the n workers, trains, shuts the workers down, and returns
+// the run result. It blocks until training finishes or fails.
+func (m *Master) Run() (*engine.Result, error) {
+	defer m.ln.Close()
+	n := m.cfg.Strategy.N()
+
+	grads := make(chan arrival, 4*n)
+	var readers sync.WaitGroup
+	if err := m.acceptWorkers(n, grads, &readers); err != nil {
+		m.closeAll()
+		return nil, err
+	}
+
+	res, err := m.trainLoop(grads)
+
+	// Stop workers and close connections; readers drain on close.
+	m.broadcast(&Envelope{Kind: MsgStop})
+	m.closeAll()
+	readers.Wait()
+	return res, err
+}
+
+func (m *Master) acceptWorkers(n int, grads chan<- arrival, readers *sync.WaitGroup) error {
+	deadline := time.Now().Add(m.cfg.AcceptTimeout)
+	for len(m.conns) < n {
+		type deadliner interface{ SetDeadline(time.Time) error }
+		if d, ok := m.ln.(deadliner); ok {
+			if err := d.SetDeadline(deadline); err != nil {
+				return fmt.Errorf("cluster: %w", err)
+			}
+		}
+		raw, err := m.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("cluster: accept (have %d/%d workers): %w", len(m.conns), n, err)
+		}
+		c := newConn(raw)
+		hello, err := c.recv()
+		if err != nil || hello.Kind != MsgHello {
+			_ = c.close()
+			return fmt.Errorf("cluster: bad hello from %s: %v", raw.RemoteAddr(), err)
+		}
+		if hello.Worker < 0 || hello.Worker >= n {
+			_ = c.close()
+			return fmt.Errorf("cluster: worker id %d out of range [0,%d)", hello.Worker, n)
+		}
+		m.mu.Lock()
+		if _, dup := m.conns[hello.Worker]; dup {
+			m.mu.Unlock()
+			_ = c.close()
+			return fmt.Errorf("cluster: duplicate worker id %d", hello.Worker)
+		}
+		m.conns[hello.Worker] = c
+		m.mu.Unlock()
+
+		readers.Add(1)
+		go func(c *conn) {
+			defer readers.Done()
+			for {
+				e, err := c.recv()
+				if err != nil {
+					return // connection closed
+				}
+				if e.Kind == MsgGradient {
+					grads <- arrival{worker: e.Worker, step: e.Step, coded: e.Coded}
+				}
+			}
+		}(c)
+	}
+	return nil
+}
+
+func (m *Master) trainLoop(grads <-chan arrival) (*engine.Result, error) {
+	st := m.cfg.Strategy
+	n := st.N()
+	waitFor := st.WaitFor(m.cfg.W)
+	// Deadline mode applies only to flexible schemes: a rigid scheme
+	// reports the same WaitFor for every target.
+	useDeadline := m.cfg.Deadline > 0 && st.WaitFor(1) != st.WaitFor(n)
+	m.accepted = make([]int, n)
+	params := m.cfg.Model.InitParams(m.cfg.Seed)
+	all := make([]dataset.Sample, m.cfg.Data.Len())
+	for i := range all {
+		all[i] = m.cfg.Data.At(i)
+	}
+
+	res := &engine.Result{}
+	for step := 0; step < m.cfg.MaxSteps; step++ {
+		m.broadcast(&Envelope{Kind: MsgStep, Step: step, Params: params})
+		stepStart := time.Now()
+
+		avail := bitset.New(n)
+		coded := make([][]float64, n)
+		accept := func(a arrival) {
+			if a.step != step || a.worker < 0 || a.worker >= n || avail.Contains(a.worker) {
+				return // stale or duplicate delivery
+			}
+			avail.Add(a.worker)
+			coded[a.worker] = a.coded
+			m.accepted[a.worker]++
+		}
+		if useDeadline {
+			timer := time.NewTimer(m.cfg.Deadline)
+		gather:
+			for avail.Len() < n {
+				select {
+				case a, ok := <-grads:
+					if !ok {
+						timer.Stop()
+						return res, errors.New("cluster: gradient channel closed mid-step")
+					}
+					accept(a)
+				case <-timer.C:
+					break gather
+				}
+			}
+			timer.Stop()
+			// The step must make progress: if nobody beat the deadline,
+			// block for the first arrival of this step.
+			for avail.Empty() {
+				a, ok := <-grads
+				if !ok {
+					return res, errors.New("cluster: gradient channel closed mid-step")
+				}
+				accept(a)
+			}
+		} else {
+			for avail.Len() < waitFor {
+				a, ok := <-grads
+				if !ok {
+					return res, errors.New("cluster: gradient channel closed mid-step")
+				}
+				accept(a)
+			}
+		}
+		elapsed := time.Since(stepStart)
+
+		ghat, recParts, err := st.Recover(avail, coded)
+		if err != nil {
+			return res, fmt.Errorf("cluster: step %d: %w", step, err)
+		}
+		recovered := len(recParts)
+		if recovered > 0 {
+			linalg.AXPY(params, -m.cfg.LearningRate/float64(recovered), ghat)
+		}
+		loss := m.cfg.Model.Loss(params, all)
+		res.Run.Append(trace.StepRecord{
+			Step:              step,
+			Available:         avail.Len(),
+			Chosen:            recovered / st.C(),
+			RecoveredFraction: float64(recovered) / float64(n),
+			Partitions:        recParts,
+			Loss:              loss,
+			Elapsed:           elapsed,
+		})
+		if m.cfg.LossThreshold > 0 && loss <= m.cfg.LossThreshold {
+			res.Converged = true
+			res.StepsToThreshold = step + 1
+			break
+		}
+	}
+	if !res.Converged {
+		res.StepsToThreshold = m.cfg.MaxSteps
+	}
+	res.Params = params
+	return res, nil
+}
+
+func (m *Master) broadcast(e *Envelope) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range m.conns {
+		_ = c.send(e) // a dead worker just becomes a permanent straggler
+	}
+}
+
+func (m *Master) closeAll() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range m.conns {
+		_ = c.close()
+	}
+}

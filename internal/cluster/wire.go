@@ -1,0 +1,91 @@
+// Package cluster is the real distributed runtime: a master and n workers
+// speaking a gob-encoded protocol over TCP (stdlib net only). It plays the
+// role Ray plays in the paper's implementation (Sec. VIII-A): workers train
+// on their partitions' mini-batches, upload coded gradients, and the master
+// gathers the fastest w (the ray.wait(w) equivalent), decodes with the
+// configured strategy, updates the parameters, and broadcasts them.
+//
+// The engine package is the fast in-process twin used for experiments; this
+// package demonstrates the same protocol end-to-end over real sockets and
+// is exercised by integration tests and the examples/distributed binary.
+package cluster
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Message kinds exchanged between master and workers.
+const (
+	// MsgHello registers a worker with the master.
+	MsgHello = "hello"
+	// MsgStep carries parameters from master to workers for one step.
+	MsgStep = "step"
+	// MsgGradient carries a coded gradient from a worker to the master.
+	MsgGradient = "gradient"
+	// MsgStop tells workers to shut down cleanly.
+	MsgStop = "stop"
+)
+
+// Envelope is the single wire message type; unused fields stay zero.
+type Envelope struct {
+	Kind string
+	// Worker is the sender's worker id (Hello, Gradient).
+	Worker int
+	// Step is the training step the message belongs to (Step, Gradient).
+	Step int
+	// Params are the model parameters (Step).
+	Params []float64
+	// Coded is the worker's coded gradient (Gradient).
+	Coded []float64
+}
+
+// conn wraps a net.Conn with gob codecs. Encode and Decode are each safe
+// for a single goroutine; the master uses one reader goroutine and one
+// writer per connection.
+type conn struct {
+	raw net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+func newConn(c net.Conn) *conn {
+	return &conn{raw: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+}
+
+func (c *conn) send(e *Envelope) error {
+	if err := c.enc.Encode(e); err != nil {
+		return fmt.Errorf("cluster: send %s: %w", e.Kind, err)
+	}
+	return nil
+}
+
+func (c *conn) recv() (*Envelope, error) {
+	var e Envelope
+	if err := c.dec.Decode(&e); err != nil {
+		return nil, fmt.Errorf("cluster: recv: %w", err)
+	}
+	return &e, nil
+}
+
+func (c *conn) close() error { return c.raw.Close() }
+
+// dialWithRetry dials addr, retrying for up to timeout — workers typically
+// start concurrently with the master.
+func dialWithRetry(addr string, timeout time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	for {
+		c, err := net.DialTimeout("tcp", addr, 500*time.Millisecond)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("cluster: dial %s: %w", addr, lastErr)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

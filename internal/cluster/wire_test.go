@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"isgc/internal/dataset"
+	"isgc/internal/engine"
+	"isgc/internal/model"
+)
+
+// pipePair returns two connected conns over an in-memory duplex pipe.
+func pipePair() (*conn, *conn) {
+	a, b := net.Pipe()
+	return newConn(a), newConn(b)
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	a, b := pipePair()
+	defer a.close()
+	defer b.close()
+
+	want := &Envelope{
+		Kind:   MsgGradient,
+		Worker: 3,
+		Step:   17,
+		Coded:  []float64{1.5, -2.25, 0},
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := a.send(want); err != nil {
+			t.Error(err)
+		}
+	}()
+	got, err := b.recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if got.Kind != want.Kind || got.Worker != want.Worker || got.Step != want.Step {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+	if len(got.Coded) != 3 || got.Coded[1] != -2.25 {
+		t.Fatalf("coded = %v", got.Coded)
+	}
+}
+
+func TestEnvelopeParamsRoundTrip(t *testing.T) {
+	a, b := pipePair()
+	defer a.close()
+	defer b.close()
+
+	params := make([]float64, 1000)
+	for i := range params {
+		params[i] = float64(i) * 0.5
+	}
+	go func() {
+		_ = a.send(&Envelope{Kind: MsgStep, Step: 2, Params: params})
+	}()
+	got, err := b.recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != MsgStep || len(got.Params) != 1000 || got.Params[999] != 499.5 {
+		t.Fatalf("bad round trip: kind=%s len=%d", got.Kind, len(got.Params))
+	}
+}
+
+func TestRecvAfterCloseFails(t *testing.T) {
+	a, b := pipePair()
+	a.close()
+	b.close()
+	if _, err := b.recv(); err == nil {
+		t.Fatal("recv on closed conn must fail")
+	}
+	if err := a.send(&Envelope{Kind: MsgStop}); err == nil {
+		t.Fatal("send on closed conn must fail")
+	}
+}
+
+func TestDialWithRetryTimesOut(t *testing.T) {
+	start := time.Now()
+	_, err := dialWithRetry("127.0.0.1:1", 200*time.Millisecond) // port 1: nothing listens
+	if err == nil {
+		t.Fatal("expected dial failure")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("retry loop ran too long: %v", elapsed)
+	}
+}
+
+func TestMasterRejectsBadHello(t *testing.T) {
+	st, err := engine.NewSyncSGD(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := dataset.SyntheticLinear(10, 2, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMaster(MasterConfig{
+		Addr: "127.0.0.1:0", Strategy: st,
+		Model: model.LinearRegression{Features: 2}, Data: data,
+		LearningRate: 0.1, MaxSteps: 1, AcceptTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.Run()
+		done <- err
+	}()
+	// Connect and send an out-of-range worker id.
+	raw, err := net.Dial("tcp", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newConn(raw)
+	if err := c.send(&Envelope{Kind: MsgHello, Worker: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("master must reject out-of-range worker id")
+	}
+	c.close()
+}
+
+func TestMasterRejectsDuplicateWorker(t *testing.T) {
+	st, err := engine.NewSyncSGD(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := dataset.SyntheticLinear(10, 2, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMaster(MasterConfig{
+		Addr: "127.0.0.1:0", Strategy: st,
+		Model: model.LinearRegression{Features: 2}, Data: data,
+		LearningRate: 0.1, MaxSteps: 1, AcceptTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.Run()
+		done <- err
+	}()
+	dial := func() *conn {
+		raw, err := net.Dial("tcp", m.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return newConn(raw)
+	}
+	c1 := dial()
+	defer c1.close()
+	if err := c1.send(&Envelope{Kind: MsgHello, Worker: 0}); err != nil {
+		t.Fatal(err)
+	}
+	c2 := dial()
+	defer c2.close()
+	if err := c2.send(&Envelope{Kind: MsgHello, Worker: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("master must reject duplicate worker ids")
+	}
+}
+
+func TestMasterAcceptTimeout(t *testing.T) {
+	st, err := engine.NewSyncSGD(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := dataset.SyntheticLinear(10, 2, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMaster(MasterConfig{
+		Addr: "127.0.0.1:0", Strategy: st,
+		Model: model.LinearRegression{Features: 2}, Data: data,
+		LearningRate: 0.1, MaxSteps: 1, AcceptTimeout: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := m.Run(); err == nil {
+		t.Fatal("master must fail when no workers register")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("accept timeout not enforced")
+	}
+}

@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"isgc/internal/dataset"
+	"isgc/internal/model"
+	"isgc/internal/straggler"
+)
+
+// WorkerConfig configures one worker process.
+type WorkerConfig struct {
+	// Addr is the master's address.
+	Addr string
+	// ID is this worker's index in [0, n).
+	ID int
+	// Partitions lists the dataset partitions this worker stores
+	// (Strategy.Partitions(ID) on the master side).
+	Partitions []int
+	// Loaders yields mini-batches per stored partition, index-aligned
+	// with Partitions. Loader seeds must follow the shared discipline so
+	// partition replicas see identical batches.
+	Loaders []*dataset.Loader
+	// Model computes gradients.
+	Model model.Model
+	// Encode combines the worker's per-partition gradients into the coded
+	// upload: it receives the gradients aligned with Partitions. For
+	// IS-GC this is the plain sum; for classic GC a fixed linear
+	// combination (use CodedEncoder helpers).
+	Encode func(localGrads [][]float64) ([]float64, error)
+	// Delay optionally injects an artificial straggler delay before each
+	// upload, sampled from the model (nil = none). This is how the
+	// integration tests and the distributed example reproduce the paper's
+	// delay injection over real sockets.
+	Delay straggler.Model
+	// DelaySeed seeds the delay sampling.
+	DelaySeed int64
+	// DialTimeout bounds the initial connection (default 5s).
+	DialTimeout time.Duration
+}
+
+// Worker trains on its partitions and uploads coded gradients until the
+// master says stop.
+type Worker struct {
+	cfg WorkerConfig
+	c   *conn
+	rng *rand.Rand
+}
+
+// NewWorker connects to the master and registers.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	switch {
+	case cfg.ID < 0:
+		return nil, fmt.Errorf("cluster: negative worker id %d", cfg.ID)
+	case len(cfg.Partitions) == 0:
+		return nil, fmt.Errorf("cluster: worker %d has no partitions", cfg.ID)
+	case len(cfg.Loaders) != len(cfg.Partitions):
+		return nil, fmt.Errorf("cluster: worker %d: %d loaders for %d partitions", cfg.ID, len(cfg.Loaders), len(cfg.Partitions))
+	case cfg.Model == nil:
+		return nil, fmt.Errorf("cluster: worker %d: nil model", cfg.ID)
+	case cfg.Encode == nil:
+		return nil, fmt.Errorf("cluster: worker %d: nil encoder", cfg.ID)
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	raw, err := dialWithRetry(cfg.Addr, cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c := newConn(raw)
+	if err := c.send(&Envelope{Kind: MsgHello, Worker: cfg.ID}); err != nil {
+		_ = c.close()
+		return nil, err
+	}
+	return &Worker{cfg: cfg, c: c, rng: rand.New(rand.NewSource(cfg.DelaySeed))}, nil
+}
+
+// Run processes step requests until the master stops the worker or the
+// connection drops. It returns the number of steps served.
+func (w *Worker) Run() (int, error) {
+	defer w.c.close()
+	steps := 0
+	for {
+		e, err := w.c.recv()
+		if err != nil {
+			// Connection torn down by the master after MsgStop raced us,
+			// or a genuine failure; either way we are done serving.
+			return steps, nil
+		}
+		switch e.Kind {
+		case MsgStop:
+			return steps, nil
+		case MsgStep:
+			coded, err := w.computeStep(e.Step, e.Params)
+			if err != nil {
+				return steps, err
+			}
+			if w.cfg.Delay != nil {
+				time.Sleep(w.cfg.Delay.Sample(w.rng))
+			}
+			if err := w.c.send(&Envelope{Kind: MsgGradient, Worker: w.cfg.ID, Step: e.Step, Coded: coded}); err != nil {
+				return steps, nil // master already gone
+			}
+			steps++
+		}
+	}
+}
+
+func (w *Worker) computeStep(step int, params []float64) ([]float64, error) {
+	local := make([][]float64, len(w.cfg.Partitions))
+	for j, l := range w.cfg.Loaders {
+		local[j] = w.cfg.Model.Grad(params, l.Samples(step))
+	}
+	coded, err := w.cfg.Encode(local)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: worker %d step %d: %w", w.cfg.ID, step, err)
+	}
+	return coded, nil
+}
+
+// SumEncoder returns the IS-GC encoder: the plain sum of the local
+// per-partition gradients.
+func SumEncoder() func([][]float64) ([]float64, error) {
+	return func(local [][]float64) ([]float64, error) {
+		if len(local) == 0 {
+			return nil, fmt.Errorf("cluster: no local gradients")
+		}
+		out := make([]float64, len(local[0]))
+		for _, g := range local {
+			if len(g) != len(out) {
+				return nil, fmt.Errorf("cluster: gradient dim mismatch %d vs %d", len(g), len(out))
+			}
+			for k, x := range g {
+				out[k] += x
+			}
+		}
+		return out, nil
+	}
+}
+
+// LinearEncoder returns a fixed-coefficient encoder (classic GC): coeffs is
+// aligned with the worker's partition list.
+func LinearEncoder(coeffs []float64) func([][]float64) ([]float64, error) {
+	cs := append([]float64(nil), coeffs...)
+	return func(local [][]float64) ([]float64, error) {
+		if len(local) != len(cs) {
+			return nil, fmt.Errorf("cluster: %d gradients for %d coefficients", len(local), len(cs))
+		}
+		out := make([]float64, len(local[0]))
+		for j, g := range local {
+			if len(g) != len(out) {
+				return nil, fmt.Errorf("cluster: gradient dim mismatch %d vs %d", len(g), len(out))
+			}
+			for k, x := range g {
+				out[k] += cs[j] * x
+			}
+		}
+		return out, nil
+	}
+}

@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"testing"
+
+	"isgc/internal/dataset"
+	"isgc/internal/model"
+)
+
+// Classifier workloads record a rising accuracy series; regression
+// workloads record zero.
+func TestAccuracyRecording(t *testing.T) {
+	st, err := NewSyncSGD(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overlapping clusters (separation 0.8) so accuracy has room to grow.
+	hard, err := dataset.SyntheticClusters(240, 6, 3, 0.8, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(t, st)
+	cfg.Data = hard
+	cfg.MaxSteps = 150
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Run.Records[0].Accuracy
+	last := res.Run.Records[len(res.Run.Records)-1].Accuracy
+	if !(last > first) {
+		t.Fatalf("accuracy %v → %v, expected improvement", first, last)
+	}
+	if last < 0.6 {
+		t.Fatalf("final accuracy %v too low for the clustered task", last)
+	}
+
+	// Regression workload: accuracy stays zero (LinearRegression is not a
+	// Classifier).
+	d, _, err := dataset.SyntheticLinear(240, 4, 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := NewSyncSGD(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Train(Config{
+		Strategy: st2, Model: model.LinearRegression{Features: 4}, Data: d,
+		BatchSize: 8, LearningRate: 0.05, W: 4, MaxSteps: 10, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range res2.Run.Records {
+		if rec.Accuracy != 0 {
+			t.Fatalf("regression run recorded accuracy %v", rec.Accuracy)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"isgc/internal/placement"
+	"isgc/internal/straggler"
+)
+
+// The adaptive policy of Sec. IV: wait for few workers early, more later.
+func TestWScheduleAdaptive(t *testing.T) {
+	p, perr := placement.CR(4, 2)
+	st := isgcStrategy(t, p, perr, 3)
+	cfg := baseConfig(t, st)
+	cfg.MaxSteps = 20
+	cfg.Profile = straggler.NewProfile(4, straggler.Exponential{Mean: time.Second}, 5)
+	cfg.WSchedule = func(step int) int {
+		if step < 10 {
+			return 1
+		}
+		return 3
+	}
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range res.Run.Records {
+		want := 1
+		if i >= 10 {
+			want = 3
+		}
+		if rec.Available != want {
+			t.Fatalf("step %d: available %d, want %d", i, rec.Available, want)
+		}
+	}
+	// With w=3 ≥ n-c+1 the late phase fully recovers.
+	for _, rec := range res.Run.Records[10:] {
+		if rec.RecoveredFraction != 1.0 {
+			t.Fatalf("late phase recovered %v", rec.RecoveredFraction)
+		}
+	}
+}
+
+// WSchedule values outside [1, n] are clamped by the strategy.
+func TestWScheduleClamped(t *testing.T) {
+	p, perr := placement.CR(4, 2)
+	st := isgcStrategy(t, p, perr, 4)
+	cfg := baseConfig(t, st)
+	cfg.MaxSteps = 4
+	cfg.WSchedule = func(step int) int { return step*100 - 50 } // -50, 50, 150, 250
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Run.Records[0].Available != 1 {
+		t.Fatalf("step 0 available %d, want clamp to 1", res.Run.Records[0].Available)
+	}
+	if res.Run.Records[1].Available != 4 {
+		t.Fatalf("step 1 available %d, want clamp to 4", res.Run.Records[1].Available)
+	}
+}
+
+// Rigid schemes ignore the schedule entirely.
+func TestWScheduleIgnoredByRigidSchemes(t *testing.T) {
+	st, err := NewSyncSGD(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(t, st)
+	cfg.MaxSteps = 5
+	cfg.WSchedule = func(int) int { return 1 }
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range res.Run.Records {
+		if rec.Available != 4 {
+			t.Fatalf("Sync-SGD available %d, want 4", rec.Available)
+		}
+	}
+}
+
+// Deadline gather: availability varies with who beats the deadline; the
+// recorded elapsed time is the deadline when some (but not all) workers
+// miss it.
+func TestDeadlineGather(t *testing.T) {
+	p, perr := placement.CR(4, 2)
+	st := isgcStrategy(t, p, perr, 6)
+	cfg := baseConfig(t, st)
+	cfg.MaxSteps = 30
+	cfg.ComputePerPartition = 10 * time.Millisecond
+	// Workers 0,1 always slow by 1s; workers 2,3 on time.
+	cfg.Profile = straggler.PartialProfile(4, 2, straggler.Constant{D: time.Second}, 9)
+	cfg.Deadline = 100 * time.Millisecond
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range res.Run.Records {
+		if rec.Available != 2 {
+			t.Fatalf("available %d, want the 2 on-time workers", rec.Available)
+		}
+		if rec.Elapsed != 100*time.Millisecond {
+			t.Fatalf("elapsed %v, want the 100ms deadline", rec.Elapsed)
+		}
+		// Workers 2 and 3 are adjacent in CR(4,2): they conflict, so
+		// recovery is exactly 1/2.
+		if rec.RecoveredFraction != 0.5 {
+			t.Fatalf("recovered %v, want 0.5", rec.RecoveredFraction)
+		}
+	}
+}
+
+// When nobody makes the deadline the master falls back to the fastest
+// worker and is charged that worker's arrival time.
+func TestDeadlineFallbackToFastest(t *testing.T) {
+	p, perr := placement.CR(4, 2)
+	st := isgcStrategy(t, p, perr, 7)
+	cfg := baseConfig(t, st)
+	cfg.MaxSteps = 10
+	cfg.ComputePerPartition = 50 * time.Millisecond
+	cfg.Upload = 50 * time.Millisecond // base 150ms > deadline
+	cfg.Deadline = 10 * time.Millisecond
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range res.Run.Records {
+		if rec.Available != 1 {
+			t.Fatalf("available %d, want fallback single worker", rec.Available)
+		}
+		if rec.Elapsed != 150*time.Millisecond {
+			t.Fatalf("elapsed %v, want the fastest arrival (150ms), not the deadline", rec.Elapsed)
+		}
+	}
+}
+
+// When everyone beats a generous deadline, all workers contribute and the
+// step is charged the last arrival.
+func TestDeadlineGenerousAcceptsAll(t *testing.T) {
+	p, perr := placement.FR(4, 2)
+	st := isgcStrategy(t, p, perr, 8)
+	cfg := baseConfig(t, st)
+	cfg.MaxSteps = 5
+	cfg.ComputePerPartition = 10 * time.Millisecond
+	cfg.Deadline = time.Hour
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range res.Run.Records {
+		if rec.Available != 4 {
+			t.Fatalf("available %d, want all", rec.Available)
+		}
+		if rec.RecoveredFraction != 1.0 {
+			t.Fatalf("recovered %v", rec.RecoveredFraction)
+		}
+		if rec.Elapsed != 20*time.Millisecond {
+			t.Fatalf("elapsed %v, want last arrival 20ms", rec.Elapsed)
+		}
+	}
+}

@@ -1,0 +1,311 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"isgc/internal/bitset"
+	"isgc/internal/dataset"
+	"isgc/internal/linalg"
+	"isgc/internal/model"
+	"isgc/internal/simclock"
+	"isgc/internal/straggler"
+	"isgc/internal/trace"
+)
+
+// Config describes one training run.
+type Config struct {
+	// Strategy is the straggler-mitigation scheme under test.
+	Strategy Strategy
+	// Model is the workload.
+	Model model.Model
+	// Data is the full training set; it is split into Strategy.N() equal
+	// partitions.
+	Data *dataset.Dataset
+	// BatchSize is the per-partition mini-batch size.
+	BatchSize int
+	// LearningRate is the SGD step size η.
+	LearningRate float64
+	// LRSchedule, when non-nil, multiplies LearningRate per step (e.g.
+	// step-decay or 1/t decay); it must return positive factors.
+	LRSchedule func(step int) float64
+	// Momentum is the classical heavy-ball coefficient μ ∈ [0, 1): the
+	// update keeps a velocity v ← μ·v + ĝ_mean and steps by η·v. Zero
+	// (the default) is plain SGD; the paper's torch.optim.SGD exposes the
+	// same knob.
+	Momentum float64
+	// WeightDecay is an L2 penalty coefficient λ added to the gradient as
+	// λ·β (decoupled from the loss evaluation, like torch's SGD).
+	WeightDecay float64
+	// W is the number of workers the master waits for each step (flexible
+	// schemes only; Sync-SGD and classic GC override it).
+	W int
+	// WSchedule, when non-nil, overrides W per step for flexible schemes:
+	// the master waits for WSchedule(step) workers. This implements the
+	// adaptive policy sketched in Sec. IV of the paper — "receive
+	// gradients from fewer workers at the beginning to save time, and
+	// then from more workers afterwards until convergence". Rigid schemes
+	// (Sync-SGD, classic GC) still override the value.
+	WSchedule func(step int) int
+	// Deadline, when positive, switches the gather from fastest-w to the
+	// deadline policy of Sec. IV: each step the master accepts exactly
+	// the workers that finish within Deadline. When nobody makes the
+	// deadline the master waits for the single fastest worker (an empty
+	// step would make no progress) and the step is charged that worker's
+	// arrival time. Rigid schemes ignore it. Takes precedence over
+	// WSchedule.
+	Deadline time.Duration
+	// MaxSteps bounds the run.
+	MaxSteps int
+	// LossThreshold stops the run once the full-training-set loss drops
+	// to or below it; 0 disables the threshold (the paper trains "until
+	// the training loss reaches a given threshold").
+	LossThreshold float64
+	// ComputePerPartition and Upload parameterize the simulated step time
+	// (see simclock); both may be zero for pure-convergence experiments.
+	ComputePerPartition time.Duration
+	Upload              time.Duration
+	// Profile injects straggler delays (nil = none).
+	Profile *straggler.Profile
+	// ComputeFactors optionally makes the fleet heterogeneous: worker i's
+	// compute time is scaled by ComputeFactors[i] (see simclock). Nil
+	// means homogeneous.
+	ComputeFactors []float64
+	// Seed drives parameter initialization and batch sampling; runs with
+	// equal seeds start from identical parameters and see identical
+	// batches, mirroring the paper's controlled-seed methodology.
+	Seed int64
+	// EvalEvery controls how often the full training loss is evaluated
+	// (every step if ≤ 1). Loss records between evaluations repeat the
+	// last value.
+	EvalEvery int
+	// Parallel computes the per-partition gradients of a step on separate
+	// goroutines. Results are bit-identical to the serial path (each
+	// partition writes its own slot); worth enabling for large models.
+	Parallel bool
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	// Run holds the per-step records.
+	Run trace.Run
+	// Params is the final parameter vector.
+	Params []float64
+	// Converged reports whether the loss threshold was reached before
+	// MaxSteps.
+	Converged bool
+	// StepsToThreshold is the 1-based step count at convergence
+	// (== Run.Steps() when Converged; MaxSteps otherwise).
+	StepsToThreshold int
+}
+
+// Train runs distributed SGD under the configured scheme and returns the
+// trace. The run is fully deterministic given Config.
+func Train(cfg Config) (*Result, error) {
+	if err := validate(&cfg); err != nil {
+		return nil, err
+	}
+	st := cfg.Strategy
+	n := st.N()
+
+	parts, err := cfg.Data.Partition(n)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	loaders := make([]*dataset.Loader, n)
+	for d := range loaders {
+		// The loader seed depends only on (run seed, partition): replicas
+		// of a partition on different workers share batches.
+		loaders[d], err = dataset.NewLoader(parts[d], cfg.BatchSize, cfg.Seed+int64(d)*7919)
+		if err != nil {
+			return nil, fmt.Errorf("engine: partition %d: %w", d, err)
+		}
+	}
+
+	sim, err := simclock.New(simclock.Config{
+		N:                   n,
+		ComputePerPartition: cfg.ComputePerPartition,
+		PartitionsPerWorker: st.C(),
+		Upload:              cfg.Upload,
+		Profile:             cfg.Profile,
+		ComputeFactors:      cfg.ComputeFactors,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+
+	params := cfg.Model.InitParams(cfg.Seed)
+	var velocity []float64 // lazily allocated momentum buffer
+	all := materialize(cfg.Data)
+	res := &Result{}
+	classifier, isClassifier := cfg.Model.(model.Classifier)
+	lastLoss := cfg.Model.Loss(params, all)
+	lastAcc := 0.0
+	if isClassifier {
+		lastAcc = model.Accuracy(classifier, params, all)
+	}
+	rigid := st.WaitFor(1) == st.WaitFor(n) // Sync-SGD / classic GC
+
+	for step := 0; step < cfg.MaxSteps; step++ {
+		// 1. Straggler simulation: who is available, and how long the
+		// master waited — fastest-w by default, optionally per-step
+		// adaptive w or a fixed deadline (Sec. IV policies).
+		times := sim.Step()
+		var avail *bitset.Set
+		var elapsed time.Duration
+		var err error
+		switch {
+		case cfg.Deadline > 0 && !rigid:
+			avail, elapsed = simclock.Deadline(times, cfg.Deadline)
+			if avail.Empty() {
+				avail, elapsed, err = simclock.FastestW(times, 1)
+			}
+		case cfg.WSchedule != nil:
+			avail, elapsed, err = simclock.FastestW(times, st.WaitFor(cfg.WSchedule(step)))
+		default:
+			avail, elapsed, err = simclock.FastestW(times, st.WaitFor(cfg.W))
+		}
+		if err != nil {
+			return nil, fmt.Errorf("engine: step %d: %w", step, err)
+		}
+
+		// 2. Per-partition mean gradients for this step's batches. Thanks
+		// to the controlled seeds, a partition's gradient is identical on
+		// every worker replicating it, so we compute each once.
+		grads := make([][]float64, n)
+		needed := make([]bool, n)
+		avail.Range(func(i int) bool {
+			for _, d := range st.Partitions(i) {
+				needed[d] = true
+			}
+			return true
+		})
+		if cfg.Parallel {
+			var wg sync.WaitGroup
+			for d := 0; d < n; d++ {
+				if !needed[d] {
+					continue
+				}
+				d := d
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					grads[d] = cfg.Model.Grad(params, loaders[d].Samples(step))
+				}()
+			}
+			wg.Wait()
+		} else {
+			for d := 0; d < n; d++ {
+				if needed[d] {
+					grads[d] = cfg.Model.Grad(params, loaders[d].Samples(step))
+				}
+			}
+		}
+
+		// 3. Worker-side encoding for available workers.
+		coded := make([][]float64, n)
+		var encodeErr error
+		avail.Range(func(i int) bool {
+			coded[i], encodeErr = st.Encode(i, grads)
+			return encodeErr == nil
+		})
+		if encodeErr != nil {
+			return nil, fmt.Errorf("engine: step %d: %w", step, encodeErr)
+		}
+
+		// 4. Master-side recovery and parameter update, normalized by the
+		// recovered-partition count for an unbiased mean-gradient
+		// estimate (Assumption 2).
+		ghat, recParts, err := st.Recover(avail, coded)
+		if err != nil {
+			return nil, fmt.Errorf("engine: step %d: %w", step, err)
+		}
+		recovered := len(recParts)
+		if recovered > 0 {
+			lr := cfg.LearningRate
+			if cfg.LRSchedule != nil {
+				factor := cfg.LRSchedule(step)
+				if factor <= 0 {
+					return nil, fmt.Errorf("engine: LRSchedule(%d) = %v, need > 0", step, factor)
+				}
+				lr *= factor
+			}
+			// ĝ_mean is the unbiased mean-gradient estimate.
+			inv := 1 / float64(recovered)
+			if cfg.Momentum > 0 || cfg.WeightDecay > 0 {
+				if velocity == nil {
+					velocity = make([]float64, len(params))
+				}
+				for j := range velocity {
+					g := ghat[j] * inv
+					if cfg.WeightDecay > 0 {
+						g += cfg.WeightDecay * params[j]
+					}
+					velocity[j] = cfg.Momentum*velocity[j] + g
+					params[j] -= lr * velocity[j]
+				}
+			} else {
+				linalg.AXPY(params, -lr*inv, ghat)
+			}
+		}
+
+		// 5. Bookkeeping.
+		if cfg.EvalEvery <= 1 || (step+1)%cfg.EvalEvery == 0 || step == cfg.MaxSteps-1 {
+			lastLoss = cfg.Model.Loss(params, all)
+			if isClassifier {
+				lastAcc = model.Accuracy(classifier, params, all)
+			}
+		}
+		res.Run.Append(trace.StepRecord{
+			Step:              step,
+			Available:         avail.Len(),
+			Chosen:            recovered / st.C(),
+			RecoveredFraction: float64(recovered) / float64(n),
+			Partitions:        recParts,
+			Loss:              lastLoss,
+			Accuracy:          lastAcc,
+			Elapsed:           elapsed,
+		})
+		if cfg.LossThreshold > 0 && lastLoss <= cfg.LossThreshold {
+			res.Converged = true
+			res.StepsToThreshold = step + 1
+			break
+		}
+	}
+	if !res.Converged {
+		res.StepsToThreshold = cfg.MaxSteps
+	}
+	res.Params = params
+	return res, nil
+}
+
+func validate(cfg *Config) error {
+	switch {
+	case cfg.Strategy == nil:
+		return fmt.Errorf("engine: nil strategy")
+	case cfg.Model == nil:
+		return fmt.Errorf("engine: nil model")
+	case cfg.Data == nil:
+		return fmt.Errorf("engine: nil dataset")
+	case cfg.BatchSize <= 0:
+		return fmt.Errorf("engine: need BatchSize > 0, got %d", cfg.BatchSize)
+	case cfg.LearningRate <= 0:
+		return fmt.Errorf("engine: need LearningRate > 0, got %v", cfg.LearningRate)
+	case cfg.Momentum < 0 || cfg.Momentum >= 1:
+		return fmt.Errorf("engine: need Momentum in [0, 1), got %v", cfg.Momentum)
+	case cfg.WeightDecay < 0:
+		return fmt.Errorf("engine: need WeightDecay ≥ 0, got %v", cfg.WeightDecay)
+	case cfg.MaxSteps <= 0:
+		return fmt.Errorf("engine: need MaxSteps > 0, got %d", cfg.MaxSteps)
+	}
+	return nil
+}
+
+func materialize(d *dataset.Dataset) []dataset.Sample {
+	out := make([]dataset.Sample, d.Len())
+	for i := range out {
+		out[i] = d.At(i)
+	}
+	return out
+}

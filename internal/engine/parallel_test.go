@@ -1,0 +1,48 @@
+package engine
+
+import (
+	"testing"
+
+	"isgc/internal/dataset"
+	"isgc/internal/model"
+	"isgc/internal/placement"
+)
+
+// The parallel gradient path must be bit-identical to the serial path:
+// every partition writes its own slot and float arithmetic per partition
+// is unchanged.
+func TestParallelMatchesSerial(t *testing.T) {
+	d, err := dataset.SyntheticClusters(240, 6, 3, 1.5, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(parallel bool) []float64 {
+		p, err := placement.CR(8, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := isgcStrategy(t, p, nil, 11)
+		res, err := Train(Config{
+			Strategy:     st,
+			Model:        model.MLP{Features: 6, Hidden: 8, Classes: 3},
+			Data:         d,
+			BatchSize:    8,
+			LearningRate: 0.1,
+			W:            5,
+			MaxSteps:     30,
+			Seed:         11,
+			Parallel:     parallel,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Params
+	}
+	serial := run(false)
+	par := run(true)
+	for j := range serial {
+		if serial[j] != par[j] {
+			t.Fatalf("param %d differs: serial %v vs parallel %v", j, serial[j], par[j])
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"isgc/internal/dataset"
+	"isgc/internal/isgc"
+	"isgc/internal/model"
+	"isgc/internal/placement"
+	"isgc/internal/straggler"
+)
+
+// Fig. 11-scale integration: 24 workers, 12 of them straggling with
+// exponential delays (mean 1.5 s), CR(24, 2), waiting for the 12 fastest —
+// the engine must train end-to-end at the paper's simulation scale, and
+// the mean step time must sit near the base compute time because the 12
+// non-straggling workers always win the race.
+func TestEngineAtFig11Scale(t *testing.T) {
+	const n = 24
+	d, err := dataset.SyntheticClusters(240, 6, 3, 2.0, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := placement.CR(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewISGC(isgc.New(p, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Train(Config{
+		Strategy:            st,
+		Model:               model.SoftmaxRegression{Features: 6, Classes: 3},
+		Data:                d,
+		BatchSize:           4,
+		LearningRate:        0.1,
+		W:                   12,
+		MaxSteps:            80,
+		ComputePerPartition: 50 * time.Millisecond,
+		Upload:              20 * time.Millisecond,
+		Profile:             straggler.PartialProfile(n, 12, straggler.Exponential{Mean: 1500 * time.Millisecond}, 7),
+		Seed:                31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Run.Steps() != 80 {
+		t.Fatalf("steps = %d", res.Run.Steps())
+	}
+	// Base time = 2·50 + 20 = 120 ms; the fastest 12 of 24 are exactly the
+	// non-straggling half, so every step should cost exactly 120 ms.
+	if mean := res.Run.MeanStepTime(); mean != 120*time.Millisecond {
+		t.Fatalf("mean step time %v, want 120ms", mean)
+	}
+	// With 12 consecutive available workers in CR(24,2), the decoder packs
+	// them at distance ≥ 2: recovery must be at least the Theorem 10 floor.
+	lo, _ := p.AlphaBounds(12)
+	for _, rec := range res.Run.Records {
+		if rec.Chosen < lo {
+			t.Fatalf("step %d chose %d workers, below floor %d", rec.Step, rec.Chosen, lo)
+		}
+	}
+	// Training must still make progress on 12-availability.
+	first, last := res.Run.Records[0].Loss, res.Run.FinalLoss()
+	if !(last < 0.6*first) {
+		t.Fatalf("loss %v → %v: no progress at scale", first, last)
+	}
+}
+
+// Bursty stragglers integrate with the engine: a two-state Markov fleet
+// still trains, and the step-time distribution shows both regimes.
+func TestEngineWithBurstyStragglers(t *testing.T) {
+	const n = 8
+	d, err := dataset.SyntheticClusters(240, 6, 3, 2.0, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := placement.CR(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewISGC(isgc.New(p, 33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := make([]straggler.Model, n)
+	for i := range models {
+		b, err := straggler.NewBursty(
+			straggler.None{},
+			straggler.Constant{D: 2 * time.Second},
+			0.05, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		models[i] = b
+	}
+	res, err := Train(Config{
+		Strategy:     st,
+		Model:        model.SoftmaxRegression{Features: 6, Classes: 3},
+		Data:         d,
+		BatchSize:    4,
+		LearningRate: 0.1,
+		// w=7 of 8: a step is slow whenever ≥2 workers are simultaneously
+		// in the slow Markov state (stationary P(slow) = 0.05/0.25 = 0.2,
+		// so P(≥2 of 8) ≈ 0.5 — both regimes appear over 120 steps).
+		W:                   7,
+		MaxSteps:            120,
+		ComputePerPartition: 10 * time.Millisecond,
+		Profile:             straggler.NewProfileFromModels(models, 9),
+		Seed:                33,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, slow := 0, 0
+	for _, rec := range res.Run.Records {
+		if rec.Elapsed < 100*time.Millisecond {
+			fast++
+		} else {
+			slow++
+		}
+	}
+	if fast == 0 || slow == 0 {
+		t.Fatalf("bursty fleet should produce both fast (%d) and slow (%d) steps", fast, slow)
+	}
+}

@@ -1,0 +1,70 @@
+package engine
+
+// W-schedule constructors for Config.WSchedule — the Sec. IV adaptive
+// policies as reusable, tested building blocks.
+
+// RampSchedule linearly ramps the wait count from `from` at step 0 to `to`
+// at step totalSteps-1 (inclusive), clamping beyond. from > to gives a
+// decreasing ramp. The paper's suggestion — "receive gradients from fewer
+// workers at the beginning … and then from more workers afterwards" — is
+// RampSchedule(1, n, maxSteps).
+func RampSchedule(from, to, totalSteps int) func(step int) int {
+	if totalSteps <= 1 {
+		return func(int) int { return to }
+	}
+	return func(step int) int {
+		if step <= 0 {
+			return from
+		}
+		if step >= totalSteps-1 {
+			return to
+		}
+		return from + (to-from)*step/(totalSteps-1)
+	}
+}
+
+// PhaseSchedule switches the wait count at fixed step boundaries:
+// boundaries[i] is the first step of phase i+1, ws[i] the wait count of
+// phase i (len(ws) == len(boundaries)+1). Boundaries must be strictly
+// increasing; the constructor panics otherwise, since schedules are
+// build-time configuration.
+func PhaseSchedule(ws []int, boundaries []int) func(step int) int {
+	if len(ws) != len(boundaries)+1 {
+		panic("engine: PhaseSchedule needs len(ws) == len(boundaries)+1")
+	}
+	for i := 1; i < len(boundaries); i++ {
+		if boundaries[i] <= boundaries[i-1] {
+			panic("engine: PhaseSchedule boundaries must be strictly increasing")
+		}
+	}
+	wsCopy := append([]int(nil), ws...)
+	bCopy := append([]int(nil), boundaries...)
+	return func(step int) int {
+		for i, b := range bCopy {
+			if step < b {
+				return wsCopy[i]
+			}
+		}
+		return wsCopy[len(wsCopy)-1]
+	}
+}
+
+// LossAwareSchedule returns a stateful schedule that starts at low and
+// jumps to high once the provided loss probe reports a value at or below
+// the trigger threshold — "fewer workers to save time, then more … until
+// convergence" driven by actual progress rather than a step count. The
+// probe is called once per step with the current step index and must
+// return the latest recorded loss (e.g. closing over a shared variable
+// the training loop updates). Once triggered, the schedule stays high.
+func LossAwareSchedule(low, high int, trigger float64, probe func(step int) float64) func(step int) int {
+	triggered := false
+	return func(step int) int {
+		if !triggered && probe(step) <= trigger {
+			triggered = true
+		}
+		if triggered {
+			return high
+		}
+		return low
+	}
+}

@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"testing"
+)
+
+func TestRampSchedule(t *testing.T) {
+	s := RampSchedule(1, 4, 10)
+	if s(0) != 1 {
+		t.Fatalf("s(0) = %d", s(0))
+	}
+	if s(9) != 4 {
+		t.Fatalf("s(9) = %d", s(9))
+	}
+	if s(-5) != 1 || s(100) != 4 {
+		t.Fatal("out-of-range steps must clamp")
+	}
+	prev := 0
+	for step := 0; step < 10; step++ {
+		v := s(step)
+		if v < prev {
+			t.Fatalf("ramp not monotone at step %d", step)
+		}
+		prev = v
+	}
+	// Decreasing ramp.
+	d := RampSchedule(4, 1, 4)
+	if d(0) != 4 || d(3) != 1 {
+		t.Fatalf("decreasing ramp wrong: %d..%d", d(0), d(3))
+	}
+	// Degenerate.
+	one := RampSchedule(2, 7, 1)
+	if one(0) != 7 {
+		t.Fatal("single-step ramp must return `to`")
+	}
+}
+
+func TestPhaseSchedule(t *testing.T) {
+	s := PhaseSchedule([]int{1, 2, 4}, []int{5, 12})
+	cases := []struct{ step, want int }{
+		{0, 1}, {4, 1}, {5, 2}, {11, 2}, {12, 4}, {100, 4},
+	}
+	for _, tc := range cases {
+		if got := s(tc.step); got != tc.want {
+			t.Errorf("s(%d) = %d, want %d", tc.step, got, tc.want)
+		}
+	}
+}
+
+func TestPhaseScheduleValidation(t *testing.T) {
+	assertPanics := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("length mismatch", func() { PhaseSchedule([]int{1, 2}, []int{3, 4}) })
+	assertPanics("non-increasing boundaries", func() { PhaseSchedule([]int{1, 2, 3}, []int{5, 5}) })
+}
+
+func TestPhaseScheduleCopiesInputs(t *testing.T) {
+	ws := []int{1, 3}
+	bounds := []int{5}
+	s := PhaseSchedule(ws, bounds)
+	ws[0] = 99
+	bounds[0] = 0
+	if s(0) != 1 || s(4) != 1 || s(5) != 3 {
+		t.Fatal("PhaseSchedule must copy its inputs")
+	}
+}
+
+func TestLossAwareSchedule(t *testing.T) {
+	losses := []float64{2.0, 1.5, 0.9, 1.2, 0.5}
+	s := LossAwareSchedule(1, 4, 1.0, func(step int) float64 { return losses[step] })
+	want := []int{1, 1, 4, 4, 4} // triggers at step 2, stays high
+	for step, w := range want {
+		if got := s(step); got != w {
+			t.Errorf("s(%d) = %d, want %d", step, got, w)
+		}
+	}
+}
+
+// The schedules plug into Train: a ramp must produce the expected
+// availability sequence end to end.
+func TestRampScheduleInTraining(t *testing.T) {
+	st, err := NewISSGD(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(t, st)
+	cfg.MaxSteps = 10
+	cfg.WSchedule = RampSchedule(1, 4, 10)
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Run.Records[0].Available != 1 {
+		t.Fatalf("step 0 available %d", res.Run.Records[0].Available)
+	}
+	if res.Run.Records[9].Available != 4 {
+		t.Fatalf("step 9 available %d", res.Run.Records[9].Available)
+	}
+}

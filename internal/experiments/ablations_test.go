@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGatherPoliciesShape(t *testing.T) {
+	cfg := DefaultAblations()
+	cfg.Trials = 2
+	cfg.MaxSteps = 40
+	rows, tab, err := GatherPolicies(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 policies", len(rows))
+	}
+	byName := map[string]GatherRow{}
+	for _, r := range rows {
+		byName[r.Policy] = r
+		if r.Recovered <= 0 || r.Recovered > 1 {
+			t.Errorf("%s: recovered %v out of range", r.Policy, r.Recovered)
+		}
+		if r.StepTime <= 0 {
+			t.Errorf("%s: non-positive step time", r.Policy)
+		}
+	}
+	// w=3 waits longer than w=2 and recovers more.
+	w2, w3 := byName["fixed w=2"], byName["fixed w=3"]
+	if !(w3.StepTime > w2.StepTime) {
+		t.Errorf("w=3 step time %v not > w=2 %v", w3.StepTime, w2.StepTime)
+	}
+	if !(w3.Recovered >= w2.Recovered) {
+		t.Errorf("w=3 recovery %v not ≥ w=2 %v", w3.Recovered, w2.Recovered)
+	}
+	// The adaptive ramp lands between the w=1-ish start and the w=n end.
+	ad := byName["adaptive w: 1→n"]
+	if !(ad.Recovered > 0.4 && ad.Recovered <= 1.0) {
+		t.Errorf("adaptive recovery %v implausible", ad.Recovered)
+	}
+	if !strings.Contains(tab.String(), "adaptive") {
+		t.Error("table missing adaptive row")
+	}
+}
+
+func TestGatherPoliciesInvalidConfig(t *testing.T) {
+	if _, _, err := GatherPolicies(AblationConfig{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// The paper's Fig. 12(a) footnote: an enduring straggler inflates w=2
+// recovery for IS-GC-FR well above the homogeneous expectation of 5/6.
+func TestEnduringStragglerInflatesRecovery(t *testing.T) {
+	cfg := DefaultAblations()
+	cfg.Trials = 3
+	cfg.MaxSteps = 80
+	cfg.DelayMean = 200 * time.Millisecond
+	rows, tab, err := EnduringStraggler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	hom, onePinned, crossPinned := rows[0].Recovered, rows[1].Recovered, rows[2].Recovered
+	// Homogeneous: E = 5/6 ≈ 0.833 (exact, see analysis tests).
+	if hom < 0.75 || hom > 0.92 {
+		t.Errorf("homogeneous recovery %v, want ≈0.83", hom)
+	}
+	// One pinned straggler leaves the expectation at 5/6: the pair comes
+	// from the other three workers and is same-group with prob 1/3.
+	if onePinned < 0.75 || onePinned > 0.92 {
+		t.Errorf("one-pinned recovery %v, want ≈0.83", onePinned)
+	}
+	// One pinned straggler per group: the persistent fast pair is
+	// cross-group, so recovery approaches the paper's 99.6%.
+	if crossPinned < 0.95 {
+		t.Errorf("cross-pinned recovery %v, want ≈1.0 (paper: 0.996)", crossPinned)
+	}
+	if !strings.Contains(tab.String(), "pinned") {
+		t.Error("table missing pinned row")
+	}
+}
+
+func TestDecoderQualityAblation(t *testing.T) {
+	rows, tab, err := DecoderQuality(12, 3, 400, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	single, paper := rows[0], rows[1]
+	// The paper's decoder is exactly optimal on every instance.
+	if paper.OptimalFraction != 1.0 || paper.MeanAlphaRatio != 1.0 {
+		t.Errorf("paper decoder not optimal: %+v", paper)
+	}
+	// The naive single-start walk must be strictly worse somewhere
+	// (Fig. 4(b)'s trap) but still maximal-quality.
+	if single.OptimalFraction >= 1.0 {
+		t.Errorf("single-start unexpectedly always optimal: %+v", single)
+	}
+	if single.MeanAlphaRatio < 0.5 {
+		t.Errorf("single-start ratio %v implausibly low", single.MeanAlphaRatio)
+	}
+	if !strings.Contains(tab.String(), "multi-start") {
+		t.Error("table missing decoder rows")
+	}
+}
+
+func TestDecoderQualityErrors(t *testing.T) {
+	if _, _, err := DecoderQuality(0, 2, 10, 1); err == nil {
+		t.Error("invalid placement must error")
+	}
+}
+
+func TestHeterogeneityStudy(t *testing.T) {
+	cfg := DefaultHeterogeneity()
+	cfg.Trials = 2
+	cfg.Steps = 50
+	rows, tab, err := Heterogeneity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(cfg.Ws) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byW := map[int]HeterogeneityRow{}
+	for _, r := range rows {
+		byW[r.W] = r
+		if r.Recovered <= 0 || r.Recovered > 1 {
+			t.Errorf("w=%d: recovered %v out of range", r.W, r.Recovered)
+		}
+	}
+	// At w = n the heterogeneous fleet pays the slowest worker's full 3x
+	// compute; with fastest-w (small w) the fast half hides most of it,
+	// so the *absolute* hetero-vs-homogeneous step-time penalty must grow
+	// with w.
+	gapSmall := byW[2].StepTime - byW[2].HomogeneousStepTime
+	gapFull := byW[8].StepTime - byW[8].HomogeneousStepTime
+	if !(gapFull > gapSmall) {
+		t.Errorf("full-wait hetero penalty %v not > fastest-2 penalty %v", gapFull, gapSmall)
+	}
+	if gapFull <= 0 {
+		t.Errorf("full-wait hetero penalty %v must be positive", gapFull)
+	}
+	// With w = n every partition joins every step.
+	if byW[8].SlowestInclusion != 1.0 {
+		t.Errorf("w=n slowest inclusion %v, want 1.0", byW[8].SlowestInclusion)
+	}
+	// With w = 2 the slowest worker rarely arrives itself, but its
+	// partitions can still join via replicas on faster workers — the
+	// IS-GC replication benefit. Inclusion must be strictly positive.
+	if byW[2].SlowestInclusion <= 0 {
+		t.Errorf("w=2 slowest inclusion %v, want > 0 via replicas", byW[2].SlowestInclusion)
+	}
+	if !strings.Contains(tab.String(), "slowest_partition_inclusion") {
+		t.Error("table header missing")
+	}
+}
+
+func TestHeterogeneityInvalidConfig(t *testing.T) {
+	if _, _, err := Heterogeneity(HeterogeneityConfig{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// The HR structure sweep covers the full valid (g, c1) space and respects
+// the Theorem 7 ordering within each group count: recovery is
+// non-decreasing in c1 for fixed g.
+func TestHRStructureSweep(t *testing.T) {
+	rows, tab, err := HRStructure(8, 4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("empty sweep")
+	}
+	// The CR anchor appears exactly once.
+	crCount := 0
+	for _, r := range rows {
+		if r.C1 == 0 {
+			crCount++
+		}
+		if r.ExpectedRecovery <= 0 || r.ExpectedRecovery > 1 {
+			t.Errorf("g=%d c1=%d: recovery %v out of range", r.G, r.C1, r.ExpectedRecovery)
+		}
+	}
+	if crCount != 1 {
+		t.Fatalf("CR anchor appears %d times, want once", crCount)
+	}
+	// Monotone in c1 for the Fig. 13 group count g=2.
+	prev := -1.0
+	for _, r := range rows {
+		if r.G != 2 {
+			continue
+		}
+		if r.ExpectedRecovery < prev-1e-12 {
+			t.Fatalf("g=2: recovery not monotone in c1 at c1=%d", r.C1)
+		}
+		prev = r.ExpectedRecovery
+	}
+	if tab.NumRows() != len(rows) {
+		t.Fatal("table row mismatch")
+	}
+	if _, _, err := HRStructure(0, 2, 1, 1); err == nil {
+		t.Error("invalid sweep must error")
+	}
+	if _, _, err := HRStructure(8, 4, 9, 1); err == nil {
+		t.Error("w > n must error")
+	}
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The paper's Sec. I motivating claim, quantified: with class-skewed
+// partitions and an enduring straggler on worker 0, IS-SGD almost never
+// trains on partition 0's class while IS-GC-FR keeps recovering it through
+// the group-mate replica — and ends at a visibly lower full-dataset loss.
+func TestBiasStudy(t *testing.T) {
+	cfg := DefaultBias()
+	cfg.Trials = 2
+	cfg.Steps = 120
+	rows, tab, err := Bias(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var isSGD, isGC *BiasRow
+	for i := range rows {
+		switch rows[i].Scheme {
+		case "IS-SGD":
+			isSGD = &rows[i]
+		case "IS-GC-FR":
+			isGC = &rows[i]
+		}
+	}
+	if isSGD == nil || isGC == nil {
+		t.Fatal("missing scheme rows")
+	}
+	// IS-SGD: partition 0 lives only on the pinned worker; with a 50x
+	// slowdown it virtually never joins ĝ.
+	if isSGD.Partition0Inclusion > 0.05 {
+		t.Errorf("IS-SGD partition-0 inclusion %v, want ≈0", isSGD.Partition0Inclusion)
+	}
+	// IS-GC-FR: worker 1 replicates partition 0 and is rarely slow, so
+	// the partition keeps contributing most steps.
+	if isGC.Partition0Inclusion < 0.5 {
+		t.Errorf("IS-GC-FR partition-0 inclusion %v, want well above IS-SGD", isGC.Partition0Inclusion)
+	}
+	if !(isGC.Partition0Inclusion > isSGD.Partition0Inclusion+0.4) {
+		t.Errorf("inclusion gap too small: IS-GC %v vs IS-SGD %v", isGC.Partition0Inclusion, isSGD.Partition0Inclusion)
+	}
+	// The bias shows up in the full-dataset loss: never training one class
+	// leaves IS-SGD strictly worse.
+	if !(isGC.FinalLoss < isSGD.FinalLoss) {
+		t.Errorf("IS-GC-FR final loss %v not < biased IS-SGD %v", isGC.FinalLoss, isSGD.FinalLoss)
+	}
+	if !strings.Contains(tab.String(), "partition0_inclusion") {
+		t.Error("table header missing")
+	}
+}
+
+func TestBiasInvalidConfig(t *testing.T) {
+	if _, _, err := Bias(BiasConfig{}); err == nil {
+		t.Fatal("expected error")
+	}
+}

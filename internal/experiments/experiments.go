@@ -1,0 +1,140 @@
+// Package experiments contains one runner per figure of the paper's
+// evaluation (Sec. VIII), plus the theory-bounds table. Each runner returns
+// structured rows (for tests and benchmarks) and a rendered table (for the
+// CLI). Defaults are sized to finish in seconds; the isgc-experiments CLI
+// exposes flags to scale them up.
+//
+// See DESIGN.md for the per-experiment index and EXPERIMENTS.md for the
+// paper-vs-measured comparison.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"isgc/internal/simclock"
+	"isgc/internal/straggler"
+	"isgc/internal/trace"
+)
+
+// Fig11Config parameterizes the step-time simulation of Fig. 11: training
+// "ResNet-18 on ImageNet" with n=24 workers where 12 or 24 workers are
+// slowed by exponential delays (mean 1.5 s in (a), 3 s in (b)).
+type Fig11Config struct {
+	// N is the worker count (paper: 24).
+	N int
+	// C is the partitions per worker for GC and IS-GC (paper: 2).
+	C int
+	// DelayMean is the exponential straggler mean (paper: 1.5s / 3s).
+	DelayMean time.Duration
+	// SlowCounts lists how many workers straggle (paper: 12 and 24).
+	SlowCounts []int
+	// Ws lists the fastest-w targets for IS-SGD and IS-GC.
+	Ws []int
+	// Compute is the per-partition gradient compute time (stands in for
+	// one ResNet-18 mini-batch on a P100).
+	Compute time.Duration
+	// Upload is the coded-gradient upload time.
+	Upload time.Duration
+	// Steps is the number of simulated steps per configuration.
+	Steps int
+	// Seed drives all sampling.
+	Seed int64
+}
+
+// DefaultFig11a returns the Fig. 11(a) configuration (delay mean 1.5 s).
+func DefaultFig11a() Fig11Config {
+	return Fig11Config{
+		N: 24, C: 2,
+		DelayMean:  1500 * time.Millisecond,
+		SlowCounts: []int{12, 24},
+		Ws:         []int{6, 12, 18},
+		Compute:    50 * time.Millisecond,
+		Upload:     20 * time.Millisecond,
+		Steps:      400,
+		Seed:       1,
+	}
+}
+
+// DefaultFig11b returns the Fig. 11(b) configuration (delay mean 3 s).
+func DefaultFig11b() Fig11Config {
+	cfg := DefaultFig11a()
+	cfg.DelayMean = 3 * time.Second
+	return cfg
+}
+
+// Fig11Row is one bar of Fig. 11: a scheme's average time per step under a
+// given number of straggling workers, plus the p95 tail (straggling is a
+// tail phenomenon; the mean alone undersells rigid schemes' pain).
+type Fig11Row struct {
+	Scheme    string
+	W         int // workers waited for (n for Sync, n-c+1 for GC)
+	SlowCount int
+	MeanStep  time.Duration
+	P95Step   time.Duration
+}
+
+// Fig11 simulates the average time per step of Sync-SGD, classic GC,
+// IS-SGD(w) and IS-GC(w) under partial-fleet exponential straggling.
+func Fig11(cfg Fig11Config) ([]Fig11Row, *trace.Table, error) {
+	if cfg.N <= 0 || cfg.C <= 0 || cfg.Steps <= 0 {
+		return nil, nil, fmt.Errorf("experiments: invalid Fig11 config %+v", cfg)
+	}
+	var rows []Fig11Row
+	seed := cfg.Seed
+	for _, slow := range cfg.SlowCounts {
+		type variant struct {
+			name string
+			c    int
+			wait int
+		}
+		variants := []variant{
+			{"Sync-SGD", 1, cfg.N},
+			{fmt.Sprintf("GC(c=%d)", cfg.C), cfg.C, cfg.N - cfg.C + 1},
+		}
+		for _, w := range cfg.Ws {
+			variants = append(variants,
+				variant{fmt.Sprintf("IS-SGD(w=%d)", w), 1, w},
+				variant{fmt.Sprintf("IS-GC(w=%d)", w), cfg.C, w},
+			)
+		}
+		for _, v := range variants {
+			seed++
+			prof := straggler.PartialProfile(cfg.N, slow, straggler.Exponential{Mean: cfg.DelayMean}, seed)
+			sim, err := simclock.New(simclock.Config{
+				N:                   cfg.N,
+				ComputePerPartition: cfg.Compute,
+				PartitionsPerWorker: v.c,
+				Upload:              cfg.Upload,
+				Profile:             prof,
+			})
+			if err != nil {
+				return nil, nil, fmt.Errorf("experiments: %w", err)
+			}
+			elapsedSecs := make([]float64, 0, cfg.Steps)
+			var total time.Duration
+			for s := 0; s < cfg.Steps; s++ {
+				_, elapsed, err := simclock.FastestW(sim.Step(), v.wait)
+				if err != nil {
+					return nil, nil, fmt.Errorf("experiments: %w", err)
+				}
+				total += elapsed
+				elapsedSecs = append(elapsedSecs, float64(elapsed))
+			}
+			rows = append(rows, Fig11Row{
+				Scheme:    v.name,
+				W:         v.wait,
+				SlowCount: slow,
+				MeanStep:  total / time.Duration(cfg.Steps),
+				P95Step:   time.Duration(trace.Percentile(elapsedSecs, 95)),
+			})
+		}
+	}
+	tab := trace.NewTable(
+		fmt.Sprintf("Fig. 11: avg time per step (n=%d, c=%d, exp delay mean %v)", cfg.N, cfg.C, cfg.DelayMean),
+		"stragglers", "scheme", "wait_w", "avg_step_time", "p95_step_time")
+	for _, r := range rows {
+		tab.AddRow(r.SlowCount, r.Scheme, r.W, r.MeanStep, r.P95Step)
+	}
+	return rows, tab, nil
+}

@@ -1,0 +1,246 @@
+// Package gc implements the classic gradient-coding baseline of Tandon et
+// al. (ICML 2017), which the paper compares IS-GC against (Sec. III and
+// Sec. VIII). In classic GC each worker uploads a fixed linear combination
+// b_i of the gradients of its c partitions; the master waits for any
+// w = n - s workers (s = c - 1 tolerable stragglers) and solves
+// aᵀ·B_{W'} = 1ᵀ for the decode coefficients a, recovering the exact full
+// gradient g = Σ_i g_i. With more than c-1 stragglers classic GC recovers
+// nothing — the rigidity IS-GC removes.
+package gc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"isgc/internal/bitset"
+	"isgc/internal/linalg"
+	"isgc/internal/placement"
+)
+
+// Code is a classic gradient code: a placement plus the n×n encoding matrix
+// B whose row i gives worker i's coefficients over the n partitions
+// (zero outside the worker's partition support).
+type Code struct {
+	p *placement.Placement
+	b *linalg.Matrix
+}
+
+// NewFR constructs the classic FR gradient code: every worker sums its
+// partitions with all-ones coefficients. Any n-c+1 workers include at least
+// one complete worker per group, so picking one per group with coefficient
+// 1 recovers g exactly.
+func NewFR(n, c int) (*Code, error) {
+	p, err := placement.FR(n, c)
+	if err != nil {
+		return nil, fmt.Errorf("gc: %w", err)
+	}
+	b := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for _, d := range p.Partitions(i) {
+			b.Set(i, d, 1)
+		}
+	}
+	return &Code{p: p, b: b}, nil
+}
+
+// NewCR constructs the classic CR gradient code with cyclic support
+// {i, …, i+c-1} mod n, following the randomized construction of Tandon et
+// al.: draw an (s)×n matrix H (s = c-1) with i.i.d. Gaussian entries whose
+// columns sum to zero and any s columns are linearly independent (holds
+// with probability 1; we verify and redraw on the measure-zero failure).
+// Row i of B is then chosen with b_i(i) = 1 and the remaining s support
+// coefficients solving H_{S_i\{i\}}·x = −H_i, which guarantees that for
+// every (n-s)-subset W' the all-ones vector lies in the row span of B_{W'}.
+func NewCR(n, c int, seed int64) (*Code, error) {
+	p, err := placement.CR(n, c)
+	if err != nil {
+		return nil, fmt.Errorf("gc: %w", err)
+	}
+	s := c - 1
+	b := linalg.NewMatrix(n, n)
+	if s == 0 {
+		// c = 1: plain synchronous SGD, B = I.
+		for i := 0; i < n; i++ {
+			b.Set(i, i, 1)
+		}
+		return &Code{p: p, b: b}, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const maxDraws = 32
+	for draw := 0; draw < maxDraws; draw++ {
+		h, ok := drawH(rng, s, n)
+		if !ok {
+			continue
+		}
+		if bm, ok := buildB(p, h, n, c); ok {
+			return &Code{p: p, b: bm}, nil
+		}
+	}
+	return nil, fmt.Errorf("gc: failed to construct CR code for n=%d c=%d after %d draws", n, c, maxDraws)
+}
+
+// drawH samples an s×n Gaussian matrix and projects its columns so they sum
+// to zero (subtract the row means); it reports ok=false if some s-column
+// submatrix needed later could be singular — full verification happens in
+// buildB, so here we only reject degenerate all-zero draws.
+func drawH(rng *rand.Rand, s, n int) (*linalg.Matrix, bool) {
+	h := linalg.NewMatrix(s, n)
+	for i := range h.Data {
+		h.Data[i] = rng.NormFloat64()
+	}
+	for r := 0; r < s; r++ {
+		row := h.Row(r)
+		mean := 0.0
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(n)
+		for j := range row {
+			row[j] -= mean
+		}
+	}
+	return h, true
+}
+
+// buildB computes each row of B from H. Row i has support
+// S_i = {i, …, i+c-1} mod n with b_i(i) = 1; the other coefficients x solve
+// H_cols(S_i \ {i}) · x = -H_col(i).
+func buildB(p *placement.Placement, h *linalg.Matrix, n, c int) (*linalg.Matrix, bool) {
+	s := c - 1
+	b := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		support := p.Partitions(i) // sorted; includes i
+		sub := linalg.NewMatrix(s, s)
+		rhs := make([]float64, s)
+		colIdx := make([]int, 0, s)
+		for _, d := range support {
+			if d != i {
+				colIdx = append(colIdx, d)
+			}
+		}
+		for r := 0; r < s; r++ {
+			for k, d := range colIdx {
+				sub.Set(r, k, h.At(r, d))
+			}
+			rhs[r] = -h.At(r, i)
+		}
+		x, err := linalg.Solve(sub, rhs)
+		if err != nil {
+			return nil, false
+		}
+		b.Set(i, i, 1)
+		for k, d := range colIdx {
+			b.Set(i, d, x[k])
+		}
+	}
+	return b, true
+}
+
+// Placement returns the underlying placement.
+func (g *Code) Placement() *placement.Placement { return g.p }
+
+// B returns the encoding matrix (shared; callers must not mutate).
+func (g *Code) B() *linalg.Matrix { return g.b }
+
+// MinWorkers returns the minimum number of workers classic GC needs for a
+// full recovery: n - (c-1).
+func (g *Code) MinWorkers() int { return g.p.N() - g.p.C() + 1 }
+
+// Encode computes worker i's coded gradient Σ_d B[i,d]·grads[d]; grads must
+// hold all n per-partition gradients (only the worker's support is read).
+func (g *Code) Encode(worker int, grads [][]float64) ([]float64, error) {
+	n := g.p.N()
+	if worker < 0 || worker >= n {
+		return nil, fmt.Errorf("gc: worker %d out of range [0,%d)", worker, n)
+	}
+	if len(grads) != n {
+		return nil, fmt.Errorf("gc: got %d partition gradients, want %d", len(grads), n)
+	}
+	parts := g.p.Partitions(worker)
+	dim := len(grads[parts[0]])
+	out := make([]float64, dim)
+	for _, d := range parts {
+		if len(grads[d]) != dim {
+			return nil, fmt.Errorf("gc: partition %d gradient dim %d ≠ %d", d, len(grads[d]), dim)
+		}
+		linalg.AXPY(out, g.b.At(worker, d), grads[d])
+	}
+	return out, nil
+}
+
+// DecodeCoefficients returns the decode vector a (indexed like workers,
+// zero for workers outside W') such that Σ_{i∈W'} a_i·B_i = 1ᵀ, or an error
+// if W' has fewer than MinWorkers workers or the solve fails.
+func (g *Code) DecodeCoefficients(available *bitset.Set) ([]float64, error) {
+	n := g.p.N()
+	workers := make([]int, 0, n)
+	if available != nil {
+		available.Range(func(v int) bool {
+			if v < n {
+				workers = append(workers, v)
+			}
+			return true
+		})
+	}
+	if len(workers) < g.MinWorkers() {
+		return nil, fmt.Errorf("gc: only %d workers available, classic GC needs ≥ %d (s ≤ c-1 = %d stragglers)",
+			len(workers), g.MinWorkers(), g.p.C()-1)
+	}
+	// Solve Bᵀ_{W'} · a = 1: rows of B_{W'} span 1ᵀ by construction, but
+	// the system is usually rank-deficient (FR repeats rows; w may exceed
+	// the minimum), so we need a particular solution, not least squares.
+	sub, err := g.b.SelectRows(workers)
+	if err != nil {
+		return nil, err
+	}
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	a, err := linalg.SolveAny(sub.T(), ones)
+	if err != nil {
+		return nil, fmt.Errorf("gc: decode solve: %w", err)
+	}
+	// Verify aᵀ·B_{W'} = 1ᵀ.
+	recon, err := sub.VecMat(a)
+	if err != nil {
+		return nil, err
+	}
+	if linalg.MaxAbsDiff(recon, ones) > 1e-6 {
+		return nil, fmt.Errorf("gc: decode verification failed: max residual %g", linalg.MaxAbsDiff(recon, ones))
+	}
+	full := make([]float64, n)
+	for k, w := range workers {
+		full[w] = a[k]
+	}
+	return full, nil
+}
+
+// Decode recovers the full gradient g = Σ_i g_i from the coded gradients of
+// the available workers. coded[i] may be nil for stragglers.
+func (g *Code) Decode(available *bitset.Set, coded [][]float64) ([]float64, error) {
+	a, err := g.DecodeCoefficients(available)
+	if err != nil {
+		return nil, err
+	}
+	var out []float64
+	for i, ai := range a {
+		if ai == 0 && !available.Contains(i) {
+			continue
+		}
+		if coded[i] == nil {
+			if ai == 0 {
+				continue
+			}
+			return nil, fmt.Errorf("gc: worker %d needed for decode but has no coded gradient", i)
+		}
+		if out == nil {
+			out = make([]float64, len(coded[i]))
+		}
+		if len(coded[i]) != len(out) {
+			return nil, fmt.Errorf("gc: worker %d coded gradient dim %d ≠ %d", i, len(coded[i]), len(out))
+		}
+		linalg.AXPY(out, ai, coded[i])
+	}
+	return out, nil
+}

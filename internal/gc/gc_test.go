@@ -1,0 +1,297 @@
+package gc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"isgc/internal/bitset"
+	"isgc/internal/linalg"
+)
+
+// subsets of size k from 0..n-1, passed to fn.
+func forEachSubset(n, k int, fn func([]int)) {
+	idx := make([]int, k)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == k {
+			fn(idx)
+			return
+		}
+		for v := start; v <= n-(k-depth); v++ {
+			idx[depth] = v
+			rec(v+1, depth+1)
+		}
+	}
+	rec(0, 0)
+}
+
+func randomGrads(rng *rand.Rand, n, dim int) [][]float64 {
+	grads := make([][]float64, n)
+	for d := range grads {
+		grads[d] = make([]float64, dim)
+		for k := range grads[d] {
+			grads[d][k] = rng.NormFloat64()
+		}
+	}
+	return grads
+}
+
+func fullSum(grads [][]float64) []float64 {
+	out := make([]float64, len(grads[0]))
+	for _, g := range grads {
+		linalg.AddTo(out, g)
+	}
+	return out
+}
+
+func TestFRBIsZeroOneOnSupport(t *testing.T) {
+	code, err := NewFR(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := code.B()
+	for i := 0; i < 6; i++ {
+		support := map[int]bool{}
+		for _, d := range code.Placement().Partitions(i) {
+			support[d] = true
+		}
+		for j := 0; j < 6; j++ {
+			want := 0.0
+			if support[j] {
+				want = 1.0
+			}
+			if b.At(i, j) != want {
+				t.Fatalf("B[%d,%d] = %v, want %v", i, j, b.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestCRBSupportIsCyclic(t *testing.T) {
+	code, err := NewCR(6, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := code.B()
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			onSupport := false
+			for r := 0; r < 3; r++ {
+				if (i+r)%6 == j {
+					onSupport = true
+				}
+			}
+			if !onSupport && b.At(i, j) != 0 {
+				t.Fatalf("B[%d,%d] = %v off support", i, j, b.At(i, j))
+			}
+		}
+		if b.At(i, i) != 1 {
+			t.Fatalf("B[%d,%d] = %v, want 1", i, i, b.At(i, i))
+		}
+	}
+}
+
+// The defining property of classic GC: every (n-s)-subset of workers can
+// decode the exact full gradient. Exhaustively checked for small n.
+func TestFullRecoveryAllSubsetsFR(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, tc := range []struct{ n, c int }{{4, 2}, {6, 2}, {6, 3}, {8, 4}} {
+		code, err := NewFR(tc.n, tc.c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grads := randomGrads(rng, tc.n, 4)
+		want := fullSum(grads)
+		coded := make([][]float64, tc.n)
+		for i := range coded {
+			coded[i], err = code.Encode(i, grads)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		w := code.MinWorkers()
+		forEachSubset(tc.n, w, func(workers []int) {
+			avail := bitset.FromSlice(workers)
+			got, err := code.Decode(avail, coded)
+			if err != nil {
+				t.Fatalf("FR(%d,%d) W'=%v: %v", tc.n, tc.c, workers, err)
+			}
+			if linalg.MaxAbsDiff(got, want) > 1e-8 {
+				t.Fatalf("FR(%d,%d) W'=%v: wrong recovery", tc.n, tc.c, workers)
+			}
+		})
+	}
+}
+
+func TestFullRecoveryAllSubsetsCR(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, tc := range []struct{ n, c int }{{4, 2}, {5, 2}, {6, 3}, {7, 3}, {8, 4}, {5, 5}} {
+		code, err := NewCR(tc.n, tc.c, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grads := randomGrads(rng, tc.n, 4)
+		want := fullSum(grads)
+		coded := make([][]float64, tc.n)
+		for i := range coded {
+			coded[i], err = code.Encode(i, grads)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		w := code.MinWorkers()
+		forEachSubset(tc.n, w, func(workers []int) {
+			avail := bitset.FromSlice(workers)
+			got, err := code.Decode(avail, coded)
+			if err != nil {
+				t.Fatalf("CR(%d,%d) W'=%v: %v", tc.n, tc.c, workers, err)
+			}
+			if linalg.MaxAbsDiff(got, want) > 1e-6 {
+				t.Fatalf("CR(%d,%d) W'=%v: wrong recovery (diff %g)", tc.n, tc.c, workers, linalg.MaxAbsDiff(got, want))
+			}
+		})
+	}
+}
+
+// More stragglers than s = c-1: classic GC must refuse (this is exactly the
+// rigidity IS-GC removes — Fig. 1(d) vs Fig. 1(b)).
+func TestDecodeFailsWithTooFewWorkers(t *testing.T) {
+	code, err := NewCR(4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coded := make([][]float64, 4)
+	if _, err := code.Decode(bitset.FromSlice([]int{1, 3}), coded); err == nil {
+		t.Fatal("classic GC must fail with 2 stragglers when s=1")
+	}
+	if _, err := code.DecodeCoefficients(bitset.New(4)); err == nil {
+		t.Fatal("classic GC must fail with no workers")
+	}
+	if _, err := code.DecodeCoefficients(nil); err == nil {
+		t.Fatal("classic GC must fail with nil availability")
+	}
+}
+
+func TestCEquals1IsSyncSGD(t *testing.T) {
+	code, err := NewCR(4, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code.MinWorkers() != 4 {
+		t.Fatalf("MinWorkers = %d, want 4 (no straggler tolerance)", code.MinWorkers())
+	}
+	rng := rand.New(rand.NewSource(4))
+	grads := randomGrads(rng, 4, 3)
+	coded := make([][]float64, 4)
+	for i := range coded {
+		coded[i], err = code.Encode(i, grads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if linalg.MaxAbsDiff(coded[i], grads[i]) != 0 {
+			t.Fatal("with c=1 the coded gradient is the plain gradient")
+		}
+	}
+	all := bitset.FromSlice([]int{0, 1, 2, 3})
+	got, err := code.Decode(all, coded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if linalg.MaxAbsDiff(got, fullSum(grads)) > 1e-9 {
+		t.Fatal("c=1 decode must equal the plain sum")
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	code, err := NewCR(4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := code.Encode(-1, make([][]float64, 4)); err == nil {
+		t.Error("expected error for negative worker")
+	}
+	if _, err := code.Encode(0, make([][]float64, 3)); err == nil {
+		t.Error("expected error for wrong grad count")
+	}
+	grads := [][]float64{{1, 2}, {3}, {4, 5}, {6, 7}}
+	if _, err := code.Encode(0, grads); err == nil {
+		t.Error("expected error for dim mismatch within support")
+	}
+}
+
+func TestDecodeMissingCodedGradient(t *testing.T) {
+	code, err := NewCR(4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	grads := randomGrads(rng, 4, 3)
+	coded := make([][]float64, 4)
+	for i := 0; i < 2; i++ {
+		coded[i], err = code.Encode(i, grads)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// W' = {0,1,2} is the minimum decode set and only worker 2 covers
+	// partition 3, so its coefficient is necessarily nonzero — a nil coded
+	// gradient there must surface as an error.
+	avail := bitset.FromSlice([]int{0, 1, 2})
+	if _, err := code.Decode(avail, coded); err == nil {
+		t.Fatal("expected error for nil coded gradient of needed worker")
+	}
+}
+
+func TestConstructorErrors(t *testing.T) {
+	if _, err := NewFR(5, 2); err == nil {
+		t.Error("NewFR must propagate c∤n error")
+	}
+	if _, err := NewCR(4, 5, 1); err == nil {
+		t.Error("NewCR must propagate c>n error")
+	}
+	if _, err := NewFR(0, 1); err == nil {
+		t.Error("NewFR must reject n=0")
+	}
+}
+
+// Determinism: same seed ⇒ identical B.
+func TestNewCRDeterministicUnderSeed(t *testing.T) {
+	a, err := NewCR(6, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewCR(6, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if linalg.MaxAbsDiff(a.B().Data, b.B().Data) != 0 {
+		t.Fatal("same seed must give same code")
+	}
+}
+
+// Every row of B must combine to 1ᵀ over the full worker set too
+// (w = n is a valid, straggler-free decode).
+func TestDecodeWithAllWorkers(t *testing.T) {
+	code, err := NewCR(8, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := bitset.New(8)
+	for i := 0; i < 8; i++ {
+		all.Add(i)
+	}
+	a, err := code.DecodeCoefficients(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon, err := code.B().VecMat(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range recon {
+		if math.Abs(v-1) > 1e-6 {
+			t.Fatalf("aᵀB = %v, want all ones", recon)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package gc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"isgc/internal/bitset"
+	"isgc/internal/linalg"
+)
+
+// Property: for random (n, c) and random (≥ MinWorkers)-subsets, classic
+// CR gradient coding recovers the exact full gradient.
+func TestQuickCRFullRecoveryRandomSubsets(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		c := 1 + rng.Intn(n)
+		code, err := NewCR(n, c, rng.Int63())
+		if err != nil {
+			return false
+		}
+		grads := randomGrads(rng, n, 3)
+		want := fullSum(grads)
+		coded := make([][]float64, n)
+		for i := range coded {
+			coded[i], err = code.Encode(i, grads)
+			if err != nil {
+				return false
+			}
+		}
+		// Random subset of size between MinWorkers and n.
+		w := code.MinWorkers() + rng.Intn(n-code.MinWorkers()+1)
+		avail := bitset.FromSlice(rng.Perm(n)[:w])
+		got, err := code.Decode(avail, coded)
+		if err != nil {
+			return false
+		}
+		return linalg.MaxAbsDiff(got, want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the decode coefficients reconstruct exactly the all-ones row
+// vector over the partitions (aᵀB_{W'} = 1ᵀ) — the defining identity.
+func TestQuickDecodeCoefficientsIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(6)
+		c := 2 + rng.Intn(n-1)
+		code, err := NewCR(n, c, rng.Int63())
+		if err != nil {
+			return false
+		}
+		w := code.MinWorkers() + rng.Intn(n-code.MinWorkers()+1)
+		avail := bitset.FromSlice(rng.Perm(n)[:w])
+		a, err := code.DecodeCoefficients(avail)
+		if err != nil {
+			return false
+		}
+		// Workers outside W' must have zero coefficients.
+		for i, ai := range a {
+			if !avail.Contains(i) && ai != 0 {
+				return false
+			}
+		}
+		recon, err := code.B().VecMat(a)
+		if err != nil {
+			return false
+		}
+		for _, v := range recon {
+			if v < 1-1e-6 || v > 1+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FR and CR codes never succeed below MinWorkers.
+func TestQuickDecodeRefusesBelowThreshold(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(6)
+		c := 2 + rng.Intn(n/2)
+		var code *Code
+		var err error
+		if n%c == 0 && rng.Intn(2) == 0 {
+			code, err = NewFR(n, c)
+		} else {
+			code, err = NewCR(n, c, rng.Int63())
+		}
+		if err != nil {
+			return false
+		}
+		w := rng.Intn(code.MinWorkers()) // strictly below threshold
+		avail := bitset.FromSlice(rng.Perm(n)[:w])
+		_, err = code.DecodeCoefficients(avail)
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,432 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"isgc/internal/bitset"
+)
+
+func allVertices(n int) *bitset.Set {
+	s := bitset.New(n)
+	for i := 0; i < n; i++ {
+		s.Add(i)
+	}
+	return s
+}
+
+func randomGraph(rng *rand.Rand, n int, p float64) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0) // duplicate, must be idempotent
+	g.AddEdge(2, 2) // self-loop ignored
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge (0,1) missing or not symmetric")
+	}
+	if g.HasEdge(2, 2) {
+		t.Fatal("self-loop must be ignored")
+	}
+	if g.EdgeCount() != 1 {
+		t.Fatalf("EdgeCount = %d, want 1", g.EdgeCount())
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 0 {
+		t.Fatal("wrong degrees")
+	}
+}
+
+func TestVertexRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range vertex")
+		}
+	}()
+	New(3).AddEdge(0, 3)
+}
+
+func TestEdgesListing(t *testing.T) {
+	g := New(4)
+	g.AddEdge(3, 1)
+	g.AddEdge(0, 2)
+	edges := g.Edges()
+	if len(edges) != 2 {
+		t.Fatalf("Edges len = %d, want 2", len(edges))
+	}
+	for _, e := range edges {
+		if e[0] >= e[1] {
+			t.Fatalf("edge %v not ordered u<v", e)
+		}
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomGraph(rng, 12, 0.4)
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone not equal to original")
+	}
+	c.AddEdge(0, 11)
+	if g.HasEdge(0, 11) && !c.HasEdge(0, 11) {
+		t.Fatal("clone mutation leaked")
+	}
+}
+
+func TestSubgraphOf(t *testing.T) {
+	small := New(5)
+	small.AddEdge(0, 1)
+	big := small.Clone()
+	big.AddEdge(2, 3)
+	if !small.SubgraphOf(big) {
+		t.Fatal("small ⊆ big expected")
+	}
+	if big.SubgraphOf(small) {
+		t.Fatal("big ⊄ small expected")
+	}
+	if small.SubgraphOf(New(4)) {
+		t.Fatal("different vertex counts must not be subgraphs")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	keep := bitset.FromSlice([]int{0, 1, 3})
+	ind := g.Induced(keep)
+	if !ind.HasEdge(0, 1) {
+		t.Fatal("edge (0,1) must survive induction")
+	}
+	if ind.HasEdge(1, 2) || ind.HasEdge(3, 4) {
+		t.Fatal("edges to excluded vertices must not survive")
+	}
+	if ind.EdgeCount() != 1 {
+		t.Fatalf("induced EdgeCount = %d, want 1", ind.EdgeCount())
+	}
+}
+
+func TestIsIndependent(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	if !g.IsIndependent(bitset.FromSlice([]int{0, 2, 3})) {
+		t.Fatal("{0,2,3} should be independent")
+	}
+	if g.IsIndependent(bitset.FromSlice([]int{0, 1})) {
+		t.Fatal("{0,1} should not be independent")
+	}
+	if g.IsIndependent(bitset.FromSlice([]int{5})) {
+		t.Fatal("sets with out-of-range vertices are not independent sets of g")
+	}
+}
+
+func TestIsMaximalIndependent(t *testing.T) {
+	g := New(4) // path 0-1-2-3
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	all := allVertices(4)
+	if !g.IsMaximalIndependent(bitset.FromSlice([]int{0, 2}), all) {
+		t.Fatal("{0,2} should be maximal")
+	}
+	if g.IsMaximalIndependent(bitset.FromSlice([]int{0}), all) {
+		t.Fatal("{0} is not maximal: 2 or 3 can be added")
+	}
+	if g.IsMaximalIndependent(bitset.FromSlice([]int{0, 1}), all) {
+		t.Fatal("a dependent set is never maximal independent")
+	}
+}
+
+func TestComplement(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	c := g.Complement()
+	if c.HasEdge(0, 1) || !c.HasEdge(0, 2) || !c.HasEdge(1, 2) {
+		t.Fatal("wrong complement")
+	}
+	if got := g.EdgeCount() + c.EdgeCount(); got != 3 {
+		t.Fatalf("edge counts must sum to C(3,2)=3, got %d", got)
+	}
+}
+
+func TestCirculant(t *testing.T) {
+	// C_6^{1,2}: each vertex adjacent to ±1, ±2.
+	g := CirculantRange(6, 2)
+	for u := 0; u < 6; u++ {
+		if g.Degree(u) != 4 {
+			t.Fatalf("degree(%d) = %d, want 4", u, g.Degree(u))
+		}
+	}
+	if !g.HasEdge(0, 2) || g.HasEdge(0, 3) {
+		t.Fatal("wrong circulant adjacency")
+	}
+	// Offsets outside (0, n) are ignored.
+	g2 := Circulant(4, []int{0, 4, 7, 1})
+	if g2.EdgeCount() != 4 {
+		t.Fatalf("C_4^{1} EdgeCount = %d, want 4", g2.EdgeCount())
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g := Complete(5)
+	if g.EdgeCount() != 10 {
+		t.Fatalf("K_5 EdgeCount = %d, want 10", g.EdgeCount())
+	}
+}
+
+func TestIsClawFree(t *testing.T) {
+	// The claw K_{1,3} itself.
+	claw := New(4)
+	claw.AddEdge(0, 1)
+	claw.AddEdge(0, 2)
+	claw.AddEdge(0, 3)
+	if claw.IsClawFree() {
+		t.Fatal("K_{1,3} must be detected as a claw")
+	}
+	// Complete graphs and cycles are claw-free.
+	if !Complete(5).IsClawFree() {
+		t.Error("K_5 is claw-free")
+	}
+	if !CirculantRange(7, 1).IsClawFree() {
+		t.Error("C_7 is claw-free")
+	}
+	// A claw embedded in a larger graph.
+	g := New(6)
+	g.AddEdge(2, 1)
+	g.AddEdge(2, 3)
+	g.AddEdge(2, 5)
+	g.AddEdge(0, 1)
+	if g.IsClawFree() {
+		t.Fatal("embedded claw not found")
+	}
+	// Edgeless graphs are trivially claw-free.
+	if !New(4).IsClawFree() {
+		t.Error("edgeless graph is claw-free")
+	}
+}
+
+// Sec. V-A connection: circulant graphs C_n^{1..k} (the CR conflict
+// graphs by Theorem 1) are claw-free — the structural reason the paper
+// can cite polynomial-time claw-free MIS algorithms as a fallback.
+func TestCirculantRangeIsClawFree(t *testing.T) {
+	for n := 3; n <= 16; n++ {
+		for k := 1; k < n; k++ {
+			if !CirculantRange(n, k).IsClawFree() {
+				t.Errorf("C_%d^{1..%d} should be claw-free", n, k)
+			}
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	// Two triangles plus an isolated vertex.
+	g := New(7)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 5)
+	g.AddEdge(3, 5)
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("components = %v, want 3", comps)
+	}
+	want := [][]int{{0, 1, 2}, {3, 4, 5}, {6}}
+	for i, w := range want {
+		if len(comps[i]) != len(w) {
+			t.Fatalf("component %d = %v, want %v", i, comps[i], w)
+		}
+		for j := range w {
+			if comps[i][j] != w[j] {
+				t.Fatalf("component %d = %v, want %v", i, comps[i], w)
+			}
+		}
+	}
+	// Vertices are covered exactly once.
+	total := 0
+	for _, c := range comps {
+		total += len(c)
+	}
+	if total != 7 {
+		t.Fatalf("components cover %d vertices, want 7", total)
+	}
+}
+
+func TestComponentsStructuralFacts(t *testing.T) {
+	// FR-style disjoint cliques: k groups of size c ⇒ k components.
+	for _, tc := range []struct{ k, c int }{{2, 2}, {3, 3}, {4, 2}} {
+		g := New(tc.k * tc.c)
+		for grp := 0; grp < tc.k; grp++ {
+			for u := grp * tc.c; u < (grp+1)*tc.c; u++ {
+				for v := u + 1; v < (grp+1)*tc.c; v++ {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		if got := len(g.Components()); got != tc.k {
+			t.Errorf("k=%d c=%d: %d components, want %d", tc.k, tc.c, got, tc.k)
+		}
+	}
+	// Circulant with c ≥ 2 (distance-1 edges present) is connected.
+	if got := len(CirculantRange(9, 2).Components()); got != 1 {
+		t.Errorf("C_9^{1,2} has %d components, want 1", got)
+	}
+}
+
+func TestCircDist(t *testing.T) {
+	cases := []struct{ x, y, n, want int }{
+		{0, 0, 5, 0},
+		{0, 1, 5, 1},
+		{0, 4, 5, 1},
+		{0, 2, 5, 2},
+		{1, 7, 8, 2},
+		{3, 3, 8, 0},
+	}
+	for _, c := range cases {
+		if got := CircDist(c.x, c.y, c.n); got != c.want {
+			t.Errorf("CircDist(%d,%d,%d) = %d, want %d", c.x, c.y, c.n, got, c.want)
+		}
+		if got := CircDist(c.y, c.x, c.n); got != c.want {
+			t.Errorf("CircDist symmetric (%d,%d,%d) = %d, want %d", c.y, c.x, c.n, got, c.want)
+		}
+	}
+}
+
+func bruteForceAlpha(g *Graph, avail *bitset.Set) int {
+	vs := avail.Slice()
+	best := 0
+	for mask := 0; mask < 1<<len(vs); mask++ {
+		set := bitset.New(g.N())
+		for i, v := range vs {
+			if mask&(1<<i) != 0 {
+				set.Add(v)
+			}
+		}
+		if g.IsIndependent(set) && set.Len() > best {
+			best = set.Len()
+		}
+	}
+	return best
+}
+
+func TestMISAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(10)
+		g := randomGraph(rng, n, 0.35)
+		avail := bitset.New(n)
+		for v := 0; v < n; v++ {
+			if rng.Float64() < 0.8 {
+				avail.Add(v)
+			}
+		}
+		got := MaxIndependentSet(g, avail)
+		if !got.SubsetOf(avail) {
+			t.Fatalf("MIS %v not within availability %v", got, avail)
+		}
+		if !g.IsIndependent(got) {
+			t.Fatalf("MIS %v not independent", got)
+		}
+		want := bruteForceAlpha(g, avail)
+		if got.Len() != want {
+			t.Fatalf("n=%d trial=%d: MIS size %d, brute force %d", n, trial, got.Len(), want)
+		}
+	}
+}
+
+func TestMISNilAvailability(t *testing.T) {
+	g := Complete(4)
+	if got := IndependenceNumber(g, nil); got != 1 {
+		t.Fatalf("α(K_4) = %d, want 1", got)
+	}
+	if got := IndependenceNumber(New(4), nil); got != 4 {
+		t.Fatalf("α(edgeless) = %d, want 4", got)
+	}
+}
+
+func TestMISKnownGraphs(t *testing.T) {
+	// α(C_n cycle) = floor(n/2).
+	for n := 3; n <= 9; n++ {
+		g := CirculantRange(n, 1)
+		if got := IndependenceNumber(g, nil); got != n/2 {
+			t.Errorf("α(C_%d) = %d, want %d", n, got, n/2)
+		}
+	}
+	// α(C_n^{1..c-1}) = floor(n/c): circle packing with separation c.
+	for _, tc := range []struct{ n, c int }{{6, 2}, {8, 3}, {10, 4}, {12, 5}, {7, 3}} {
+		g := CirculantRange(tc.n, tc.c-1)
+		if got := IndependenceNumber(g, nil); got != tc.n/tc.c {
+			t.Errorf("α(C_%d^{1..%d}) = %d, want %d", tc.n, tc.c-1, got, tc.n/tc.c)
+		}
+	}
+}
+
+func TestGreedyIndependentSetIsMaximal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(12)
+		g := randomGraph(rng, n, 0.3)
+		avail := bitset.New(n)
+		for v := 0; v < n; v++ {
+			if rng.Float64() < 0.7 {
+				avail.Add(v)
+			}
+		}
+		got := GreedyIndependentSet(g, avail)
+		if !got.SubsetOf(avail) {
+			t.Fatal("greedy set not within availability")
+		}
+		if !g.IsMaximalIndependent(got, avail) && !avail.Empty() {
+			t.Fatalf("greedy set %v not maximal in G[%v]", got, avail)
+		}
+	}
+}
+
+// Property: α of an induced subgraph never exceeds α of the graph.
+func TestQuickAlphaMonotoneUnderInduction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(8)
+		g := randomGraph(rng, n, 0.4)
+		avail := bitset.New(n)
+		for v := 0; v < n; v++ {
+			if rng.Float64() < 0.6 {
+				avail.Add(v)
+			}
+		}
+		return IndependenceNumber(g, avail) <= IndependenceNumber(g, nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: adding edges never increases the independence number
+// (this is the mechanism behind Theorem 4 in the paper).
+func TestQuickAlphaAntitoneInEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(8)
+		g := randomGraph(rng, n, 0.25)
+		g2 := g.Clone()
+		for i := 0; i < 3; i++ {
+			g2.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		return IndependenceNumber(g2, nil) <= IndependenceNumber(g, nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

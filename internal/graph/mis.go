@@ -1,0 +1,125 @@
+package graph
+
+import (
+	"isgc/internal/bitset"
+)
+
+// MaxIndependentSet returns one maximum independent set of the subgraph of g
+// induced by the available vertices, using an exact branch-and-bound search.
+// It is exponential in the worst case and intended as a correctness oracle
+// (and for small decode instances), not as the production decoder; the
+// paper's point is precisely that FR/CR/HR admit linear-time exact decoders
+// even though MIS is NP-hard in general (Sec. V-A).
+//
+// If available is nil, all vertices are considered available.
+func MaxIndependentSet(g *Graph, available *bitset.Set) *bitset.Set {
+	cand := bitset.New(g.n)
+	if available == nil {
+		for v := 0; v < g.n; v++ {
+			cand.Add(v)
+		}
+	} else {
+		available.Range(func(v int) bool {
+			if v < g.n {
+				cand.Add(v)
+			}
+			return true
+		})
+	}
+	s := &misSolver{g: g, best: bitset.New(g.n)}
+	s.search(cand, bitset.New(g.n))
+	return s.best
+}
+
+// IndependenceNumber returns α(G[available]), the size of a maximum
+// independent set of the induced subgraph.
+func IndependenceNumber(g *Graph, available *bitset.Set) int {
+	return MaxIndependentSet(g, available).Len()
+}
+
+type misSolver struct {
+	g    *Graph
+	best *bitset.Set
+}
+
+// search explores candidate extensions of the current independent set.
+// Branching rule: pick a candidate vertex v of maximum degree within the
+// candidate set; either include v (removing its closed neighborhood) or
+// exclude it. Bound: |current| + |candidates| ≤ |best| prunes the branch.
+func (s *misSolver) search(cand, cur *bitset.Set) {
+	if cur.Len() > s.best.Len() {
+		s.best = cur.Clone()
+	}
+	if cand.Empty() || cur.Len()+cand.Len() <= s.best.Len() {
+		return
+	}
+
+	// Choose the branching vertex: highest degree inside cand, so the
+	// "include" branch removes the most candidates.
+	v, vdeg := -1, -1
+	cand.Range(func(u int) bool {
+		d := s.g.adj[u].IntersectionCount(cand)
+		if d > vdeg {
+			v, vdeg = u, d
+		}
+		return true
+	})
+
+	if vdeg == 0 {
+		// No edges remain among candidates: take them all.
+		union := cur.Clone()
+		union.UnionWith(cand)
+		if union.Len() > s.best.Len() {
+			s.best = union
+		}
+		return
+	}
+
+	// Branch 1: include v.
+	inCand := cand.Clone()
+	inCand.Remove(v)
+	inCand.DifferenceWith(s.g.adj[v])
+	inCur := cur.Clone()
+	inCur.Add(v)
+	s.search(inCand, inCur)
+
+	// Branch 2: exclude v.
+	exCand := cand.Clone()
+	exCand.Remove(v)
+	s.search(exCand, cur)
+}
+
+// GreedyIndependentSet returns a maximal (not necessarily maximum)
+// independent set of G[available] built by repeatedly taking the available
+// vertex of minimum degree. This is the generic baseline the paper's
+// scheme-specific decoders improve on.
+func GreedyIndependentSet(g *Graph, available *bitset.Set) *bitset.Set {
+	cand := bitset.New(g.n)
+	if available == nil {
+		for v := 0; v < g.n; v++ {
+			cand.Add(v)
+		}
+	} else {
+		available.Range(func(v int) bool {
+			if v < g.n {
+				cand.Add(v)
+			}
+			return true
+		})
+	}
+	out := bitset.New(g.n)
+	for !cand.Empty() {
+		v, vdeg := -1, int(^uint(0)>>1)
+		cand.Range(func(u int) bool {
+			d := g.adj[u].IntersectionCount(cand)
+			if d < vdeg {
+				v, vdeg = u, d
+			}
+			return true
+		})
+		out.Add(v)
+		cand.Remove(v)
+		cand.DifferenceWith(g.adj[v])
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package isgc
+
+import (
+	"isgc/internal/bitset"
+	"isgc/internal/graph"
+)
+
+// decodeFR implements Algorithm 1: in FR the conflict graph is a disjoint
+// union of per-group cliques, so a maximum independent set simply picks one
+// available worker from every group that has one. The pick within a group
+// is uniform random so every worker — and hence every partition — has an
+// equal chance of joining ĝ. O(|W'|).
+func (s *Scheme) decodeFR(avail *bitset.Set) *bitset.Set {
+	n, c := s.p.N(), s.p.C()
+	out := bitset.New(n)
+	// Reservoir-sample one available worker per group in a single pass.
+	chosen := make([]int, n/c)
+	seen := make([]int, n/c)
+	for i := range chosen {
+		chosen[i] = -1
+	}
+	avail.Range(func(v int) bool {
+		g := v / c
+		seen[g]++
+		if s.rng.Intn(seen[g]) == 0 {
+			chosen[g] = v
+		}
+		return true
+	})
+	for _, v := range chosen {
+		if v >= 0 {
+			out.Add(v)
+		}
+	}
+	return out
+}
+
+// decodeCR implements Algorithm 2: a greedy clockwise walk over the worker
+// circle. By Theorem 1, workers u and v conflict iff their circular
+// distance d(u, v) < c, so an independent set is a set of available workers
+// with pairwise circular distance ≥ c. The greedy walk from a fixed start
+// accepts the earliest available vertex at distance ≥ c from the previously
+// accepted vertex and ≥ c from the start (the wrap-around constraint);
+// consecutive-gap arithmetic then guarantees full pairwise independence.
+//
+// A single start is only guaranteed maximal (Theorem 2); per Theorem 3,
+// among the ≤ c starts in the window W' ∩ {u, …, u+c-1} for any available
+// u, at least one walk yields a maximum independent set. The anchor u is
+// random so gradients on each worker join ĝ with equal probability.
+func (s *Scheme) decodeCR(avail *bitset.Set) *bitset.Set {
+	n, c := s.p.N(), s.p.C()
+	u := s.randomAvailable(avail)
+	best := bitset.New(n)
+	for off := 0; off < c; off++ {
+		start := (u + off) % n
+		if !avail.Contains(start) {
+			continue
+		}
+		cur := s.greedyWalkCR(avail, start)
+		if cur.Len() > best.Len() {
+			best = cur
+		}
+	}
+	return best
+}
+
+// greedyWalkCR performs one greedy pass of Algorithm 2 from start.
+func (s *Scheme) greedyWalkCR(avail *bitset.Set, start int) *bitset.Set {
+	n, c := s.p.N(), s.p.C()
+	cur := bitset.New(n)
+	cur.Add(start)
+	last := start
+	for off := 1; off < n; off++ {
+		v := (start + off) % n
+		if !avail.Contains(v) {
+			continue
+		}
+		if graph.CircDist(last, v, n) >= c && graph.CircDist(v, start, n) >= c {
+			cur.Add(v)
+			last = v
+		}
+	}
+	return cur
+}
+
+// decodeHR implements Algorithm 3 (+ the CONFLICT predicate of Algorithm 4,
+// realized here as O(1) lookups in the precomputed conflict graph, which
+// tests prove identical to the Alg. 4 formula): pick a random group with at
+// least one available worker, run the greedy clockwise walk from every
+// available worker of that group, and keep the largest result.
+//
+// Correctness of a walk (Theorem 9): each group is a clique, so a single
+// clockwise pass accepts at most one worker per group (same-group revisits
+// conflict with either the last accepted vertex or the start); conflicts
+// only exist within a group or between clockwise-neighboring groups, so
+// checking the last accepted vertex and the start suffices for full
+// pairwise independence. Theorem 8 guarantees some maximum independent set
+// intersects the chosen start group's available workers.
+func (s *Scheme) decodeHR(avail *bitset.Set) *bitset.Set {
+	n := s.p.N()
+	n0 := s.p.GroupSize()
+	u := s.randomAvailable(avail)
+	groupBase := (u / n0) * n0
+	best := bitset.New(n)
+	for j := 0; j < n0; j++ {
+		start := groupBase + j
+		if !avail.Contains(start) {
+			continue
+		}
+		cur := s.greedyWalkConflict(avail, start)
+		if cur.Len() > best.Len() {
+			best = cur
+		}
+	}
+	return best
+}
+
+// greedyWalkConflict performs one greedy clockwise pass accepting vertices
+// that do not conflict with the previously accepted vertex or the start.
+func (s *Scheme) greedyWalkConflict(avail *bitset.Set, start int) *bitset.Set {
+	n := s.p.N()
+	cur := bitset.New(n)
+	cur.Add(start)
+	last := start
+	for off := 1; off < n; off++ {
+		v := (start + off) % n
+		if !avail.Contains(v) {
+			continue
+		}
+		if !s.p.Conflicts(last, v) && !s.p.Conflicts(v, start) {
+			cur.Add(v)
+			last = v
+		}
+	}
+	return cur
+}

@@ -1,0 +1,184 @@
+package isgc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"isgc/internal/bitset"
+	"isgc/internal/graph"
+	"isgc/internal/placement"
+)
+
+// Property: for random CR parameters and availability sets, Decode returns
+// an independent set of exactly the optimal size.
+func TestQuickDecodeCROptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(14)
+		c := 1 + rng.Intn(n)
+		p, err := placement.CR(n, c)
+		if err != nil {
+			return false
+		}
+		s := New(p, rng.Int63())
+		avail := bitset.New(n)
+		for v := 0; v < n; v++ {
+			if rng.Float64() < 0.3+0.5*rng.Float64() {
+				avail.Add(v)
+			}
+		}
+		chosen := s.Decode(avail)
+		if !chosen.SubsetOf(avail) || !p.ConflictGraph().IsIndependent(chosen) {
+			return false
+		}
+		return chosen.Len() == graph.IndependenceNumber(p.ConflictGraph(), avail)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for random valid HR parameters, Decode is exactly optimal.
+func TestQuickDecodeHROptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Draw valid HR parameters: g|n, c ≤ n0 ≤ min(2c-1, c+c1).
+		g := 1 + rng.Intn(5)
+		n0 := 2 + rng.Intn(5)
+		n := g * n0
+		c := (n0+1)/2 + rng.Intn(n0-(n0+1)/2+1) // c in [⌈n0/2⌉, n0] ⇒ n0 ≤ 2c-1... approximately
+		if c < 2 {
+			c = 2
+		}
+		if c > n0 {
+			c = n0
+		}
+		if n0 > 2*c-1 {
+			return true // skip invalid draw
+		}
+		lo := 1
+		if n0-c > lo {
+			lo = n0 - c
+		}
+		if lo > c {
+			return true
+		}
+		c1 := lo + rng.Intn(c-lo+1)
+		p, err := placement.HR(n, c1, c-c1, g)
+		if err != nil {
+			return true // out-of-range draw: skip, constructor correctness is tested elsewhere
+		}
+		s := New(p, rng.Int63())
+		avail := bitset.New(n)
+		for v := 0; v < n; v++ {
+			if rng.Float64() < 0.5 {
+				avail.Add(v)
+			}
+		}
+		chosen := s.Decode(avail)
+		if !chosen.SubsetOf(avail) || !p.ConflictGraph().IsIndependent(chosen) {
+			return false
+		}
+		return chosen.Len() == graph.IndependenceNumber(p.ConflictGraph(), avail)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: recovered partition count is always exactly |I|·c and the
+// fraction lies within the Theorem 10/11 bounds scaled by c/n.
+func TestQuickRecoveryWithinBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(10)
+		c := 1 + rng.Intn(n)
+		p, err := placement.CR(n, c)
+		if err != nil {
+			return false
+		}
+		s := New(p, rng.Int63())
+		avail := bitset.New(n)
+		for v := 0; v < n; v++ {
+			if rng.Float64() < 0.6 {
+				avail.Add(v)
+			}
+		}
+		chosen := s.Decode(avail)
+		rec := s.Recovered(chosen)
+		if rec.Len() != chosen.Len()*c {
+			return false
+		}
+		if avail.Empty() {
+			return rec.Len() == 0
+		}
+		lo, hi := p.AlphaBounds(avail.Len())
+		return chosen.Len() >= lo && chosen.Len() <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: decoding is monotone in availability for the optimum size —
+// adding workers never decreases |Decode| (α is monotone under vertex
+// addition; the decoder is exactly optimal, so it inherits monotonicity).
+func TestQuickDecodeMonotoneInAvailability(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(10)
+		c := 1 + rng.Intn(n/2+1)
+		p, err := placement.CR(n, c)
+		if err != nil {
+			return false
+		}
+		s := New(p, rng.Int63())
+		small := bitset.New(n)
+		for v := 0; v < n; v++ {
+			if rng.Float64() < 0.4 {
+				small.Add(v)
+			}
+		}
+		big := small.Clone()
+		for v := 0; v < n; v++ {
+			if rng.Float64() < 0.3 {
+				big.Add(v)
+			}
+		}
+		return s.Decode(big).Len() >= s.Decode(small).Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Theorem 4 at decode level — with identical availability, the
+// FR decoder never recovers fewer partitions than the CR decoder.
+func TestQuickFRDecodesAtLeastCR(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(4) // groups
+		c := 1 + rng.Intn(4)
+		n := k * c
+		pfr, err := placement.FR(n, c)
+		if err != nil {
+			return false
+		}
+		pcr, err := placement.CR(n, c)
+		if err != nil {
+			return false
+		}
+		sfr, scr := New(pfr, rng.Int63()), New(pcr, rng.Int63())
+		avail := bitset.New(n)
+		for v := 0; v < n; v++ {
+			if rng.Float64() < 0.5 {
+				avail.Add(v)
+			}
+		}
+		return sfr.Decode(avail).Len() >= scr.Decode(avail).Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+// Package isgc implements the paper's primary contribution:
+// Ignore-Straggler Gradient Coding (IS-GC).
+//
+// In IS-GC every worker uploads the plain (all-ones) sum of the gradients
+// computed on its c dataset partitions. Because all coefficients are 1, the
+// master can combine coded gradients from an *arbitrary* subset W' of
+// workers — the crux is choosing which of the received coded gradients to
+// add so that no partition is double-counted while as many partitions as
+// possible are covered. That is exactly a maximum independent set of the
+// conflict graph induced on W' (Sec. V-A), and this package provides the
+// linear-time exact decoders for the FR, CR, and HR placements
+// (Algorithms 1, 2, and 3+4), plus recovery accounting.
+package isgc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"isgc/internal/bitset"
+	"isgc/internal/placement"
+)
+
+// Scheme couples a placement with its IS-GC decoder and a seeded RNG used
+// for the randomized start choices that give every worker an equal chance
+// of joining the recovered sum (the fairness property of Sec. IV).
+//
+// A Scheme is not safe for concurrent use; give each master goroutine its
+// own Scheme (they can share the underlying Placement, which is immutable).
+type Scheme struct {
+	p   *placement.Placement
+	rng *rand.Rand
+}
+
+// New returns an IS-GC scheme over the given placement. The seed fixes the
+// randomized tie-breaking, making decode sequences reproducible.
+func New(p *placement.Placement, seed int64) *Scheme {
+	return &Scheme{p: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Placement returns the underlying placement.
+func (s *Scheme) Placement() *placement.Placement { return s.p }
+
+// Decode implements the paper's Decode() function: given the set of
+// available (non-straggling) workers W', it returns a maximum independent
+// set I of the conflict graph G[W'] — the workers whose coded gradients the
+// master should add up. The returned set is empty iff available is empty.
+//
+// Complexity is O(c·|W'| + c²) for CR/HR and O(|W'|) for FR, matching the
+// paper's linear-time claims; optimality is property-tested against an
+// exact branch-and-bound oracle.
+func (s *Scheme) Decode(available *bitset.Set) *bitset.Set {
+	avail := s.clampAvailable(available)
+	if avail.Empty() {
+		return bitset.New(s.p.N())
+	}
+	switch s.p.Kind() {
+	case placement.KindFR:
+		return s.decodeFR(avail)
+	case placement.KindCR:
+		return s.decodeCR(avail)
+	case placement.KindHR:
+		return s.decodeHR(avail)
+	default:
+		panic(fmt.Sprintf("isgc: unknown placement kind %v", s.p.Kind()))
+	}
+}
+
+// clampAvailable restricts the availability set to valid worker indices.
+func (s *Scheme) clampAvailable(available *bitset.Set) *bitset.Set {
+	out := bitset.New(s.p.N())
+	if available == nil {
+		return out
+	}
+	available.Range(func(v int) bool {
+		if v < s.p.N() {
+			out.Add(v)
+		}
+		return true
+	})
+	return out
+}
+
+// Recovered maps a decoded worker set I to the set of partition indices
+// whose gradients appear in ĝ = Σ_{i∈I} (coded gradient of worker i).
+// When I is an independent set, |Recovered(I)| = |I|·c exactly.
+func (s *Scheme) Recovered(chosen *bitset.Set) *bitset.Set {
+	return s.p.RecoveredPartitions(chosen)
+}
+
+// RecoveredFraction returns |Recovered(Decode(available))| / n — the
+// fraction of dataset partitions represented in the recovered gradient.
+// This is the quantity plotted in Fig. 12(a) and Fig. 13(a).
+func (s *Scheme) RecoveredFraction(available *bitset.Set) float64 {
+	chosen := s.Decode(available)
+	return float64(s.Recovered(chosen).Len()) / float64(s.p.N())
+}
+
+// randomAvailable picks a uniformly random element of avail (non-empty).
+func (s *Scheme) randomAvailable(avail *bitset.Set) int {
+	k := s.rng.Intn(avail.Len())
+	picked := -1
+	avail.Range(func(v int) bool {
+		if k == 0 {
+			picked = v
+			return false
+		}
+		k--
+		return true
+	})
+	return picked
+}

@@ -1,0 +1,96 @@
+package isgc
+
+import (
+	"fmt"
+
+	"isgc/internal/bitset"
+)
+
+// StreamDecoder tracks the best decodable worker set as coded gradients
+// arrive one at a time — the online view of the decoding problem from
+// Sec. V-A (Fig. 3): the master cannot greedily commit to arrivals,
+// because an early worker may have to be discarded once better
+// combinations become available. StreamDecoder re-optimizes after every
+// arrival with the scheme's linear-time decoder, so Current() is always a
+// maximum independent set of the arrivals so far.
+//
+// Typical master loop:
+//
+//	sd := isgc.NewStreamDecoder(scheme)
+//	for arrival := range gradientCh {
+//	    sd.Add(arrival.Worker)
+//	    if sd.RecoveredPartitions() >= target {
+//	        break // enough of ĝ is decodable; ignore the rest
+//	    }
+//	}
+//	chosen := sd.Current()
+//
+// A StreamDecoder is not safe for concurrent use.
+type StreamDecoder struct {
+	scheme  *Scheme
+	arrived *bitset.Set
+	current *bitset.Set
+	dirty   bool
+}
+
+// NewStreamDecoder returns an empty stream decoder over the scheme.
+func NewStreamDecoder(s *Scheme) *StreamDecoder {
+	n := s.Placement().N()
+	return &StreamDecoder{
+		scheme:  s,
+		arrived: bitset.New(n),
+		current: bitset.New(n),
+	}
+}
+
+// Add records the arrival of worker w's coded gradient. It returns an
+// error for out-of-range ids and is a no-op for duplicates.
+func (d *StreamDecoder) Add(w int) error {
+	if w < 0 || w >= d.scheme.Placement().N() {
+		return fmt.Errorf("isgc: worker %d out of range [0,%d)", w, d.scheme.Placement().N())
+	}
+	if d.arrived.Contains(w) {
+		return nil
+	}
+	d.arrived.Add(w)
+	d.dirty = true
+	return nil
+}
+
+// Arrived returns the number of distinct workers seen so far.
+func (d *StreamDecoder) Arrived() int { return d.arrived.Len() }
+
+func (d *StreamDecoder) refresh() {
+	if d.dirty {
+		d.current = d.scheme.Decode(d.arrived)
+		d.dirty = false
+	}
+}
+
+// Current returns a maximum independent set over the arrivals so far
+// (copy; callers may mutate it).
+func (d *StreamDecoder) Current() *bitset.Set {
+	d.refresh()
+	return d.current.Clone()
+}
+
+// RecoveredPartitions returns how many partitions the current best set
+// covers (|Current()|·c).
+func (d *StreamDecoder) RecoveredPartitions() int {
+	d.refresh()
+	return d.current.Len() * d.scheme.Placement().C()
+}
+
+// FullyRecovered reports whether the current best set covers every
+// partition, i.e. waiting for more workers cannot improve ĝ.
+func (d *StreamDecoder) FullyRecovered() bool {
+	return d.RecoveredPartitions() == d.scheme.Placement().N()
+}
+
+// Reset clears all arrivals for the next training step, retaining the
+// scheme.
+func (d *StreamDecoder) Reset() {
+	d.arrived.Clear()
+	d.current.Clear()
+	d.dirty = false
+}

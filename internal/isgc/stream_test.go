@@ -1,0 +1,156 @@
+package isgc
+
+import (
+	"math/rand"
+	"testing"
+
+	"isgc/internal/bitset"
+	"isgc/internal/graph"
+)
+
+func TestStreamDecoderFig3Scenario(t *testing.T) {
+	// Sec. V-A, Fig. 3: in CR(4,2), W1 arrives first (0-indexed worker 0);
+	// committing to it would be a trap once workers 1 and 3 arrive.
+	s := crScheme(t, 4, 2, 1)
+	d := NewStreamDecoder(s)
+
+	if err := d.Add(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Current(); got.Len() != 1 || !got.Contains(0) {
+		t.Fatalf("after first arrival current = %v", got)
+	}
+	if d.RecoveredPartitions() != 2 {
+		t.Fatalf("recovered = %d", d.RecoveredPartitions())
+	}
+
+	if err := d.Add(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Add(3); err != nil {
+		t.Fatal(err)
+	}
+	// The optimal set is now {1, 3} — worker 0 must be discarded.
+	got := d.Current()
+	if got.Len() != 2 || !got.Contains(1) || !got.Contains(3) {
+		t.Fatalf("current = %v, want {1, 3}", got)
+	}
+	if !d.FullyRecovered() {
+		t.Fatal("2 independent workers × c=2 partitions = full recovery")
+	}
+	if d.Arrived() != 3 {
+		t.Fatalf("arrived = %d", d.Arrived())
+	}
+}
+
+func TestStreamDecoderErrorsAndDuplicates(t *testing.T) {
+	s := crScheme(t, 4, 2, 1)
+	d := NewStreamDecoder(s)
+	if err := d.Add(-1); err == nil {
+		t.Error("negative worker must error")
+	}
+	if err := d.Add(4); err == nil {
+		t.Error("out-of-range worker must error")
+	}
+	if err := d.Add(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Add(2); err != nil {
+		t.Fatal("duplicate must be a silent no-op")
+	}
+	if d.Arrived() != 1 {
+		t.Fatalf("arrived = %d after duplicate", d.Arrived())
+	}
+}
+
+func TestStreamDecoderReset(t *testing.T) {
+	s := frScheme(t, 4, 2, 1)
+	d := NewStreamDecoder(s)
+	if err := d.Add(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Add(2); err != nil {
+		t.Fatal(err)
+	}
+	if d.RecoveredPartitions() != 4 {
+		t.Fatalf("recovered = %d", d.RecoveredPartitions())
+	}
+	d.Reset()
+	if d.Arrived() != 0 || d.RecoveredPartitions() != 0 || d.FullyRecovered() {
+		t.Fatal("reset must clear all state")
+	}
+	if err := d.Add(1); err != nil {
+		t.Fatal(err)
+	}
+	if d.RecoveredPartitions() != 2 {
+		t.Fatal("decoder unusable after reset")
+	}
+}
+
+// The streaming view must agree with the batch decoder after every prefix
+// of a random arrival order, and its best-set size must be non-decreasing.
+func TestStreamDecoderMatchesBatchDecodePrefixes(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	schemes := []*Scheme{
+		frScheme(t, 8, 2, 1),
+		crScheme(t, 9, 3, 2),
+		hrScheme(t, 8, 2, 2, 2, 3),
+	}
+	for _, s := range schemes {
+		n := s.Placement().N()
+		for trial := 0; trial < 30; trial++ {
+			order := rng.Perm(n)
+			d := NewStreamDecoder(s)
+			arrived := bitset.New(n)
+			prevBest := 0
+			for _, w := range order {
+				if err := d.Add(w); err != nil {
+					t.Fatal(err)
+				}
+				arrived.Add(w)
+				cur := d.Current()
+				if !cur.SubsetOf(arrived) {
+					t.Fatalf("%v: current %v ⊄ arrived %v", s.Placement(), cur, arrived)
+				}
+				if !s.Placement().ConflictGraph().IsIndependent(cur) {
+					t.Fatalf("%v: current %v not independent", s.Placement(), cur)
+				}
+				want := graph.IndependenceNumber(s.Placement().ConflictGraph(), arrived)
+				if cur.Len() != want {
+					t.Fatalf("%v: stream best %d ≠ batch optimum %d (arrived %v)",
+						s.Placement(), cur.Len(), want, arrived)
+				}
+				if cur.Len() < prevBest {
+					t.Fatalf("%v: best-set size decreased %d → %d", s.Placement(), prevBest, cur.Len())
+				}
+				prevBest = cur.Len()
+			}
+			if !d.FullyRecovered() {
+				t.Fatalf("%v: all workers arrived but not fully recovered", s.Placement())
+			}
+		}
+	}
+}
+
+// Early-exit use case: once FullyRecovered, adding more workers never
+// changes the recovered count.
+func TestStreamDecoderEarlyExit(t *testing.T) {
+	s := crScheme(t, 6, 2, 5)
+	d := NewStreamDecoder(s)
+	for _, w := range []int{0, 2, 4} { // pairwise distance 2 ≥ c: independent
+		if err := d.Add(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !d.FullyRecovered() {
+		t.Fatal("three spread workers fully recover CR(6,2)")
+	}
+	for _, w := range []int{1, 3, 5} {
+		if err := d.Add(w); err != nil {
+			t.Fatal(err)
+		}
+		if d.RecoveredPartitions() != 6 {
+			t.Fatal("late arrivals must not reduce recovery")
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+
+	"isgc/internal/dataset"
+)
+
+// Compile-time interface compliance.
+var (
+	_ Classifier = LogisticRegression{}
+	_ Classifier = SoftmaxRegression{}
+	_ Classifier = MLP{}
+)
+
+func TestLogisticPredict(t *testing.T) {
+	m := LogisticRegression{Features: 2}
+	params := []float64{1, -1}
+	if m.Predict(params, []float64{2, 1}) != 1 { // logit 1 ≥ 0
+		t.Error("positive logit must predict class 1")
+	}
+	if m.Predict(params, []float64{0, 3}) != 0 { // logit -3 < 0
+		t.Error("negative logit must predict class 0")
+	}
+}
+
+func TestSoftmaxPredictArgmax(t *testing.T) {
+	m := SoftmaxRegression{Features: 2, Classes: 3}
+	// Class k's row is e_k-ish: class 2 has the largest weight on x[1].
+	params := []float64{
+		1, 0, // class 0
+		0, 1, // class 1
+		0, 5, // class 2
+	}
+	if got := m.Predict(params, []float64{0, 1}); got != 2 {
+		t.Fatalf("Predict = %d, want 2", got)
+	}
+	if got := m.Predict(params, []float64{10, 0}); got != 0 {
+		t.Fatalf("Predict = %d, want 0", got)
+	}
+}
+
+func TestArgmaxFirstWinsOnTies(t *testing.T) {
+	if argmax([]float64{1, 1, 1}) != 0 {
+		t.Error("ties must resolve to the first index")
+	}
+	if argmax([]float64{0, 2, 2}) != 1 {
+		t.Error("first maximum wins")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	m := SoftmaxRegression{Features: 1, Classes: 2}
+	params := []float64{
+		-1, // class 0 likes negative x
+		1,  // class 1 likes positive x
+	}
+	batch := []dataset.Sample{
+		{X: []float64{1}, Y: 1},  // correct
+		{X: []float64{-1}, Y: 0}, // correct
+		{X: []float64{1}, Y: 0},  // wrong
+		{X: []float64{-2}, Y: 1}, // wrong
+	}
+	if got := Accuracy(m, params, batch); got != 0.5 {
+		t.Fatalf("Accuracy = %v, want 0.5", got)
+	}
+	if Accuracy(m, params, nil) != 0 {
+		t.Fatal("empty batch accuracy must be 0")
+	}
+}
+
+// Trained classifiers must reach high accuracy on well-separated clusters,
+// for every classifier model.
+func TestTrainingImprovesAccuracy(t *testing.T) {
+	data, err := dataset.SyntheticClusters(300, 5, 3, 4.0, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]dataset.Sample, data.Len())
+	for i := range all {
+		all[i] = data.At(i)
+	}
+	for _, m := range []Classifier{
+		SoftmaxRegression{Features: 5, Classes: 3},
+		MLP{Features: 5, Hidden: 8, Classes: 3},
+	} {
+		params := m.InitParams(3)
+		before := Accuracy(m, params, all)
+		for step := 0; step < 200; step++ {
+			g := m.Grad(params, all)
+			for j := range params {
+				params[j] -= 0.2 * g[j]
+			}
+		}
+		after := Accuracy(m, params, all)
+		if !(after > before) || after < 0.9 {
+			t.Errorf("%s: accuracy %v → %v, want ≥0.9 after training", m, before, after)
+		}
+	}
+}
+
+// Binary accuracy for logistic regression on a separable task.
+func TestLogisticAccuracyOnSeparableData(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	batch := make([]dataset.Sample, 200)
+	for i := range batch {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		y := 0.0
+		if x[0]+x[1] > 0 {
+			y = 1
+		}
+		batch[i] = dataset.Sample{X: x, Y: y}
+	}
+	m := LogisticRegression{Features: 2}
+	params := m.InitParams(1)
+	for step := 0; step < 300; step++ {
+		g := m.Grad(params, batch)
+		for j := range params {
+			params[j] -= 0.5 * g[j]
+		}
+	}
+	if acc := Accuracy(m, params, batch); acc < 0.95 {
+		t.Fatalf("accuracy %v, want ≥0.95 on separable data", acc)
+	}
+}

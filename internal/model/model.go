@@ -1,0 +1,470 @@
+// Package model provides the differentiable models used as training
+// workloads: linear regression, logistic regression, softmax regression,
+// and a one-hidden-layer MLP (the repo's stand-in for the paper's
+// ResNet-18 — see DESIGN.md for the substitution rationale). Each model
+// exposes a flat parameter vector and computes loss and gradient on a batch
+// of samples, which is exactly the interface the distributed engine and
+// the IS-GC encoders need: gradients are plain []float64 vectors that can
+// be encoded by summation.
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"isgc/internal/dataset"
+)
+
+// Model is a supervised model with a flat parameter vector.
+//
+// Grad computes the *mean* gradient of the loss over the batch with respect
+// to the parameters, evaluated at params; Loss computes the mean loss.
+// Implementations must not retain or mutate the inputs.
+type Model interface {
+	// Dim returns the length of the flat parameter vector.
+	Dim() int
+	// InitParams returns a fresh initial parameter vector drawn with the
+	// given seed (the paper uses identical seeds across schemes so every
+	// scheme starts from the same parameters).
+	InitParams(seed int64) []float64
+	// Loss returns the mean loss of params on the batch.
+	Loss(params []float64, batch []dataset.Sample) float64
+	// Grad returns the mean gradient of the loss on the batch. The result
+	// is freshly allocated.
+	Grad(params []float64, batch []dataset.Sample) []float64
+	// String names the model for logs.
+	String() string
+}
+
+// Classifier is implemented by models whose targets are class indices;
+// Predict returns the argmax class for one input. The engine records
+// training accuracy for Classifier models.
+type Classifier interface {
+	Model
+	// Predict returns the predicted class index for x under params.
+	Predict(params []float64, x []float64) int
+}
+
+// Accuracy returns the fraction of batch samples the classifier labels
+// correctly (0 for an empty batch).
+func Accuracy(c Classifier, params []float64, batch []dataset.Sample) float64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, s := range batch {
+		if c.Predict(params, s.X) == int(s.Y) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(batch))
+}
+
+// LinearRegression is least-squares regression: loss = ½·mean (⟨θ, x⟩ − y)².
+type LinearRegression struct {
+	// Features is the input dimension p; Dim() == p.
+	Features int
+}
+
+// Dim implements Model.
+func (m LinearRegression) Dim() int { return m.Features }
+
+// InitParams implements Model.
+func (m LinearRegression) InitParams(seed int64) []float64 {
+	return gaussianInit(m.Dim(), 0.01, seed)
+}
+
+// Loss implements Model.
+func (m LinearRegression) Loss(params []float64, batch []dataset.Sample) float64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range batch {
+		r := dotFeatures(params, s.X) - s.Y
+		sum += 0.5 * r * r
+	}
+	return sum / float64(len(batch))
+}
+
+// Grad implements Model.
+func (m LinearRegression) Grad(params []float64, batch []dataset.Sample) []float64 {
+	g := make([]float64, m.Dim())
+	if len(batch) == 0 {
+		return g
+	}
+	for _, s := range batch {
+		r := dotFeatures(params, s.X) - s.Y
+		for j, x := range s.X {
+			g[j] += r * x
+		}
+	}
+	inv := 1 / float64(len(batch))
+	for j := range g {
+		g[j] *= inv
+	}
+	return g
+}
+
+// String implements Model.
+func (m LinearRegression) String() string { return fmt.Sprintf("linreg(p=%d)", m.Features) }
+
+// LogisticRegression is binary classification with the logistic loss;
+// labels must be 0 or 1.
+type LogisticRegression struct {
+	Features int
+}
+
+// Dim implements Model.
+func (m LogisticRegression) Dim() int { return m.Features }
+
+// InitParams implements Model.
+func (m LogisticRegression) InitParams(seed int64) []float64 {
+	return gaussianInit(m.Dim(), 0.01, seed)
+}
+
+// Loss implements Model.
+func (m LogisticRegression) Loss(params []float64, batch []dataset.Sample) float64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range batch {
+		z := dotFeatures(params, s.X)
+		// Numerically stable log(1 + e^{-yz}) with y ∈ {±1}.
+		yz := z
+		if s.Y < 0.5 {
+			yz = -z
+		}
+		sum += math.Log1p(math.Exp(-abs(yz))) + max0(-yz)
+	}
+	return sum / float64(len(batch))
+}
+
+// Grad implements Model.
+func (m LogisticRegression) Grad(params []float64, batch []dataset.Sample) []float64 {
+	g := make([]float64, m.Dim())
+	if len(batch) == 0 {
+		return g
+	}
+	for _, s := range batch {
+		p := sigmoid(dotFeatures(params, s.X))
+		diff := p - s.Y
+		for j, x := range s.X {
+			g[j] += diff * x
+		}
+	}
+	inv := 1 / float64(len(batch))
+	for j := range g {
+		g[j] *= inv
+	}
+	return g
+}
+
+// Predict implements Classifier: class 1 iff the logit is non-negative.
+func (m LogisticRegression) Predict(params []float64, x []float64) int {
+	if dotFeatures(params, x) >= 0 {
+		return 1
+	}
+	return 0
+}
+
+// String implements Model.
+func (m LogisticRegression) String() string { return fmt.Sprintf("logreg(p=%d)", m.Features) }
+
+// SoftmaxRegression is multinomial logistic regression over Classes
+// classes with cross-entropy loss. Parameters are a row-major
+// Classes×Features weight matrix. Y is the class index.
+type SoftmaxRegression struct {
+	Features int
+	Classes  int
+}
+
+// Dim implements Model.
+func (m SoftmaxRegression) Dim() int { return m.Features * m.Classes }
+
+// InitParams implements Model.
+func (m SoftmaxRegression) InitParams(seed int64) []float64 {
+	return gaussianInit(m.Dim(), 0.01, seed)
+}
+
+func (m SoftmaxRegression) logits(params []float64, x []float64) []float64 {
+	z := make([]float64, m.Classes)
+	for k := 0; k < m.Classes; k++ {
+		z[k] = dotFeatures(params[k*m.Features:(k+1)*m.Features], x)
+	}
+	return z
+}
+
+// Loss implements Model.
+func (m SoftmaxRegression) Loss(params []float64, batch []dataset.Sample) float64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range batch {
+		z := m.logits(params, s.X)
+		lse := logSumExp(z)
+		sum += lse - z[int(s.Y)]
+	}
+	return sum / float64(len(batch))
+}
+
+// Grad implements Model.
+func (m SoftmaxRegression) Grad(params []float64, batch []dataset.Sample) []float64 {
+	g := make([]float64, m.Dim())
+	if len(batch) == 0 {
+		return g
+	}
+	for _, s := range batch {
+		z := m.logits(params, s.X)
+		p := softmax(z)
+		y := int(s.Y)
+		for k := 0; k < m.Classes; k++ {
+			diff := p[k]
+			if k == y {
+				diff -= 1
+			}
+			row := g[k*m.Features : (k+1)*m.Features]
+			for j, x := range s.X {
+				row[j] += diff * x
+			}
+		}
+	}
+	inv := 1 / float64(len(batch))
+	for j := range g {
+		g[j] *= inv
+	}
+	return g
+}
+
+// Predict implements Classifier: the argmax logit.
+func (m SoftmaxRegression) Predict(params []float64, x []float64) int {
+	return argmax(m.logits(params, x))
+}
+
+// String implements Model.
+func (m SoftmaxRegression) String() string {
+	return fmt.Sprintf("softmax(p=%d,k=%d)", m.Features, m.Classes)
+}
+
+// MLP is a one-hidden-layer network with tanh activation and softmax
+// output — the deepest workload here, standing in for ResNet-18. The
+// parameter layout is [W1 (Hidden×Features) | b1 (Hidden) |
+// W2 (Classes×Hidden) | b2 (Classes)].
+type MLP struct {
+	Features int
+	Hidden   int
+	Classes  int
+}
+
+// Dim implements Model.
+func (m MLP) Dim() int {
+	return m.Hidden*m.Features + m.Hidden + m.Classes*m.Hidden + m.Classes
+}
+
+// InitParams implements Model.
+func (m MLP) InitParams(seed int64) []float64 {
+	// Xavier-style scaling per layer.
+	rng := rand.New(rand.NewSource(seed))
+	p := make([]float64, m.Dim())
+	s1 := math.Sqrt(2 / float64(m.Features+m.Hidden))
+	s2 := math.Sqrt(2 / float64(m.Hidden+m.Classes))
+	o := 0
+	for i := 0; i < m.Hidden*m.Features; i++ {
+		p[o] = s1 * rng.NormFloat64()
+		o++
+	}
+	o += m.Hidden // b1 zero
+	for i := 0; i < m.Classes*m.Hidden; i++ {
+		p[o] = s2 * rng.NormFloat64()
+		o++
+	}
+	return p
+}
+
+func (m MLP) slices(params []float64) (w1, b1, w2, b2 []float64) {
+	o := 0
+	w1 = params[o : o+m.Hidden*m.Features]
+	o += m.Hidden * m.Features
+	b1 = params[o : o+m.Hidden]
+	o += m.Hidden
+	w2 = params[o : o+m.Classes*m.Hidden]
+	o += m.Classes * m.Hidden
+	b2 = params[o : o+m.Classes]
+	return w1, b1, w2, b2
+}
+
+func (m MLP) forward(params []float64, x []float64) (h, z []float64) {
+	w1, b1, w2, b2 := m.slices(params)
+	h = make([]float64, m.Hidden)
+	for i := 0; i < m.Hidden; i++ {
+		h[i] = math.Tanh(dotFeatures(w1[i*m.Features:(i+1)*m.Features], x) + b1[i])
+	}
+	z = make([]float64, m.Classes)
+	for k := 0; k < m.Classes; k++ {
+		z[k] = dotFeatures(w2[k*m.Hidden:(k+1)*m.Hidden], h) + b2[k]
+	}
+	return h, z
+}
+
+// Loss implements Model.
+func (m MLP) Loss(params []float64, batch []dataset.Sample) float64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range batch {
+		_, z := m.forward(params, s.X)
+		sum += logSumExp(z) - z[int(s.Y)]
+	}
+	return sum / float64(len(batch))
+}
+
+// Grad implements Model.
+func (m MLP) Grad(params []float64, batch []dataset.Sample) []float64 {
+	g := make([]float64, m.Dim())
+	if len(batch) == 0 {
+		return g
+	}
+	w1Len := m.Hidden * m.Features
+	gW1 := g[0:w1Len]
+	gB1 := g[w1Len : w1Len+m.Hidden]
+	gW2 := g[w1Len+m.Hidden : w1Len+m.Hidden+m.Classes*m.Hidden]
+	gB2 := g[w1Len+m.Hidden+m.Classes*m.Hidden:]
+	_, _, w2, _ := m.slices(params)
+	for _, s := range batch {
+		h, z := m.forward(params, s.X)
+		p := softmax(z)
+		y := int(s.Y)
+		// Output layer.
+		dz := make([]float64, m.Classes)
+		for k := 0; k < m.Classes; k++ {
+			dz[k] = p[k]
+			if k == y {
+				dz[k] -= 1
+			}
+			row := gW2[k*m.Hidden : (k+1)*m.Hidden]
+			for i, hi := range h {
+				row[i] += dz[k] * hi
+			}
+			gB2[k] += dz[k]
+		}
+		// Hidden layer: dh = W2ᵀ dz, through tanh'.
+		for i := 0; i < m.Hidden; i++ {
+			dh := 0.0
+			for k := 0; k < m.Classes; k++ {
+				dh += w2[k*m.Hidden+i] * dz[k]
+			}
+			da := dh * (1 - h[i]*h[i])
+			row := gW1[i*m.Features : (i+1)*m.Features]
+			for j, x := range s.X {
+				row[j] += da * x
+			}
+			gB1[i] += da
+		}
+	}
+	inv := 1 / float64(len(batch))
+	for j := range g {
+		g[j] *= inv
+	}
+	return g
+}
+
+// Predict implements Classifier: the argmax output logit.
+func (m MLP) Predict(params []float64, x []float64) int {
+	_, z := m.forward(params, x)
+	return argmax(z)
+}
+
+// String implements Model.
+func (m MLP) String() string {
+	return fmt.Sprintf("mlp(p=%d,h=%d,k=%d)", m.Features, m.Hidden, m.Classes)
+}
+
+// Helpers ----------------------------------------------------------------
+
+// dotFeatures is Dot over the leading len(x) coordinates of w (w may be a
+// row slice of a larger parameter block).
+func dotFeatures(w, x []float64) float64 {
+	s := 0.0
+	for j, xj := range x {
+		s += w[j] * xj
+	}
+	return s
+}
+
+func gaussianInit(n int, scale float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = scale * rng.NormFloat64()
+	}
+	return p
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+func logSumExp(z []float64) float64 {
+	m := z[0]
+	for _, v := range z[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	s := 0.0
+	for _, v := range z {
+		s += math.Exp(v - m)
+	}
+	return m + math.Log(s)
+}
+
+func softmax(z []float64) []float64 {
+	m := z[0]
+	for _, v := range z[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	p := make([]float64, len(z))
+	s := 0.0
+	for i, v := range z {
+		p[i] = math.Exp(v - m)
+		s += p[i]
+	}
+	for i := range p {
+		p[i] /= s
+	}
+	return p
+}
+
+func argmax(z []float64) int {
+	best := 0
+	for i, v := range z[1:] {
+		if v > z[best] {
+			best = i + 1
+		}
+	}
+	return best
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func max0(x float64) float64 {
+	if x > 0 {
+		return x
+	}
+	return 0
+}

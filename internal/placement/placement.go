@@ -1,0 +1,277 @@
+// Package placement implements the dataset-partition placement schemes of
+// the paper: fractional repetition (FR), cyclic repetition (CR), and hybrid
+// repetition (HR), together with the conflict graphs they induce.
+//
+// A placement assigns to each of n workers a set of c dataset partitions
+// (out of n partitions total). Two workers *conflict* iff their partition
+// sets intersect: their plain-sum coded gradients cannot both contribute to
+// the recovered gradient ĝ = Σ_{i∈I} g_i without double-counting. The
+// conflict graph is the decoding substrate of IS-GC (Sec. V-A).
+//
+// Workers and partitions are 0-indexed here; the paper is 1-indexed.
+package placement
+
+import (
+	"fmt"
+
+	"isgc/internal/bitset"
+	"isgc/internal/graph"
+)
+
+// Kind identifies a placement scheme family.
+type Kind int
+
+// Placement scheme families.
+const (
+	KindFR Kind = iota + 1
+	KindCR
+	KindHR
+)
+
+// String returns the scheme family acronym used in the paper.
+func (k Kind) String() string {
+	switch k {
+	case KindFR:
+		return "FR"
+	case KindCR:
+		return "CR"
+	case KindHR:
+		return "HR"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Placement describes which partitions each worker stores, plus the derived
+// conflict structure. Construct via FR, CR, or HR; the struct is immutable
+// after construction.
+type Placement struct {
+	kind Kind
+	n    int // number of workers == number of partitions
+	c    int // partitions per worker
+	// HR parameters (c = c1 + c2); for FR, c1 = c, c2 = 0 semantics differ,
+	// so these are only meaningful when kind == KindHR.
+	c1, c2 int
+	groups int // number of groups g (FR: n/c, HR: given; CR: 1)
+
+	parts    [][]int       // parts[i] = sorted partitions on worker i
+	partSets []*bitset.Set // same, as bitsets
+	conflict *graph.Graph  // ground-truth conflict graph
+}
+
+// FR constructs a fractional-repetition placement: c must divide n; the n
+// workers are split into n/c groups and every worker in group k stores
+// exactly the partitions {kc, …, kc+c-1} (Sec. III).
+func FR(n, c int) (*Placement, error) {
+	if err := checkNC(n, c); err != nil {
+		return nil, fmt.Errorf("placement: FR: %w", err)
+	}
+	if n%c != 0 {
+		return nil, fmt.Errorf("placement: FR requires c|n, got n=%d c=%d", n, c)
+	}
+	p := &Placement{kind: KindFR, n: n, c: c, groups: n / c}
+	p.parts = make([][]int, n)
+	for i := 0; i < n; i++ {
+		base := (i / c) * c
+		row := make([]int, c)
+		for j := 0; j < c; j++ {
+			row[j] = base + j
+		}
+		p.parts[i] = row
+	}
+	p.finish()
+	return p, nil
+}
+
+// CR constructs a cyclic-repetition placement: worker i stores partitions
+// {i, i+1, …, i+c-1} mod n (Sec. III). No divisibility constraint.
+func CR(n, c int) (*Placement, error) {
+	if err := checkNC(n, c); err != nil {
+		return nil, fmt.Errorf("placement: CR: %w", err)
+	}
+	p := &Placement{kind: KindCR, n: n, c: c, groups: 1}
+	p.parts = make([][]int, n)
+	for i := 0; i < n; i++ {
+		row := make([]int, c)
+		for j := 0; j < c; j++ {
+			row[j] = (i + j) % n
+		}
+		p.parts[i] = row
+	}
+	p.finish()
+	return p, nil
+}
+
+// HR constructs the hybrid-repetition placement HR(n, c1, c2) of Sec. VI-B
+// with g groups, g|n, n0 = n/g partitions (and workers) per group, and
+// c = c1 + c2 partitions per worker:
+//
+//   - the "upper part" contributes c1 rows: worker j of group k stores the
+//     group-local partitions base + ((j + r) mod n0) for
+//     r = n0-c1, …, n0-1 (the bottom c1 rows of HR(n, n0, 0));
+//   - the "lower part" contributes c2 rows: the top c2 rows of the global
+//     CR(n, c) scheme, i.e. partitions (i + r) mod n for r = 0, …, c2-1.
+//
+// Special cases (paper, Sec. VI-B): c2 = 0 with c1 = n0 is FR-like grouping;
+// c1 = 0 degenerates to CR(n, c) exactly, so HR returns a KindCR placement
+// in that case; HR(n, c, 0) ≡ HR(n, c-1, 1) when n0 = c.
+//
+// Validity (Theorem 6): when c1 > 0 the scheme requires
+// c ≤ n0 ≤ min(2c-1, c+c1) so that every group is a clique in the conflict
+// graph (the proof of Theorem 6 derives both n0 ≤ c+c1 and n0 ≤ 2c-1), and
+// c1 ≤ n0. Note the paper's own Fig. 13 uses g=2 < c=4: g ≥ c is NOT
+// required — a worker's lower (CR) rows overflow at most c2-1 < n0
+// positions, so conflicts never reach past the clockwise-neighboring group.
+func HR(n, c1, c2, g int) (*Placement, error) {
+	c := c1 + c2
+	if err := checkNC(n, c); err != nil {
+		return nil, fmt.Errorf("placement: HR: %w", err)
+	}
+	if c1 < 0 || c2 < 0 {
+		return nil, fmt.Errorf("placement: HR requires c1, c2 ≥ 0, got c1=%d c2=%d", c1, c2)
+	}
+	if c1 == 0 {
+		return CR(n, c)
+	}
+	if g <= 0 || n%g != 0 {
+		return nil, fmt.Errorf("placement: HR requires g|n with g > 0, got n=%d g=%d", n, g)
+	}
+	n0 := n / g
+	if c1 > n0 {
+		return nil, fmt.Errorf("placement: HR requires c1 ≤ n0, got c1=%d n0=%d", c1, n0)
+	}
+	if n0 < c || n0 > 2*c-1 || n0 > c+c1 {
+		return nil, fmt.Errorf("placement: HR requires c ≤ n0 ≤ min(2c-1, c+c1) (Theorem 6), got c=%d c1=%d n0=%d", c, c1, n0)
+	}
+	p := &Placement{kind: KindHR, n: n, c: c, c1: c1, c2: c2, groups: g}
+	p.parts = make([][]int, n)
+	for i := 0; i < n; i++ {
+		k := i / n0
+		j := i % n0
+		base := k * n0
+		row := make([]int, 0, c)
+		for r := n0 - c1; r < n0; r++ {
+			row = append(row, base+(j+r)%n0)
+		}
+		for r := 0; r < c2; r++ {
+			row = append(row, (i+r)%n)
+		}
+		p.parts[i] = dedupSorted(row)
+		if len(p.parts[i]) != c {
+			return nil, fmt.Errorf("placement: HR(n=%d,c1=%d,c2=%d,g=%d): worker %d stores %d distinct partitions, want %d (overlapping upper/lower parts)",
+				n, c1, c2, g, i, len(p.parts[i]), c)
+		}
+	}
+	p.finish()
+	return p, nil
+}
+
+func checkNC(n, c int) error {
+	if n <= 0 {
+		return fmt.Errorf("need n > 0, got n=%d", n)
+	}
+	if c <= 0 || c > n {
+		return fmt.Errorf("need 0 < c ≤ n, got n=%d c=%d", n, c)
+	}
+	return nil
+}
+
+func dedupSorted(vs []int) []int {
+	s := bitset.FromSlice(vs)
+	return s.Slice()
+}
+
+// finish derives bitsets and the ground-truth conflict graph from parts.
+func (p *Placement) finish() {
+	p.partSets = make([]*bitset.Set, p.n)
+	for i, row := range p.parts {
+		p.partSets[i] = bitset.FromSlice(row)
+		p.parts[i] = p.partSets[i].Slice() // canonical sorted order
+	}
+	p.conflict = graph.New(p.n)
+	for u := 0; u < p.n; u++ {
+		for v := u + 1; v < p.n; v++ {
+			if p.partSets[u].Intersects(p.partSets[v]) {
+				p.conflict.AddEdge(u, v)
+			}
+		}
+	}
+}
+
+// Kind returns the scheme family.
+func (p *Placement) Kind() Kind { return p.kind }
+
+// N returns the number of workers (== number of partitions).
+func (p *Placement) N() int { return p.n }
+
+// C returns the number of partitions per worker.
+func (p *Placement) C() int { return p.c }
+
+// C1 returns the HR upper-part row count (0 unless Kind == KindHR).
+func (p *Placement) C1() int { return p.c1 }
+
+// C2 returns the HR lower-part (CR) row count (0 unless Kind == KindHR).
+func (p *Placement) C2() int { return p.c2 }
+
+// Groups returns the number of groups (FR: n/c, HR: g, CR: 1).
+func (p *Placement) Groups() int { return p.groups }
+
+// GroupSize returns the number of workers per group.
+func (p *Placement) GroupSize() int { return p.n / p.groups }
+
+// GroupOf returns the group index of worker i.
+func (p *Placement) GroupOf(i int) int { return i / p.GroupSize() }
+
+// Partitions returns a copy of the sorted partition list of worker i.
+func (p *Placement) Partitions(i int) []int {
+	out := make([]int, len(p.parts[i]))
+	copy(out, p.parts[i])
+	return out
+}
+
+// PartitionSet returns a copy of worker i's partition set.
+func (p *Placement) PartitionSet(i int) *bitset.Set { return p.partSets[i].Clone() }
+
+// Workers returns, for each partition, the sorted list of workers storing it.
+func (p *Placement) Workers() [][]int {
+	holders := make([][]int, p.n)
+	for w, row := range p.parts {
+		for _, d := range row {
+			holders[d] = append(holders[d], w)
+		}
+	}
+	return holders
+}
+
+// ConflictGraph returns the ground-truth conflict graph: workers are
+// adjacent iff their partition sets intersect. The returned graph is shared
+// and must not be mutated; use Clone for a private copy.
+func (p *Placement) ConflictGraph() *graph.Graph { return p.conflict }
+
+// Conflicts reports whether workers u and v conflict (share a partition).
+// O(1) via the precomputed adjacency bitsets.
+func (p *Placement) Conflicts(u, v int) bool { return p.conflict.HasEdge(u, v) }
+
+// RecoveredPartitions returns the union of partitions held by the workers in
+// the independent set chosen: these are the indices I of the paper's
+// recovered gradient ĝ = Σ_{i∈I} g_i (after mapping worker set → partition
+// set). The caller is responsible for chosen being an independent set; if it
+// is, |result| = |chosen|·c exactly.
+func (p *Placement) RecoveredPartitions(chosen *bitset.Set) *bitset.Set {
+	out := bitset.New(p.n)
+	chosen.Range(func(w int) bool {
+		out.UnionWith(p.partSets[w])
+		return true
+	})
+	return out
+}
+
+// String renders a short description, e.g. "CR(n=8,c=3)".
+func (p *Placement) String() string {
+	switch p.kind {
+	case KindHR:
+		return fmt.Sprintf("HR(n=%d,c1=%d,c2=%d,g=%d)", p.n, p.c1, p.c2, p.groups)
+	default:
+		return fmt.Sprintf("%s(n=%d,c=%d)", p.kind, p.n, p.c)
+	}
+}

@@ -1,0 +1,464 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+
+	"isgc/internal/bitset"
+	"isgc/internal/graph"
+)
+
+func mustFR(t *testing.T, n, c int) *Placement {
+	t.Helper()
+	p, err := FR(n, c)
+	if err != nil {
+		t.Fatalf("FR(%d,%d): %v", n, c, err)
+	}
+	return p
+}
+
+func mustCR(t *testing.T, n, c int) *Placement {
+	t.Helper()
+	p, err := CR(n, c)
+	if err != nil {
+		t.Fatalf("CR(%d,%d): %v", n, c, err)
+	}
+	return p
+}
+
+func mustHR(t *testing.T, n, c1, c2, g int) *Placement {
+	t.Helper()
+	p, err := HR(n, c1, c2, g)
+	if err != nil {
+		t.Fatalf("HR(%d,%d,%d,%d): %v", n, c1, c2, g, err)
+	}
+	return p
+}
+
+// hrParams enumerates valid HR parameter combinations for property tests:
+// g|n, c = c1+c2, c1 > 0, c ≤ n0 ≤ min(2c-1, c+c1), c1 ≤ n0 (Theorem 6).
+func hrParams(maxN int) [][4]int {
+	var out [][4]int
+	for n := 4; n <= maxN; n++ {
+		for g := 1; g <= n; g++ {
+			if n%g != 0 {
+				continue
+			}
+			n0 := n / g
+			for c := 2; c <= n0; c++ {
+				if n0 > 2*c-1 {
+					continue
+				}
+				lo := 1
+				if n0-c > lo {
+					lo = n0 - c
+				}
+				for c1 := lo; c1 <= c && c1 <= n0; c1++ {
+					out = append(out, [4]int{n, c1, c - c1, g})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestFRPlacementExample(t *testing.T) {
+	// Fig. 2(a): n=4, c=2 — W1,W2 hold {D1,D2}; W3,W4 hold {D3,D4}
+	// (0-indexed here).
+	p := mustFR(t, 4, 2)
+	want := [][]int{{0, 1}, {0, 1}, {2, 3}, {2, 3}}
+	for i, w := range want {
+		got := p.Partitions(i)
+		if len(got) != len(w) || got[0] != w[0] || got[1] != w[1] {
+			t.Errorf("FR worker %d partitions = %v, want %v", i, got, w)
+		}
+	}
+	if p.Groups() != 2 || p.GroupSize() != 2 {
+		t.Errorf("Groups=%d GroupSize=%d, want 2, 2", p.Groups(), p.GroupSize())
+	}
+	if p.GroupOf(0) != 0 || p.GroupOf(3) != 1 {
+		t.Error("wrong GroupOf")
+	}
+}
+
+func TestCRPlacementExample(t *testing.T) {
+	// Fig. 2(b): n=4, c=2 — W_i holds {D_i, D_{i+1 mod 4}}.
+	p := mustCR(t, 4, 2)
+	want := [][]int{{0, 1}, {1, 2}, {2, 3}, {0, 3}}
+	for i, w := range want {
+		got := p.Partitions(i)
+		if len(got) != 2 || got[0] != w[0] || got[1] != w[1] {
+			t.Errorf("CR worker %d partitions = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestConstructorErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func() (*Placement, error)
+	}{
+		{"FR c∤n", func() (*Placement, error) { return FR(5, 2) }},
+		{"FR n=0", func() (*Placement, error) { return FR(0, 1) }},
+		{"FR c=0", func() (*Placement, error) { return FR(4, 0) }},
+		{"FR c>n", func() (*Placement, error) { return FR(4, 5) }},
+		{"CR c=0", func() (*Placement, error) { return CR(4, 0) }},
+		{"CR c>n", func() (*Placement, error) { return CR(4, 5) }},
+		{"CR n<0", func() (*Placement, error) { return CR(-1, 1) }},
+		{"HR g∤n", func() (*Placement, error) { return HR(8, 2, 1, 3) }},
+		{"HR g=0", func() (*Placement, error) { return HR(8, 2, 1, 0) }},
+		{"HR c1<0", func() (*Placement, error) { return HR(8, -1, 3, 2) }},
+		{"HR n0>2c-1", func() (*Placement, error) { return HR(12, 1, 1, 2) }},            // n0=6, c=2
+		{"HR n0<c", func() (*Placement, error) { return HR(8, 3, 3, 2) }},                // n0=4, c=6
+		{"HR c1>n0", func() (*Placement, error) { return HR(8, 5, 0, 2) }},               // c1=5 > n0=4
+		{"HR n0>c+c1", func() (*Placement, error) { return HR(15, 1, 2, 3) }},            // n0=5 > c+c1=4
+		{"HR c=0", func() (*Placement, error) { return HR(8, 0, 0, 2) }},                 // c=0
+		{"HR c1=0 g∤n ok but c>n", func() (*Placement, error) { return HR(4, 0, 5, 2) }}, // CR(4,5)
+	}
+	for _, tc := range cases {
+		if _, err := tc.fn(); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestEachWorkerStoresCPartitions(t *testing.T) {
+	var ps []*Placement
+	ps = append(ps, mustFR(t, 12, 3), mustCR(t, 12, 3), mustCR(t, 7, 3))
+	for _, q := range hrParams(16) {
+		ps = append(ps, mustHR(t, q[0], q[1], q[2], q[3]))
+	}
+	for _, p := range ps {
+		for i := 0; i < p.N(); i++ {
+			if got := len(p.Partitions(i)); got != p.C() {
+				t.Errorf("%v: worker %d stores %d partitions, want %d", p, i, got, p.C())
+			}
+		}
+	}
+}
+
+func TestEachPartitionReplicatedCTimes(t *testing.T) {
+	// In all three schemes every partition is stored on exactly c workers,
+	// which is what makes per-partition recovery probability uniform
+	// (the fairness property of Sec. IV).
+	var ps []*Placement
+	ps = append(ps, mustFR(t, 12, 4), mustCR(t, 11, 4))
+	for _, q := range hrParams(16) {
+		ps = append(ps, mustHR(t, q[0], q[1], q[2], q[3]))
+	}
+	for _, p := range ps {
+		for d, holders := range p.Workers() {
+			if len(holders) != p.C() {
+				t.Errorf("%v: partition %d on %d workers (%v), want %d", p, d, len(holders), holders, p.C())
+			}
+		}
+	}
+}
+
+func TestConflictMatchesSharedPartition(t *testing.T) {
+	// Ground-truth conflict graph: edge iff partition sets intersect.
+	p := mustCR(t, 6, 2)
+	if !p.Conflicts(0, 1) {
+		t.Error("CR(6,2): workers 0,1 share partition 1, must conflict")
+	}
+	if p.Conflicts(0, 2) {
+		t.Error("CR(6,2): workers 0,2 are disjoint, must not conflict")
+	}
+	if p.Conflicts(3, 3) {
+		t.Error("a worker never conflicts with itself")
+	}
+}
+
+// Theorem 1: the conflict graph of CR(n, c) is the circulant C_n^{1..c-1}.
+func TestTheorem1CRConflictIsCirculant(t *testing.T) {
+	for n := 2; n <= 20; n++ {
+		for c := 1; c <= n; c++ {
+			p := mustCR(t, n, c)
+			want := graph.CirculantRange(n, c-1)
+			if !p.ConflictGraph().Equal(want) {
+				t.Fatalf("CR(%d,%d): conflict graph differs from C_%d^{1..%d}", n, c, n, c-1)
+			}
+		}
+	}
+}
+
+// FR conflict graph = disjoint c-cliques.
+func TestFRConflictIsGroupCliques(t *testing.T) {
+	for _, tc := range []struct{ n, c int }{{4, 2}, {12, 3}, {12, 4}, {10, 5}, {6, 1}, {6, 6}} {
+		p := mustFR(t, tc.n, tc.c)
+		g := p.ConflictGraph()
+		for u := 0; u < tc.n; u++ {
+			for v := u + 1; v < tc.n; v++ {
+				want := u/tc.c == v/tc.c
+				if g.HasEdge(u, v) != want {
+					t.Fatalf("FR(%d,%d): edge(%d,%d) = %v, want %v", tc.n, tc.c, u, v, g.HasEdge(u, v), want)
+				}
+			}
+		}
+	}
+}
+
+// The structural (parameter-only) conflict predicates must agree with the
+// ground truth derived from actual partition intersections, for all schemes.
+// For HR this validates our reconstruction of Alg. 4's CONFLICT function.
+func TestStructuralConflictMatchesGroundTruth(t *testing.T) {
+	var ps []*Placement
+	for n := 2; n <= 14; n++ {
+		for c := 1; c <= n; c++ {
+			ps = append(ps, mustCR(t, n, c))
+			if n%c == 0 {
+				ps = append(ps, mustFR(t, n, c))
+			}
+		}
+	}
+	for _, q := range hrParams(20) {
+		ps = append(ps, mustHR(t, q[0], q[1], q[2], q[3]))
+	}
+	for _, p := range ps {
+		if !p.StructuralConflictGraph().Equal(p.ConflictGraph()) {
+			t.Fatalf("%v: structural conflict graph differs from ground truth\nstructural: %v\nground:     %v",
+				p, p.StructuralConflictGraph().Edges(), p.ConflictGraph().Edges())
+		}
+	}
+}
+
+// Theorem 5: the conflict graph of HR(n, c1, c2) with c2=0 (and of any HR in
+// the valid range n0 ≤ 2c-1) makes each group a clique.
+func TestTheorem5HRGroupsAreCliques(t *testing.T) {
+	for _, q := range hrParams(20) {
+		p := mustHR(t, q[0], q[1], q[2], q[3])
+		n0 := p.GroupSize()
+		g := p.ConflictGraph()
+		for u := 0; u < p.N(); u++ {
+			for v := u + 1; v < p.N(); v++ {
+				if u/n0 == v/n0 && !g.HasEdge(u, v) {
+					t.Fatalf("%v: same-group workers %d,%d do not conflict", p, u, v)
+				}
+			}
+		}
+	}
+}
+
+// HR(n, n0, 0) has exactly the FR(n, n0-group) conflict graph (Theorem 5).
+func TestTheorem5HRC2ZeroEqualsFR(t *testing.T) {
+	for _, tc := range []struct{ n, c, g int }{{4, 2, 2}, {8, 4, 2}, {9, 3, 3}, {16, 4, 4}} {
+		p := mustHR(t, tc.n, tc.c, 0, tc.g)
+		fr, err := FR(tc.n, tc.n/tc.g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.ConflictGraph().Equal(fr.ConflictGraph()) {
+			t.Fatalf("HR(%d,%d,0,g=%d) conflict graph ≠ FR(%d,%d)", tc.n, tc.c, tc.g, tc.n, tc.n/tc.g)
+		}
+	}
+}
+
+// Sec. VI-B: when n0 = c, HR(n, c, 0) ≡ HR(n, c-1, 1) (identical placements).
+func TestHREquivalenceFullUpperVsOneLowerRow(t *testing.T) {
+	for _, tc := range []struct{ n, c, g int }{{4, 2, 2}, {8, 4, 2}, {9, 3, 3}, {12, 3, 4}, {16, 4, 4}} {
+		a := mustHR(t, tc.n, tc.c, 0, tc.g)
+		b := mustHR(t, tc.n, tc.c-1, 1, tc.g)
+		for i := 0; i < tc.n; i++ {
+			if !a.PartitionSet(i).Equal(b.PartitionSet(i)) {
+				t.Fatalf("n=%d c=%d g=%d: worker %d differs: %v vs %v",
+					tc.n, tc.c, tc.g, i, a.Partitions(i), b.Partitions(i))
+			}
+		}
+	}
+}
+
+// HR with g=1 (valid only near-complete: n ≤ min(2c-1, c+c1)) matches
+// CR(n, c)'s conflict structure — the single group ring is a rotated CR.
+func TestHRG1EqualsCR(t *testing.T) {
+	for _, tc := range []struct{ n, c1, c2 int }{{4, 1, 2}, {7, 3, 1}, {5, 3, 0}, {6, 3, 1}} {
+		p := mustHR(t, tc.n, tc.c1, tc.c2, 1)
+		cr := mustCR(t, tc.n, tc.c1+tc.c2)
+		if !p.ConflictGraph().Equal(cr.ConflictGraph()) {
+			t.Fatalf("HR(%d,%d,%d,1) conflict ≠ CR(%d,%d)", tc.n, tc.c1, tc.c2, tc.n, tc.c1+tc.c2)
+		}
+	}
+}
+
+// HR with c1 = 0 collapses to a CR placement (Sec. VI-B: "the placement
+// becomes a CR scheme when c1 = 0").
+func TestHRC1ZeroIsCR(t *testing.T) {
+	p, err := HR(8, 0, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind() != KindCR {
+		t.Fatalf("HR(8,0,4,2).Kind = %v, want KindCR", p.Kind())
+	}
+	cr := mustCR(t, 8, 4)
+	for i := 0; i < 8; i++ {
+		if !p.PartitionSet(i).Equal(cr.PartitionSet(i)) {
+			t.Fatalf("worker %d: HR(c1=0) placement %v ≠ CR %v", i, p.Partitions(i), cr.Partitions(i))
+		}
+	}
+}
+
+// Theorem 4: E_FR(n,c) ⊂ E_CR(n,c) ⊂ E_CR(n,c+1) ⊂ … ⊂ E_CR(n,n).
+func TestTheorem4EdgeNesting(t *testing.T) {
+	for n := 2; n <= 16; n++ {
+		prev := (*Placement)(nil)
+		for c := 1; c <= n; c++ {
+			cr := mustCR(t, n, c)
+			if prev != nil && !prev.ConflictGraph().SubgraphOf(cr.ConflictGraph()) {
+				t.Fatalf("E_CR(%d,%d) ⊄ E_CR(%d,%d)", n, c-1, n, c)
+			}
+			if n%c == 0 {
+				fr := mustFR(t, n, c)
+				if !fr.ConflictGraph().SubgraphOf(cr.ConflictGraph()) {
+					t.Fatalf("E_FR(%d,%d) ⊄ E_CR(%d,%d)", n, c, n, c)
+				}
+			}
+			prev = cr
+		}
+	}
+}
+
+// Theorem 7: with c fixed, edges grow as c1 decreases:
+// E_HR(n,c,0) ⊆ E_HR(n,c-1,1) ⊆ … and the chain ends at CR-like density.
+func TestTheorem7HREdgeNesting(t *testing.T) {
+	for _, tc := range []struct{ n, c, g int }{{8, 4, 2}, {16, 4, 4}, {9, 3, 3}, {12, 4, 3}, {10, 5, 2}} {
+		n0 := tc.n / tc.g
+		prev := (*Placement)(nil)
+		for c1 := tc.c; c1 >= 1; c1-- {
+			if n0 < tc.c || n0 > 2*tc.c-1 || n0 > tc.c+c1 || c1 > n0 {
+				continue
+			}
+			c2 := tc.c - c1
+			p := mustHR(t, tc.n, c1, c2, tc.g)
+			if prev != nil && !prev.ConflictGraph().SubgraphOf(p.ConflictGraph()) {
+				t.Fatalf("E_HR(%d,%d,%d) ⊄ E_HR(%d,%d,%d)", tc.n, c1+1, c2-1, tc.n, c1, c2)
+			}
+			prev = p
+		}
+	}
+}
+
+// Theorem 7 endpoint: HR(8, c1=0-equivalent...) — with n0 = c the chain's
+// dense end HR(n, n0-c, 2c-n0) = HR(n, 0, c) is CR(n, c); we verify via g=1
+// elsewhere, and here check monotonicity of α against FR/CR endpoints.
+func TestHRAlphaBetweenFRAndCR(t *testing.T) {
+	// n=8, c=4, g=2, n0=4 — the exact Fig. 13 configuration.
+	fr := mustFR(t, 8, 4)
+	cr := mustCR(t, 8, 4)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		avail := bitset.New(8)
+		for v := 0; v < 8; v++ {
+			if rng.Float64() < 0.6 {
+				avail.Add(v)
+			}
+		}
+		aFR := graph.IndependenceNumber(fr.ConflictGraph(), avail)
+		aCR := graph.IndependenceNumber(cr.ConflictGraph(), avail)
+		prevAlpha := -1
+		for c1 := 4; c1 >= 1; c1-- {
+			p := mustHR(t, 8, c1, 4-c1, 2)
+			a := graph.IndependenceNumber(p.ConflictGraph(), avail)
+			if a > aFR || a < aCR {
+				t.Fatalf("HR(8,%d,%d) α=%d outside [CR=%d, FR=%d] for W'=%v", c1, 4-c1, a, aCR, aFR, avail)
+			}
+			if prevAlpha >= 0 && a > prevAlpha {
+				t.Fatalf("α must be non-increasing as c1 decreases: c1=%d α=%d > prev %d", c1, a, prevAlpha)
+			}
+			prevAlpha = a
+		}
+	}
+}
+
+func TestRecoveredPartitions(t *testing.T) {
+	p := mustCR(t, 4, 2)
+	// Fig. 1(d): workers W3, W4 (0-indexed 2, 3) are available and
+	// independent: recover all of g1..g4? W2={2,3}, W3={3,0}: conflict.
+	// Actually 0-indexed: worker2={2,3}, worker3={3,0} conflict. Use
+	// workers 1 and 3: {1,2} ∪ {3,0} = everything.
+	chosen := bitset.FromSlice([]int{1, 3})
+	if !p.ConflictGraph().IsIndependent(chosen) {
+		t.Fatal("{1,3} should be independent in CR(4,2)")
+	}
+	rec := p.RecoveredPartitions(chosen)
+	if rec.Len() != 4 {
+		t.Fatalf("recovered %d partitions, want 4 (full recovery)", rec.Len())
+	}
+}
+
+func TestTheoremBounds(t *testing.T) {
+	cases := []struct{ n, c, w, lo, hi int }{
+		{4, 2, 2, 1, 2},
+		{4, 2, 3, 2, 2},
+		{4, 2, 4, 2, 2},
+		{4, 2, 1, 1, 1},
+		{12, 3, 7, 3, 4},
+		{7, 3, 5, 2, 2},
+		{7, 3, 2, 1, 2},
+	}
+	for _, tc := range cases {
+		lo, hi := TheoremBounds(tc.n, tc.c, tc.w)
+		if lo != tc.lo || hi != tc.hi {
+			t.Errorf("TheoremBounds(%d,%d,%d) = (%d,%d), want (%d,%d)", tc.n, tc.c, tc.w, lo, hi, tc.lo, tc.hi)
+		}
+		if lo > hi {
+			t.Errorf("lower bound exceeds upper for %+v", tc)
+		}
+	}
+}
+
+// Theorems 10 & 11 (via scheme-aware AlphaBounds): for every scheme and
+// every availability set W', lower ≤ α(G[W']) ≤ upper.
+func TestTheorems10And11AlphaBounds(t *testing.T) {
+	var ps []*Placement
+	ps = append(ps, mustFR(t, 8, 2), mustFR(t, 9, 3), mustCR(t, 8, 3), mustCR(t, 7, 2), mustCR(t, 10, 4))
+	for _, q := range hrParams(12) {
+		ps = append(ps, mustHR(t, q[0], q[1], q[2], q[3]))
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, p := range ps {
+		for trial := 0; trial < 100; trial++ {
+			avail := bitset.New(p.N())
+			for v := 0; v < p.N(); v++ {
+				if rng.Float64() < 0.55 {
+					avail.Add(v)
+				}
+			}
+			w := avail.Len()
+			if w == 0 {
+				continue
+			}
+			alpha := graph.IndependenceNumber(p.ConflictGraph(), avail)
+			lo, hi := p.AlphaBounds(w)
+			if alpha < lo || alpha > hi {
+				t.Fatalf("%v W'=%v (w=%d): α=%d outside [%d,%d]", p, avail, w, alpha, lo, hi)
+			}
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if got := mustFR(t, 4, 2).String(); got != "FR(n=4,c=2)" {
+		t.Errorf("FR String = %q", got)
+	}
+	if got := mustCR(t, 7, 3).String(); got != "CR(n=7,c=3)" {
+		t.Errorf("CR String = %q", got)
+	}
+	if got := mustHR(t, 8, 3, 1, 2).String(); got != "HR(n=8,c1=3,c2=1,g=2)" {
+		t.Errorf("HR String = %q", got)
+	}
+	if KindFR.String() != "FR" || KindCR.String() != "CR" || KindHR.String() != "HR" {
+		t.Error("Kind stringer wrong")
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Error("unknown Kind stringer wrong")
+	}
+}
+
+func TestPartitionsReturnsCopy(t *testing.T) {
+	p := mustCR(t, 4, 2)
+	row := p.Partitions(0)
+	row[0] = 99
+	if p.Partitions(0)[0] == 99 {
+		t.Fatal("Partitions must return a defensive copy")
+	}
+}

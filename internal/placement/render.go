@@ -1,0 +1,79 @@
+package placement
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws the placement as the paper draws Figs. 2 and 7: one column
+// per worker, one row per placement slot, each cell naming the dataset
+// partition stored there (the worker's sorted partition list top to
+// bottom). Group boundaries are marked for FR and HR.
+func (p *Placement) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", p)
+	n0 := p.GroupSize()
+
+	header := make([]string, p.n)
+	for i := range header {
+		header[i] = fmt.Sprintf("W%d", i)
+	}
+	width := cellWidth(p)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				if p.groups > 1 && i%n0 == 0 {
+					b.WriteString(" | ")
+				} else {
+					b.WriteString("  ")
+				}
+			}
+			fmt.Fprintf(&b, "%-*s", width, cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for r := 0; r < p.c; r++ {
+		row := make([]string, p.n)
+		for i := 0; i < p.n; i++ {
+			row[i] = fmt.Sprintf("D%d", p.parts[i][r])
+		}
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// RenderConflicts draws the conflict graph as an adjacency matrix: '#'
+// marks a conflict, '.' independence, and the diagonal is '\'. Handy for
+// eyeballing why a decode picked the workers it did.
+func (p *Placement) RenderConflicts() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "conflicts of %s ('#' = share a partition)\n   ", p)
+	for v := 0; v < p.n; v++ {
+		fmt.Fprintf(&b, "%2d ", v)
+	}
+	b.WriteByte('\n')
+	for u := 0; u < p.n; u++ {
+		fmt.Fprintf(&b, "%2d ", u)
+		for v := 0; v < p.n; v++ {
+			switch {
+			case u == v:
+				b.WriteString(" \\ ")
+			case p.conflict.HasEdge(u, v):
+				b.WriteString(" # ")
+			default:
+				b.WriteString(" . ")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func cellWidth(p *Placement) int {
+	w := len(fmt.Sprintf("W%d", p.n-1))
+	if d := len(fmt.Sprintf("D%d", p.n-1)); d > w {
+		w = d
+	}
+	return w
+}

@@ -1,0 +1,95 @@
+package placement
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRenderCR(t *testing.T) {
+	p := mustCR(t, 4, 2)
+	out := p.Render()
+	if !strings.Contains(out, "CR(n=4,c=2)") {
+		t.Errorf("missing caption:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// caption + header + c rows.
+	if len(lines) != 2+2 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "W0") || !strings.Contains(lines[1], "W3") {
+		t.Errorf("header wrong: %q", lines[1])
+	}
+	// Worker 3 of CR(4,2) stores {0, 3}: the first data row must show D0
+	// in the last column.
+	if !strings.HasSuffix(strings.TrimRight(lines[2], " "), "D0") {
+		t.Errorf("row 0 = %q, want trailing D0 (worker 3's first partition)", lines[2])
+	}
+}
+
+func TestRenderFRShowsGroupSeparators(t *testing.T) {
+	p := mustFR(t, 4, 2)
+	out := p.Render()
+	if !strings.Contains(out, "|") {
+		t.Errorf("FR render should mark group boundaries:\n%s", out)
+	}
+	// CR (single group) must not.
+	if strings.Contains(mustCR(t, 4, 2).Render(), "|") {
+		t.Error("CR render must not contain group separators")
+	}
+}
+
+func TestRenderHR(t *testing.T) {
+	p := mustHR(t, 8, 2, 2, 2)
+	out := p.Render()
+	if !strings.Contains(out, "HR(n=8,c1=2,c2=2,g=2)") {
+		t.Errorf("missing caption:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2+4 { // caption + header + c=4 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderConflicts(t *testing.T) {
+	p := mustCR(t, 4, 2)
+	out := p.RenderConflicts()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2+4 { // caption + column header + 4 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Row for worker 0: conflicts with 1 and 3, not 2; diagonal is '\'.
+	row0 := lines[2]
+	if !strings.Contains(row0, "\\") {
+		t.Errorf("diagonal marker missing: %q", row0)
+	}
+	if strings.Count(row0, "#") != 2 {
+		t.Errorf("worker 0 should conflict with exactly 2 workers: %q", row0)
+	}
+	if strings.Count(row0, ".") != 1 {
+		t.Errorf("worker 0 should be independent of exactly 1 worker: %q", row0)
+	}
+}
+
+// The rendered grid is a faithful projection of the placement: parse it
+// back and compare.
+func TestRenderRoundTripsPartitions(t *testing.T) {
+	p := mustHR(t, 8, 3, 1, 2)
+	lines := strings.Split(strings.TrimRight(p.Render(), "\n"), "\n")
+	for r := 0; r < p.C(); r++ {
+		cells := strings.Fields(strings.ReplaceAll(lines[2+r], "|", " "))
+		if len(cells) != p.N() {
+			t.Fatalf("row %d has %d cells, want %d: %q", r, len(cells), p.N(), lines[2+r])
+		}
+		for i, cell := range cells {
+			want := p.Partitions(i)[r]
+			got, err := strconv.Atoi(strings.TrimPrefix(cell, "D"))
+			if err != nil {
+				t.Fatalf("cell %q: %v", cell, err)
+			}
+			if got != want {
+				t.Fatalf("worker %d row %d: rendered D%d, placement says D%d", i, r, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package placement
+
+import (
+	"fmt"
+
+	"isgc/internal/graph"
+)
+
+// StructuralConflictGraph returns the conflict graph predicted by the
+// paper's structural theorems, computed from parameters alone (never from
+// the actual placement):
+//
+//   - FR(n, c): disjoint cliques, one per group (Sec. IV).
+//   - CR(n, c): the circulant graph C_n^{1..c-1} (Theorem 1).
+//   - HR(n, c1, c2): each group is a clique (Theorem 6 guarantees this in
+//     the valid parameter range); workers in clockwise-neighboring groups
+//     conflict per the overflow predicate of Alg. 4 (Sec. VI-C).
+//
+// Tests assert it equals the ground-truth ConflictGraph derived from the
+// placement itself, which is how we validate Theorems 1, 5, and 6 and the
+// CONFLICT predicate of Alg. 4.
+func (p *Placement) StructuralConflictGraph() *graph.Graph {
+	g := graph.New(p.n)
+	for u := 0; u < p.n; u++ {
+		for v := u + 1; v < p.n; v++ {
+			if p.ConflictsFormula(u, v) {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// ConflictsFormula evaluates conflict between workers u and v using the
+// paper's O(1)/O(c) parameter-based predicates instead of partition-set
+// intersection:
+//
+//   - FR: same group ⇒ conflict (complete per-group subgraphs);
+//   - CR: circular distance d(u, v) < c ⇒ conflict (Theorem 1);
+//   - HR: Alg. 4 — same group ⇒ conflict (cliques by Theorem 6's valid
+//     range); clockwise-adjacent groups conflict iff the earlier worker's
+//     lower (CR) rows overflow into the next group far enough to hit one of
+//     the later worker's partitions.
+func (p *Placement) ConflictsFormula(u, v int) bool {
+	if u == v {
+		return false
+	}
+	switch p.kind {
+	case KindFR:
+		return u/p.c == v/p.c
+	case KindCR:
+		return graph.CircDist(u, v, p.n) < p.c
+	case KindHR:
+		return p.hrConflict(u, v) || p.hrConflict(v, u)
+	default:
+		panic(fmt.Sprintf("placement: unknown kind %v", p.kind))
+	}
+}
+
+// hrConflict is the directional half of Alg. 4: does worker i1 conflict with
+// worker i2 where i2 is in i1's group or in the group clockwise after i1's?
+// (0-indexed throughout; the paper is 1-indexed.)
+//
+// Within a group the answer is always true: Theorem 6's valid range
+// c ≤ n0 ≤ min(2c-1, c+c1) makes every group a clique, which the
+// constructor enforces and tests verify against the ground truth.
+//
+// Across groups, only the lower part (global CR rows) of i1 reaches into
+// the next group: its partitions are (i1 + r) mod n for r < c2, so the
+// overflow covers offsets 0 .. j1+c2-1-n0 of the next group's partition
+// range (empty unless j1+c2 > n0). Conflict holds iff some overflow offset
+// lies in i2's in-group coverage, which from parameters is the cyclic
+// window of length c1 ending at offset j2-1 plus the clipped linear window
+// [j2, min(j2+c2-1, n0-1)].
+func (p *Placement) hrConflict(i1, i2 int) bool {
+	n0 := p.GroupSize()
+	g1, g2 := i1/n0, i2/n0
+	if g1 == g2 {
+		return true
+	}
+	if p.groups < 2 || (g2-g1+p.groups)%p.groups != 1 {
+		return false
+	}
+	j1, j2 := i1%n0, i2%n0
+	if p.c2 == 0 || j1+p.c2 <= n0 {
+		return false // no overflow into the next group
+	}
+	hi := j1 + p.c2 - 1 - n0
+	for off := 0; off <= hi; off++ {
+		// In i2's upper cyclic window of length c1 ending at j2-1?
+		if ((off-(j2-p.c1))%n0+n0)%n0 < p.c1 {
+			return true
+		}
+		// In i2's lower in-group window [j2, j2+c2-1] ∩ [0, n0)?
+		if off >= j2 && off < j2+p.c2 {
+			return true
+		}
+	}
+	return false
+}
+
+// TheoremBounds returns the paper's worst/best-case bounds for the number
+// of recoverable coded gradients α(G[W']) with w available workers
+// (Theorems 10 and 11): lower = min(⌈w/c⌉, ⌊n/c⌋), upper = min(w, ⌊n/c⌋).
+// These are stated for FR(n, c) and CR(n, c); they also apply to HR when
+// n0 = c, because then E_FR ⊆ E_HR ⊆ E_CR squeezes α(G_HR[W']) between
+// values satisfying the same bounds (Theorems 4 and 7).
+func TheoremBounds(n, c, w int) (lower, upper int) {
+	floorNC := n / c
+	lower = (w + c - 1) / c
+	if floorNC < lower {
+		lower = floorNC
+	}
+	upper = w
+	if floorNC < upper {
+		upper = floorNC
+	}
+	return lower, upper
+}
+
+// AlphaBounds returns scheme-aware worst/best-case bounds for α(G[W'])
+// given w = |W'| available workers.
+//
+// For FR and CR these are exactly Theorems 10–11. For HR with n0 = c they
+// coincide with Theorems 10–11 by the squeeze argument above. For HR with
+// n0 > c the paper's bounds do not apply (each group is a clique, so
+// α ≤ g = n/n0 < ⌊n/c⌋ is the binding upper bound); the lower bound comes
+// from picking one worker in every other nonempty group on the group ring,
+// since only clockwise-neighboring groups can conflict.
+func (p *Placement) AlphaBounds(w int) (lower, upper int) {
+	if w < 0 {
+		w = 0
+	}
+	if w > p.n {
+		w = p.n
+	}
+	if p.kind != KindHR || p.GroupSize() == p.c {
+		return TheoremBounds(p.n, p.c, w)
+	}
+	n0 := p.GroupSize()
+	upper = w
+	if p.groups < upper {
+		upper = p.groups
+	}
+	if w == 0 {
+		return 0, upper
+	}
+	// Worst case: the w workers pack into m = ⌈w/n0⌉ groups; a set of
+	// every-other nonempty group is conflict-free across groups.
+	m := (w + n0 - 1) / n0
+	if m < p.groups {
+		lower = (m + 1) / 2
+	} else {
+		lower = p.groups / 2
+	}
+	if lower < 1 {
+		lower = 1
+	}
+	return lower, upper
+}

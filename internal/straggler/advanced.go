@@ -1,0 +1,109 @@
+package straggler
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Replay cycles through a recorded sequence of delays — the trace-driven
+// counterpart of the synthetic models, for experiments that want to feed
+// measured per-step delays (the paper bases its exponential parameters
+// "on the measurements from real cloud workloads"; with real measurements
+// in hand one can replay them directly). Each Sample call consumes the
+// next trace entry, wrapping around at the end.
+//
+// A Replay is stateful: give each worker its own Replay value (the Clone
+// helper makes per-worker copies).
+type Replay struct {
+	trace []time.Duration
+	pos   int
+}
+
+// NewReplay validates and wraps the trace.
+func NewReplay(trace []time.Duration) (*Replay, error) {
+	if len(trace) == 0 {
+		return nil, fmt.Errorf("straggler: empty replay trace")
+	}
+	for i, d := range trace {
+		if d < 0 {
+			return nil, fmt.Errorf("straggler: negative delay %v at trace index %d", d, i)
+		}
+	}
+	out := make([]time.Duration, len(trace))
+	copy(out, trace)
+	return &Replay{trace: out}, nil
+}
+
+// Clone returns an independent replay starting at the given offset into
+// the trace (mod its length); use distinct offsets to de-synchronize
+// workers sharing a trace.
+func (r *Replay) Clone(offset int) *Replay {
+	return &Replay{trace: r.trace, pos: ((offset % len(r.trace)) + len(r.trace)) % len(r.trace)}
+}
+
+// Sample implements Model: it returns the next trace entry.
+func (r *Replay) Sample(*rand.Rand) time.Duration {
+	d := r.trace[r.pos]
+	r.pos = (r.pos + 1) % len(r.trace)
+	return d
+}
+
+// String implements Model.
+func (r *Replay) String() string {
+	return fmt.Sprintf("replay(len=%d)", len(r.trace))
+}
+
+// Bursty is a two-state Markov-modulated delay model: a worker is either
+// in the fast state (delay ~ Fast) or the slow state (delay ~ Slow), and
+// flips state per step with probability PEnterSlow / PExitSlow. It
+// captures the bursty, correlated slowness of real cloud workers that
+// memoryless exponentials miss — the regime where the Fig. 12(a) enduring-
+// straggler effect appears organically.
+type Bursty struct {
+	// Fast and Slow generate the per-step delay in each state.
+	Fast, Slow Model
+	// PEnterSlow is the per-step probability of a fast worker turning
+	// slow; PExitSlow of a slow worker recovering.
+	PEnterSlow, PExitSlow float64
+
+	slow bool // current state; zero value starts fast
+}
+
+// NewBursty validates the parameters. Each worker needs its own *Bursty
+// (the model is stateful).
+func NewBursty(fast, slow Model, pEnter, pExit float64) (*Bursty, error) {
+	if fast == nil || slow == nil {
+		return nil, fmt.Errorf("straggler: bursty needs both state models")
+	}
+	if pEnter < 0 || pEnter > 1 || pExit < 0 || pExit > 1 {
+		return nil, fmt.Errorf("straggler: bursty probabilities must be in [0,1], got enter=%v exit=%v", pEnter, pExit)
+	}
+	return &Bursty{Fast: fast, Slow: slow, PEnterSlow: pEnter, PExitSlow: pExit}, nil
+}
+
+// Sample implements Model: advance the Markov chain, then draw from the
+// current state's model.
+func (b *Bursty) Sample(rng *rand.Rand) time.Duration {
+	if b.slow {
+		if rng.Float64() < b.PExitSlow {
+			b.slow = false
+		}
+	} else {
+		if rng.Float64() < b.PEnterSlow {
+			b.slow = true
+		}
+	}
+	if b.slow {
+		return b.Slow.Sample(rng)
+	}
+	return b.Fast.Sample(rng)
+}
+
+// InSlowState reports the chain's current state (mainly for tests).
+func (b *Bursty) InSlowState() bool { return b.slow }
+
+// String implements Model.
+func (b *Bursty) String() string {
+	return fmt.Sprintf("bursty(enter=%.2f,exit=%.2f,fast=%s,slow=%s)", b.PEnterSlow, b.PExitSlow, b.Fast, b.Slow)
+}

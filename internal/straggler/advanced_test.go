@@ -1,0 +1,167 @@
+package straggler
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestReplayValidation(t *testing.T) {
+	if _, err := NewReplay(nil); err == nil {
+		t.Error("empty trace must error")
+	}
+	if _, err := NewReplay([]time.Duration{time.Second, -1}); err == nil {
+		t.Error("negative delay must error")
+	}
+}
+
+func TestReplayCyclesTrace(t *testing.T) {
+	r, err := NewReplay([]time.Duration{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	want := []time.Duration{1, 2, 3, 1, 2, 3, 1}
+	for i, w := range want {
+		if got := r.Sample(rng); got != w {
+			t.Fatalf("sample %d = %v, want %v", i, got, w)
+		}
+	}
+	if !strings.Contains(r.String(), "len=3") {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestReplayCopiesTrace(t *testing.T) {
+	trace := []time.Duration{5, 6}
+	r, err := NewReplay(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace[0] = 99
+	rng := rand.New(rand.NewSource(1))
+	if r.Sample(rng) != 5 {
+		t.Fatal("NewReplay must copy the trace")
+	}
+}
+
+func TestReplayCloneOffsets(t *testing.T) {
+	r, err := NewReplay([]time.Duration{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	c1 := r.Clone(1)
+	if c1.Sample(rng) != 20 {
+		t.Fatal("offset clone must start mid-trace")
+	}
+	cNeg := r.Clone(-1)
+	if cNeg.Sample(rng) != 30 {
+		t.Fatal("negative offsets must wrap")
+	}
+	// Clones are independent of each other and of the original.
+	if r.Sample(rng) != 10 {
+		t.Fatal("original position must be untouched by clones")
+	}
+}
+
+func TestBurstyValidation(t *testing.T) {
+	if _, err := NewBursty(nil, Constant{D: 1}, 0.1, 0.1); err == nil {
+		t.Error("nil fast model must error")
+	}
+	if _, err := NewBursty(Constant{D: 1}, nil, 0.1, 0.1); err == nil {
+		t.Error("nil slow model must error")
+	}
+	if _, err := NewBursty(Constant{D: 1}, Constant{D: 2}, -0.1, 0.1); err == nil {
+		t.Error("negative probability must error")
+	}
+	if _, err := NewBursty(Constant{D: 1}, Constant{D: 2}, 0.1, 1.5); err == nil {
+		t.Error("probability > 1 must error")
+	}
+}
+
+func TestBurstyStationaryFraction(t *testing.T) {
+	// Two-state chain with enter=0.1, exit=0.3: stationary P(slow) =
+	// enter/(enter+exit) = 0.25.
+	b, err := NewBursty(Constant{D: time.Millisecond}, Constant{D: time.Second}, 0.1, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	slow := 0
+	const steps = 200000
+	for i := 0; i < steps; i++ {
+		if b.Sample(rng) == time.Second {
+			slow++
+		}
+	}
+	frac := float64(slow) / steps
+	if frac < 0.23 || frac > 0.27 {
+		t.Fatalf("slow fraction %v, want ≈0.25", frac)
+	}
+}
+
+func TestBurstyIsBursty(t *testing.T) {
+	// With tiny transition probabilities the state persists: consecutive
+	// samples should be highly correlated, unlike Bernoulli.
+	b, err := NewBursty(Constant{D: 0}, Constant{D: time.Second}, 0.02, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	transitions, prev := 0, time.Duration(-1)
+	const steps = 20000
+	for i := 0; i < steps; i++ {
+		d := b.Sample(rng)
+		if prev >= 0 && d != prev {
+			transitions++
+		}
+		prev = d
+	}
+	// Expected transitions ≈ steps * 0.02·(flip prob) ≈ 400; Bernoulli at
+	// p=0.5 would flip ~10000 times.
+	if transitions > 1500 {
+		t.Fatalf("%d transitions in %d steps: not bursty", transitions, steps)
+	}
+	if transitions == 0 {
+		t.Fatal("chain never left its state — transition sampling broken")
+	}
+}
+
+func TestBurstyStartsFast(t *testing.T) {
+	b, err := NewBursty(Constant{D: 0}, Constant{D: time.Second}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.InSlowState() {
+		t.Fatal("zero value must start in the fast state")
+	}
+	rng := rand.New(rand.NewSource(4))
+	// With both transition probabilities zero it stays fast forever.
+	for i := 0; i < 100; i++ {
+		if b.Sample(rng) != 0 {
+			t.Fatal("chain must stay fast with p=0 transitions")
+		}
+	}
+	if !strings.Contains(b.String(), "bursty") {
+		t.Errorf("String = %q", b.String())
+	}
+}
+
+func TestReplayInProfile(t *testing.T) {
+	// Replay models plug into Profile like any other Model.
+	r, err := NewReplay([]time.Duration{7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProfileFromModels([]Model{r.Clone(0), r.Clone(1)}, 1)
+	first := p.SampleAll()
+	if first[0] != 7 || first[1] != 8 {
+		t.Fatalf("first = %v", first)
+	}
+	second := p.SampleAll()
+	if second[0] != 8 || second[1] != 7 {
+		t.Fatalf("second = %v", second)
+	}
+}

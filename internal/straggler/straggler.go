@@ -1,0 +1,206 @@
+// Package straggler models worker slowness for the paper's experiments.
+//
+// The paper's Sec. VIII-B methodology: "simulate stragglers by adding an
+// arbitrary delay before sending (coded) gradients to the master from 12 or
+// 24 workers. The delay is generated randomly following an exponential
+// distribution, based on the measurements from real cloud workloads."
+// This package provides that exponential model plus the other delay shapes
+// used in ablations (constant, uniform, shifted exponential, Bernoulli
+// slowdown) and the "enduring straggler" the paper observes in Fig. 12(a).
+//
+// All delays are time.Duration values produced from a seeded RNG so whole
+// experiments are reproducible.
+package straggler
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Model produces a random delay sample for one worker in one step.
+type Model interface {
+	// Sample returns the delay added to the worker's step time.
+	Sample(rng *rand.Rand) time.Duration
+	// String describes the model for experiment logs.
+	String() string
+}
+
+// None is the zero-delay model.
+type None struct{}
+
+// Sample implements Model.
+func (None) Sample(*rand.Rand) time.Duration { return 0 }
+
+// String implements Model.
+func (None) String() string { return "none" }
+
+// Constant always returns the same delay D.
+type Constant struct {
+	D time.Duration
+}
+
+// Sample implements Model.
+func (c Constant) Sample(*rand.Rand) time.Duration { return c.D }
+
+// String implements Model.
+func (c Constant) String() string { return fmt.Sprintf("constant(%v)", c.D) }
+
+// Uniform samples uniformly from [Min, Max].
+type Uniform struct {
+	Min, Max time.Duration
+}
+
+// Sample implements Model.
+func (u Uniform) Sample(rng *rand.Rand) time.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + time.Duration(rng.Int63n(int64(u.Max-u.Min)+1))
+}
+
+// String implements Model.
+func (u Uniform) String() string { return fmt.Sprintf("uniform[%v,%v]", u.Min, u.Max) }
+
+// Exponential samples Exp(λ) with mean Mean — the paper's primary straggler
+// model (Sec. VIII-B, after real cloud measurements).
+type Exponential struct {
+	Mean time.Duration
+}
+
+// Sample implements Model.
+func (e Exponential) Sample(rng *rand.Rand) time.Duration {
+	if e.Mean <= 0 {
+		return 0
+	}
+	return time.Duration(rng.ExpFloat64() * float64(e.Mean))
+}
+
+// String implements Model.
+func (e Exponential) String() string { return fmt.Sprintf("exp(mean=%v)", e.Mean) }
+
+// ShiftedExponential samples Shift + Exp(mean=Mean): the classic model for
+// compute time with a deterministic floor.
+type ShiftedExponential struct {
+	Shift time.Duration
+	Mean  time.Duration
+}
+
+// Sample implements Model.
+func (s ShiftedExponential) Sample(rng *rand.Rand) time.Duration {
+	d := s.Shift
+	if s.Mean > 0 {
+		d += time.Duration(rng.ExpFloat64() * float64(s.Mean))
+	}
+	return d
+}
+
+// String implements Model.
+func (s ShiftedExponential) String() string {
+	return fmt.Sprintf("shiftedExp(shift=%v,mean=%v)", s.Shift, s.Mean)
+}
+
+// Bernoulli is slow with probability P (delay Slow), fast otherwise
+// (delay Fast). Useful for "fail-slow with probability p" ablations.
+type Bernoulli struct {
+	P          float64
+	Slow, Fast time.Duration
+}
+
+// Sample implements Model.
+func (b Bernoulli) Sample(rng *rand.Rand) time.Duration {
+	if rng.Float64() < b.P {
+		return b.Slow
+	}
+	return b.Fast
+}
+
+// String implements Model.
+func (b Bernoulli) String() string {
+	return fmt.Sprintf("bernoulli(p=%.2f,slow=%v,fast=%v)", b.P, b.Slow, b.Fast)
+}
+
+// Scaled multiplies another model's samples by Factor — e.g. to express
+// "this worker is 3× slower than the fleet".
+type Scaled struct {
+	Inner  Model
+	Factor float64
+}
+
+// Sample implements Model.
+func (s Scaled) Sample(rng *rand.Rand) time.Duration {
+	return time.Duration(float64(s.Inner.Sample(rng)) * s.Factor)
+}
+
+// String implements Model.
+func (s Scaled) String() string { return fmt.Sprintf("scaled(%.2f×%s)", s.Factor, s.Inner) }
+
+// Profile assigns one delay model per worker, plus a shared seeded RNG.
+// A Profile is the unit of straggler configuration an experiment passes to
+// the simulator or engine. It is not safe for concurrent use.
+type Profile struct {
+	models []Model
+	rng    *rand.Rand
+}
+
+// NewProfile builds a profile where all n workers share the same model.
+func NewProfile(n int, m Model, seed int64) *Profile {
+	models := make([]Model, n)
+	for i := range models {
+		models[i] = m
+	}
+	return &Profile{models: models, rng: rand.New(rand.NewSource(seed))}
+}
+
+// NewProfileFromModels builds a profile with per-worker models.
+func NewProfileFromModels(models []Model, seed int64) *Profile {
+	out := make([]Model, len(models))
+	copy(out, models)
+	return &Profile{models: out, rng: rand.New(rand.NewSource(seed))}
+}
+
+// PartialProfile reproduces the paper's Fig. 11 setup: the first slowCount
+// workers straggle following slow; the rest experience no added delay.
+func PartialProfile(n, slowCount int, slow Model, seed int64) *Profile {
+	models := make([]Model, n)
+	for i := range models {
+		if i < slowCount {
+			models[i] = slow
+		} else {
+			models[i] = None{}
+		}
+	}
+	return &Profile{models: models, rng: rand.New(rand.NewSource(seed))}
+}
+
+// WithEnduringStraggler returns a copy of the profile where worker idx is
+// consistently Factor× slower — the "enduring straggler" the paper credits
+// for the >expected recovery at w=2 in Fig. 12(a).
+func (p *Profile) WithEnduringStraggler(idx int, factor float64, seed int64) *Profile {
+	models := make([]Model, len(p.models))
+	copy(models, p.models)
+	if idx >= 0 && idx < len(models) {
+		models[idx] = Scaled{Inner: models[idx], Factor: factor}
+	}
+	return &Profile{models: models, rng: rand.New(rand.NewSource(seed))}
+}
+
+// N returns the number of workers in the profile.
+func (p *Profile) N() int { return len(p.models) }
+
+// Model returns worker i's delay model.
+func (p *Profile) Model(i int) Model { return p.models[i] }
+
+// SampleAll draws one delay per worker for a single training step.
+func (p *Profile) SampleAll() []time.Duration {
+	out := make([]time.Duration, len(p.models))
+	for i, m := range p.models {
+		out[i] = m.Sample(p.rng)
+	}
+	return out
+}
+
+// Sample draws a delay for worker i.
+func (p *Profile) Sample(i int) time.Duration {
+	return p.models[i].Sample(p.rng)
+}

@@ -1,0 +1,209 @@
+package straggler
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var m None
+	for i := 0; i < 10; i++ {
+		if m.Sample(rng) != 0 {
+			t.Fatal("None must sample 0")
+		}
+	}
+	if m.String() != "none" {
+		t.Fatal("wrong String")
+	}
+}
+
+func TestConstant(t *testing.T) {
+	m := Constant{D: 3 * time.Second}
+	rng := rand.New(rand.NewSource(1))
+	if m.Sample(rng) != 3*time.Second {
+		t.Fatal("wrong constant sample")
+	}
+	if !strings.Contains(m.String(), "3s") {
+		t.Fatalf("String = %q", m.String())
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	m := Uniform{Min: time.Second, Max: 2 * time.Second}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		d := m.Sample(rng)
+		if d < time.Second || d > 2*time.Second {
+			t.Fatalf("sample %v outside [1s, 2s]", d)
+		}
+	}
+	// Degenerate range.
+	deg := Uniform{Min: time.Second, Max: time.Second}
+	if deg.Sample(rng) != time.Second {
+		t.Fatal("degenerate uniform must return Min")
+	}
+	inv := Uniform{Min: 2 * time.Second, Max: time.Second}
+	if inv.Sample(rng) != 2*time.Second {
+		t.Fatal("inverted uniform must return Min")
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	m := Exponential{Mean: 1500 * time.Millisecond}
+	rng := rand.New(rand.NewSource(3))
+	const trials = 200000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		d := m.Sample(rng)
+		if d < 0 {
+			t.Fatal("negative delay")
+		}
+		sum += float64(d)
+	}
+	mean := sum / trials
+	want := float64(1500 * time.Millisecond)
+	if math.Abs(mean-want)/want > 0.02 {
+		t.Fatalf("empirical mean %v, want ≈%v", time.Duration(mean), time.Duration(want))
+	}
+	if (Exponential{}).Sample(rng) != 0 {
+		t.Fatal("zero-mean exponential must sample 0")
+	}
+}
+
+func TestShiftedExponential(t *testing.T) {
+	m := ShiftedExponential{Shift: time.Second, Mean: 500 * time.Millisecond}
+	rng := rand.New(rand.NewSource(4))
+	const trials = 100000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		d := m.Sample(rng)
+		if d < time.Second {
+			t.Fatalf("sample %v below shift", d)
+		}
+		sum += float64(d)
+	}
+	mean := sum / trials
+	want := float64(1500 * time.Millisecond)
+	if math.Abs(mean-want)/want > 0.02 {
+		t.Fatalf("empirical mean %v, want ≈%v", time.Duration(mean), time.Duration(want))
+	}
+	noTail := ShiftedExponential{Shift: time.Second}
+	if noTail.Sample(rng) != time.Second {
+		t.Fatal("mean=0 shifted exponential must return shift")
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	m := Bernoulli{P: 0.25, Slow: 10 * time.Second, Fast: time.Second}
+	rng := rand.New(rand.NewSource(5))
+	slow := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		switch m.Sample(rng) {
+		case 10 * time.Second:
+			slow++
+		case time.Second:
+		default:
+			t.Fatal("unexpected sample value")
+		}
+	}
+	frac := float64(slow) / trials
+	if math.Abs(frac-0.25) > 0.01 {
+		t.Fatalf("slow fraction %v, want ≈0.25", frac)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	m := Scaled{Inner: Constant{D: 2 * time.Second}, Factor: 1.5}
+	rng := rand.New(rand.NewSource(6))
+	if m.Sample(rng) != 3*time.Second {
+		t.Fatal("wrong scaled sample")
+	}
+	if !strings.Contains(m.String(), "1.50") {
+		t.Fatalf("String = %q", m.String())
+	}
+}
+
+func TestProfileUniformModel(t *testing.T) {
+	p := NewProfile(4, Constant{D: time.Second}, 1)
+	if p.N() != 4 {
+		t.Fatalf("N = %d", p.N())
+	}
+	all := p.SampleAll()
+	if len(all) != 4 {
+		t.Fatalf("SampleAll len = %d", len(all))
+	}
+	for i, d := range all {
+		if d != time.Second {
+			t.Fatalf("worker %d delay %v", i, d)
+		}
+		if p.Sample(i) != time.Second {
+			t.Fatal("Sample(i) wrong")
+		}
+	}
+}
+
+func TestPartialProfileFig11Setup(t *testing.T) {
+	// Paper: delays on 12 of 24 workers.
+	p := PartialProfile(24, 12, Exponential{Mean: 1500 * time.Millisecond}, 7)
+	slow, fast := 0, 0
+	for i := 0; i < 24; i++ {
+		switch p.Model(i).(type) {
+		case Exponential:
+			slow++
+		case None:
+			fast++
+		default:
+			t.Fatalf("unexpected model %T", p.Model(i))
+		}
+	}
+	if slow != 12 || fast != 12 {
+		t.Fatalf("slow=%d fast=%d, want 12/12", slow, fast)
+	}
+}
+
+func TestWithEnduringStraggler(t *testing.T) {
+	p := NewProfile(4, Constant{D: time.Second}, 1)
+	q := p.WithEnduringStraggler(2, 3.0, 2)
+	if q.Sample(2) != 3*time.Second {
+		t.Fatal("enduring straggler not scaled")
+	}
+	if q.Sample(0) != time.Second {
+		t.Fatal("other workers must be unchanged")
+	}
+	// Original profile untouched.
+	if p.Sample(2) != time.Second {
+		t.Fatal("WithEnduringStraggler must not mutate the receiver")
+	}
+	// Out-of-range index is a no-op.
+	r := p.WithEnduringStraggler(99, 3.0, 3)
+	if r.Sample(0) != time.Second {
+		t.Fatal("out-of-range enduring straggler must be a no-op")
+	}
+}
+
+func TestNewProfileFromModelsCopies(t *testing.T) {
+	models := []Model{None{}, Constant{D: time.Second}}
+	p := NewProfileFromModels(models, 1)
+	models[0] = Constant{D: 9 * time.Second}
+	if p.Sample(0) != 0 {
+		t.Fatal("NewProfileFromModels must copy the slice")
+	}
+}
+
+func TestProfileDeterminism(t *testing.T) {
+	a := NewProfile(8, Exponential{Mean: time.Second}, 99)
+	b := NewProfile(8, Exponential{Mean: time.Second}, 99)
+	for step := 0; step < 20; step++ {
+		da, db := a.SampleAll(), b.SampleAll()
+		for i := range da {
+			if da[i] != db[i] {
+				t.Fatalf("step %d worker %d: %v ≠ %v", step, i, da[i], db[i])
+			}
+		}
+	}
+}

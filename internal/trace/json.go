@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// jsonRecord is the wire form of StepRecord: durations in milliseconds so
+// external plotting tools need no Go-duration parsing.
+type jsonRecord struct {
+	Step              int     `json:"step"`
+	Available         int     `json:"available"`
+	Chosen            int     `json:"chosen"`
+	RecoveredFraction float64 `json:"recovered_fraction"`
+	Partitions        []int   `json:"partitions,omitempty"`
+	Loss              float64 `json:"loss"`
+	Accuracy          float64 `json:"accuracy,omitempty"`
+	ElapsedMillis     float64 `json:"elapsed_ms"`
+}
+
+type jsonRun struct {
+	Steps         int          `json:"steps"`
+	TotalMillis   float64      `json:"total_ms"`
+	MeanRecovered float64      `json:"mean_recovered"`
+	FinalLoss     float64      `json:"final_loss"`
+	Records       []jsonRecord `json:"records"`
+}
+
+// WriteJSON serializes the run for external analysis/plotting. NaN losses
+// (empty runs) are emitted as null via a -1 sentinel-free encoding: the
+// summary FinalLoss is omitted when unavailable.
+func (r *Run) WriteJSON(w io.Writer) error {
+	out := jsonRun{
+		Steps:         r.Steps(),
+		TotalMillis:   float64(r.TotalTime()) / float64(time.Millisecond),
+		MeanRecovered: r.MeanRecovered(),
+		Records:       make([]jsonRecord, 0, len(r.Records)),
+	}
+	if r.Steps() > 0 {
+		out.FinalLoss = r.FinalLoss()
+	}
+	for _, rec := range r.Records {
+		out.Records = append(out.Records, jsonRecord{
+			Step:              rec.Step,
+			Available:         rec.Available,
+			Chosen:            rec.Chosen,
+			RecoveredFraction: rec.RecoveredFraction,
+			Partitions:        rec.Partitions,
+			Loss:              rec.Loss,
+			Accuracy:          rec.Accuracy,
+			ElapsedMillis:     float64(rec.Elapsed) / float64(time.Millisecond),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("trace: encode run: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses a run previously written with WriteJSON.
+func ReadJSON(rd io.Reader) (*Run, error) {
+	var in jsonRun
+	if err := json.NewDecoder(rd).Decode(&in); err != nil {
+		return nil, fmt.Errorf("trace: decode run: %w", err)
+	}
+	run := &Run{}
+	for _, rec := range in.Records {
+		run.Append(StepRecord{
+			Step:              rec.Step,
+			Available:         rec.Available,
+			Chosen:            rec.Chosen,
+			RecoveredFraction: rec.RecoveredFraction,
+			Partitions:        rec.Partitions,
+			Loss:              rec.Loss,
+			Accuracy:          rec.Accuracy,
+			Elapsed:           time.Duration(rec.ElapsedMillis * float64(time.Millisecond)),
+		})
+	}
+	return run, nil
+}

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	var r Run
+	r.Append(StepRecord{Step: 0, Available: 3, Chosen: 2, RecoveredFraction: 0.5,
+		Partitions: []int{0, 2}, Loss: 1.25, Elapsed: 1500 * time.Millisecond})
+	r.Append(StepRecord{Step: 1, Available: 4, Chosen: 2, RecoveredFraction: 1.0,
+		Partitions: []int{0, 1, 2, 3}, Loss: 0.75, Elapsed: 2 * time.Second})
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{`"steps": 2`, `"recovered_fraction": 0.5`, `"elapsed_ms": 1500`, `"final_loss": 0.75`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON missing %q:\n%s", want, s)
+		}
+	}
+
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Steps() != 2 {
+		t.Fatalf("round-trip steps = %d", back.Steps())
+	}
+	if back.Records[0].Elapsed != 1500*time.Millisecond {
+		t.Fatalf("elapsed = %v", back.Records[0].Elapsed)
+	}
+	if back.FinalLoss() != 0.75 || back.MeanRecovered() != 0.75 {
+		t.Fatalf("aggregates wrong: %v %v", back.FinalLoss(), back.MeanRecovered())
+	}
+	if len(back.Records[1].Partitions) != 4 {
+		t.Fatal("partitions lost in round trip")
+	}
+}
+
+func TestJSONEmptyRun(t *testing.T) {
+	var r Run
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Steps() != 0 {
+		t.Fatal("empty run must round-trip empty")
+	}
+}
+
+func TestReadJSONGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{nope")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}

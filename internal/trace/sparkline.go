@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"math"
+	"strings"
+)
+
+// sparkTicks are the eight block heights used by Sparkline.
+var sparkTicks = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders xs as a one-line unicode mini-chart, normalizing to
+// the series' own min/max. NaN/Inf values render as spaces. An empty
+// series yields "". Handy for printing loss curves in terminal output.
+func Sparkline(xs []float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return strings.Repeat(" ", len(xs)) // all values invalid
+	}
+	var b strings.Builder
+	span := hi - lo
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			b.WriteByte(' ')
+			continue
+		}
+		idx := 0
+		if span > 0 {
+			idx = int((x - lo) / span * float64(len(sparkTicks)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkTicks) {
+			idx = len(sparkTicks) - 1
+		}
+		b.WriteRune(sparkTicks[idx])
+	}
+	return b.String()
+}
+
+// Downsample reduces xs to at most n points by averaging equal-width
+// buckets, preserving the curve's shape for Sparkline rendering. It
+// returns xs unchanged (not copied) when len(xs) ≤ n or n ≤ 0.
+func Downsample(xs []float64, n int) []float64 {
+	if n <= 0 || len(xs) <= n {
+		return xs
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		start := i * len(xs) / n
+		end := (i + 1) * len(xs) / n
+		if end <= start {
+			end = start + 1
+		}
+		sum := 0.0
+		for _, x := range xs[start:end] {
+			sum += x
+		}
+		out[i] = sum / float64(end-start)
+	}
+	return out
+}

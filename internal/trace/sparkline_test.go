@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestSparklineBasics(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Error("empty series must render empty")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if utf8.RuneCountInString(s) != 8 {
+		t.Fatalf("rune count = %d, want 8", utf8.RuneCountInString(s))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Fatalf("endpoints wrong: %q", s)
+	}
+	// Monotone input → non-decreasing ticks.
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Fatalf("non-monotone render: %q", s)
+		}
+	}
+}
+
+func TestSparklineConstantSeries(t *testing.T) {
+	s := Sparkline([]float64{5, 5, 5})
+	if s != "▁▁▁" {
+		t.Fatalf("constant series = %q, want lowest ticks", s)
+	}
+}
+
+func TestSparklineInvalidValues(t *testing.T) {
+	s := Sparkline([]float64{1, math.NaN(), 2, math.Inf(1)})
+	runes := []rune(s)
+	if runes[1] != ' ' || runes[3] != ' ' {
+		t.Fatalf("invalid values must render as spaces: %q", s)
+	}
+	allBad := Sparkline([]float64{math.NaN(), math.Inf(-1)})
+	if strings.TrimSpace(allBad) != "" {
+		t.Fatalf("all-invalid series = %q, want blanks", allBad)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	xs := []float64{1, 1, 3, 3, 5, 5}
+	got := Downsample(xs, 3)
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("Downsample = %v", got)
+	}
+	// No-op cases.
+	if out := Downsample(xs, 10); len(out) != 6 {
+		t.Fatal("n ≥ len must be a no-op")
+	}
+	if out := Downsample(xs, 0); len(out) != 6 {
+		t.Fatal("n = 0 must be a no-op")
+	}
+	// Uneven buckets still cover everything.
+	long := make([]float64, 10)
+	for i := range long {
+		long[i] = float64(i)
+	}
+	ds := Downsample(long, 3)
+	if len(ds) != 3 {
+		t.Fatalf("len = %d", len(ds))
+	}
+	if !(ds[0] < ds[1] && ds[1] < ds[2]) {
+		t.Fatalf("downsample must preserve monotone shape: %v", ds)
+	}
+}
+
+func TestSparklineWithDownsampledLossCurve(t *testing.T) {
+	// A decaying loss curve renders high → low.
+	losses := make([]float64, 200)
+	for i := range losses {
+		losses[i] = math.Exp(-float64(i) / 40)
+	}
+	s := []rune(Sparkline(Downsample(losses, 20)))
+	if len(s) != 20 {
+		t.Fatalf("len = %d", len(s))
+	}
+	if s[0] != '█' || s[len(s)-1] != '▁' {
+		t.Fatalf("decay renders wrong: %q", string(s))
+	}
+}

@@ -1,0 +1,179 @@
+package isgc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFacadeConstructors(t *testing.T) {
+	if _, err := NewFR(4, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFR(5, 2, 1); err == nil {
+		t.Error("NewFR must reject c∤n")
+	}
+	if _, err := NewCR(7, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCR(4, 0, 1); err == nil {
+		t.Error("NewCR must reject c=0")
+	}
+	if _, err := NewHR(8, 2, 2, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewHR(12, 1, 1, 2, 1); err == nil {
+		t.Error("NewHR must reject out-of-range n0")
+	}
+}
+
+func TestFacadeAccessors(t *testing.T) {
+	s, err := NewCR(4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 4 || s.C() != 2 {
+		t.Fatal("N/C wrong")
+	}
+	if got := s.Partitions(1); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Partitions(1) = %v", got)
+	}
+	if !s.Conflicts(0, 1) || s.Conflicts(0, 2) {
+		t.Fatal("Conflicts wrong")
+	}
+	if s.String() != "CR(n=4,c=2)" {
+		t.Fatalf("String = %q", s.String())
+	}
+	lo, hi := s.AlphaBounds(2)
+	if lo != 1 || hi != 2 {
+		t.Fatalf("AlphaBounds(2) = %d,%d", lo, hi)
+	}
+}
+
+func TestFacadeDecodePaperExample(t *testing.T) {
+	// Fig. 1(d): CR(4,2), available {W2, W4} (0-indexed {1, 3}) recovers
+	// everything.
+	s, err := NewCR(4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chosen := s.Decode([]int{1, 3})
+	if len(chosen) != 2 {
+		t.Fatalf("chosen = %v", chosen)
+	}
+	if got := s.RecoveredFraction([]int{1, 3}); got != 1.0 {
+		t.Fatalf("fraction = %v", got)
+	}
+	parts := s.Recovered(chosen)
+	if len(parts) != 4 {
+		t.Fatalf("parts = %v", parts)
+	}
+}
+
+func TestFacadeEncodeAggregateRoundTrip(t *testing.T) {
+	s, err := NewCR(4, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	grads := make([][]float64, 4)
+	for d := range grads {
+		grads[d] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	coded := make([][]float64, 4)
+	for i := 0; i < 4; i++ {
+		local := make([][]float64, s.C())
+		for j, d := range s.Partitions(i) {
+			local[j] = grads[d]
+		}
+		var err error
+		coded[i], err = s.EncodeLocal(i, local)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	ghat, parts, chosen, err := s.DecodeAndAggregate([]int{1, 3}, coded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chosen) != 2 || len(parts) != 4 {
+		t.Fatalf("chosen=%v parts=%v", chosen, parts)
+	}
+	want := make([]float64, 2)
+	for _, g := range grads {
+		want[0] += g[0]
+		want[1] += g[1]
+	}
+	for k := range want {
+		if diff := want[k] - ghat[k]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("ĝ = %v, want %v", ghat, want)
+		}
+	}
+	// Aggregate alone agrees.
+	g2, p2, err := s.Aggregate(chosen, coded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2) != 4 || g2[0] != ghat[0] {
+		t.Fatal("Aggregate mismatch")
+	}
+}
+
+func TestFacadeVerify(t *testing.T) {
+	s, err := NewCR(4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s.Verify([]int{1, 3}); err != nil || n != 4 {
+		t.Fatalf("Verify({1,3}) = %d, %v", n, err)
+	}
+	if _, err := s.Verify([]int{0, 1}); err == nil {
+		t.Error("Verify must reject conflicting workers")
+	}
+	if _, err := s.Verify([]int{9}); err == nil {
+		t.Error("Verify must reject out-of-range workers")
+	}
+	if n, err := s.Verify(nil); err != nil || n != 0 {
+		t.Errorf("Verify(∅) = %d, %v", n, err)
+	}
+}
+
+func TestFacadeExpectedRecovery(t *testing.T) {
+	fr, err := NewFR(4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fr.ExpectedRecovery(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := got - 5.0/6; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("E[FR(4,2) recovery at w=2] = %v, want 5/6", got)
+	}
+	cr, err := NewCR(4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCR, err := cr.ExpectedRecovery(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := gotCR - 2.0/3; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("E[CR(4,2) recovery at w=2] = %v, want 2/3", gotCR)
+	}
+	if _, err := fr.ExpectedRecovery(0); err == nil {
+		t.Error("w=0 must error")
+	}
+}
+
+func TestFacadeDecodeEmptyAndJunk(t *testing.T) {
+	s, err := NewHR(8, 2, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Decode(nil); len(got) != 0 {
+		t.Fatalf("Decode(nil) = %v", got)
+	}
+	if got := s.Decode([]int{100, 200}); len(got) != 0 {
+		t.Fatalf("Decode(junk) = %v", got)
+	}
+}

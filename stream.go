@@ -1,0 +1,47 @@
+package isgc
+
+import (
+	core "isgc/internal/isgc"
+)
+
+// StreamDecoder tracks the best decodable worker set as coded gradients
+// arrive one at a time (the online view of decoding from Sec. V-A of the
+// paper): after every Add the current selection is re-optimized, so a
+// master can stop waiting as soon as enough of the gradient is decodable.
+// Create one with Scheme.NewStreamDecoder; not safe for concurrent use.
+type StreamDecoder struct {
+	inner *core.StreamDecoder
+	n     int
+}
+
+// NewStreamDecoder returns an empty stream decoder for one training step.
+func (s *Scheme) NewStreamDecoder() *StreamDecoder {
+	return &StreamDecoder{inner: core.NewStreamDecoder(s.inner), n: s.N()}
+}
+
+// Add records the arrival of worker w's coded gradient; duplicates are
+// ignored, out-of-range ids return an error.
+func (d *StreamDecoder) Add(w int) error { return d.inner.Add(w) }
+
+// Arrived returns the number of distinct workers seen so far.
+func (d *StreamDecoder) Arrived() int { return d.inner.Arrived() }
+
+// Current returns the sorted worker ids of a maximum non-conflicting set
+// over the arrivals so far.
+func (d *StreamDecoder) Current() []int { return d.inner.Current().Slice() }
+
+// RecoveredPartitions returns how many partitions the current best set
+// covers.
+func (d *StreamDecoder) RecoveredPartitions() int { return d.inner.RecoveredPartitions() }
+
+// RecoveredFraction returns RecoveredPartitions()/n.
+func (d *StreamDecoder) RecoveredFraction() float64 {
+	return float64(d.inner.RecoveredPartitions()) / float64(d.n)
+}
+
+// FullyRecovered reports whether waiting for more workers cannot improve
+// the recovery further.
+func (d *StreamDecoder) FullyRecovered() bool { return d.inner.FullyRecovered() }
+
+// Reset clears all arrivals for the next training step.
+func (d *StreamDecoder) Reset() { d.inner.Reset() }

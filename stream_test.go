@@ -1,0 +1,43 @@
+package isgc
+
+import "testing"
+
+func TestFacadeStreamDecoder(t *testing.T) {
+	s, err := NewCR(4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.NewStreamDecoder()
+	if d.Arrived() != 0 || d.RecoveredPartitions() != 0 || d.FullyRecovered() {
+		t.Fatal("fresh decoder must be empty")
+	}
+	if err := d.Add(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Current(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Current = %v", got)
+	}
+	if d.RecoveredFraction() != 0.5 {
+		t.Fatalf("fraction = %v", d.RecoveredFraction())
+	}
+	if err := d.Add(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Add(3); err != nil {
+		t.Fatal(err)
+	}
+	got := d.Current()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("Current = %v, want [1 3]", got)
+	}
+	if !d.FullyRecovered() {
+		t.Fatal("must be fully recovered")
+	}
+	if err := d.Add(9); err == nil {
+		t.Fatal("out-of-range worker must error")
+	}
+	d.Reset()
+	if d.Arrived() != 0 {
+		t.Fatal("reset failed")
+	}
+}
