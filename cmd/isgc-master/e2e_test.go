@@ -106,7 +106,7 @@ func freeAddr(t *testing.T) string {
 
 func TestRunRejectsBadScheme(t *testing.T) {
 	spec := cliconfig.SchemeSpec{Scheme: "bogus", N: 4, C: 2}
-	if err := run("127.0.0.1:0", spec, cliconfig.DefaultData(1), 2, 0, 0.1, 1, 0); err == nil {
+	if err := run("127.0.0.1:0", spec, cliconfig.DefaultData(1), 2, 0, 0.1, 1, 0, 0, 0); err == nil {
 		t.Fatal("expected error for unknown scheme")
 	}
 }
@@ -115,7 +115,7 @@ func TestRunRejectsBadDataset(t *testing.T) {
 	spec := cliconfig.SchemeSpec{Scheme: "cr", N: 4, C: 2}
 	d := cliconfig.DefaultData(1)
 	d.Samples = 0
-	if err := run("127.0.0.1:0", spec, d, 2, 0, 0.1, 1, 0); err == nil {
+	if err := run("127.0.0.1:0", spec, d, 2, 0, 0.1, 1, 0, 0, 0); err == nil {
 		t.Fatal("expected error for empty dataset")
 	}
 }

@@ -42,19 +42,22 @@ func main() {
 		threshold = flag.Float64("threshold", 0.3, "loss threshold (0 disables)")
 		seed      = flag.Int64("seed", 42, "shared seed (must match workers)")
 		samples   = flag.Int("samples", 240, "synthetic dataset size (must match workers)")
+
+		liveness    = flag.Duration("liveness", 15*time.Second, "declare a worker dead after this much silence (negative disables)")
+		stepTimeout = flag.Duration("step-timeout", 0, "bound one step's gather even with live workers (0 disables)")
 	)
 	flag.Parse()
 	spec := cliconfig.SchemeSpec{Scheme: *scheme, N: *n, C: *c, C1: *c1, G: *g}
 	data := cliconfig.DefaultData(*seed)
 	data.Samples = *samples
 	data.Batch = *batch
-	if err := run(*addr, spec, data, *w, *deadline, *lr, *maxSteps, *threshold); err != nil {
+	if err := run(*addr, spec, data, *w, *deadline, *lr, *maxSteps, *threshold, *liveness, *stepTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "isgc-master:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, spec cliconfig.SchemeSpec, dspec cliconfig.DataSpec, w int, deadline time.Duration, lr float64, maxSteps int, threshold float64) error {
+func run(addr string, spec cliconfig.SchemeSpec, dspec cliconfig.DataSpec, w int, deadline time.Duration, lr float64, maxSteps int, threshold float64, liveness, stepTimeout time.Duration) error {
 	p, err := spec.Build()
 	if err != nil {
 		return err
@@ -71,31 +74,38 @@ func run(addr string, spec cliconfig.SchemeSpec, dspec cliconfig.DataSpec, w int
 		w = spec.N
 	}
 	master, err := cluster.NewMaster(cluster.MasterConfig{
-		Addr:          addr,
-		Strategy:      st,
-		Model:         model.SoftmaxRegression{Features: dspec.Features, Classes: dspec.Classes},
-		Data:          data,
-		LearningRate:  lr,
-		W:             w,
-		Deadline:      deadline,
-		MaxSteps:      maxSteps,
-		LossThreshold: threshold,
-		Seed:          dspec.Seed,
+		Addr:            addr,
+		Strategy:        st,
+		Model:           model.SoftmaxRegression{Features: dspec.Features, Classes: dspec.Classes},
+		Data:            data,
+		LearningRate:    lr,
+		W:               w,
+		Deadline:        deadline,
+		MaxSteps:        maxSteps,
+		LossThreshold:   threshold,
+		Seed:            dspec.Seed,
+		LivenessTimeout: liveness,
+		StepTimeout:     stepTimeout,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("master: %s on %s, waiting for %d workers (w=%d per step, deadline=%v)\n",
-		p, master.Addr(), spec.N, w, deadline)
+	fmt.Printf("master: %s on %s, waiting for %d workers (w=%d per step, deadline=%v, liveness=%v)\n",
+		p, master.Addr(), spec.N, w, deadline, liveness)
 	res, err := master.Run()
 	if err != nil {
 		return err
 	}
 	for _, rec := range res.Run.Records {
-		fmt.Printf("step %3d: avail=%d recovered=%.2f loss=%.4f elapsed=%v\n",
-			rec.Step, rec.Available, rec.RecoveredFraction, rec.Loss, rec.Elapsed)
+		mark := ""
+		if rec.Degraded {
+			mark = " DEGRADED"
+		}
+		fmt.Printf("step %3d: avail=%d alive=%d recovered=%.2f loss=%.4f elapsed=%v%s\n",
+			rec.Step, rec.Available, rec.Alive, rec.RecoveredFraction, rec.Loss, rec.Elapsed, mark)
 	}
-	fmt.Printf("done: steps=%d converged=%v final_loss=%.4f total=%v\n",
-		res.Run.Steps(), res.Converged, res.Run.FinalLoss(), res.Run.TotalTime())
+	fmt.Printf("done: steps=%d converged=%v final_loss=%.4f total=%v degraded_steps=%d rejoins=%d malformed=%d\n",
+		res.Run.Steps(), res.Converged, res.Run.FinalLoss(), res.Run.TotalTime(),
+		res.Run.DegradedSteps(), master.Rejoins(), master.MalformedGradients())
 	return nil
 }

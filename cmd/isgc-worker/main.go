@@ -4,7 +4,12 @@
 // seed requirement for summable coded gradients).
 //
 // A straggler can be simulated with -delay, e.g. -delay 500ms makes this
-// worker sleep ~Exp(500ms) before every upload.
+// worker sleep ~Exp(500ms) before every upload. Worker *death* is simulated
+// with the fault flags: -crash-at kills the worker at a step, -drop-prob
+// loses each upload with a probability, and -disconnect-at tears the
+// connection down once (the worker then redials within -reconnect and
+// re-registers). Heartbeats (-heartbeat) let the master tell a slow worker
+// from a hung one.
 package main
 
 import (
@@ -32,19 +37,45 @@ func main() {
 		seed    = flag.Int64("seed", 42, "shared seed (must match master)")
 		samples = flag.Int("samples", 240, "synthetic dataset size (must match master)")
 		delay   = flag.Duration("delay", 0, "mean of an exponential straggler delay before each upload (0 = none)")
+
+		crashAt      = flag.Int("crash-at", -1, "crash (die permanently) at this step (-1 = never)")
+		dropProb     = flag.Float64("drop-prob", 0, "probability of losing each step's gradient upload")
+		disconnectAt = flag.Int("disconnect-at", -1, "tear the connection down at this step and rejoin (-1 = never)")
+		reconnect    = flag.Duration("reconnect", 10*time.Second, "redial budget after a lost connection (0 disables rejoin)")
+		heartbeat    = flag.Duration("heartbeat", time.Second, "liveness ping interval (negative disables)")
 	)
 	flag.Parse()
 	spec := cliconfig.SchemeSpec{Scheme: *scheme, N: *n, C: *c, C1: *c1, G: *g}
 	dspec := cliconfig.DefaultData(*seed)
 	dspec.Samples = *samples
 	dspec.Batch = *batch
-	if err := run(*addr, *id, spec, dspec, *delay); err != nil {
+	fault := buildFault(*crashAt, *dropProb, *disconnectAt)
+	if err := run(*addr, *id, spec, dspec, *delay, fault, *reconnect, *heartbeat); err != nil {
 		fmt.Fprintln(os.Stderr, "isgc-worker:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, id int, spec cliconfig.SchemeSpec, dspec cliconfig.DataSpec, delay time.Duration) error {
+// buildFault assembles the fault model the flags describe (nil when the
+// worker is healthy).
+func buildFault(crashAt int, dropProb float64, disconnectAt int) straggler.Fault {
+	var fs straggler.Compose
+	if crashAt >= 0 {
+		fs = append(fs, straggler.CrashAt{Step: crashAt})
+	}
+	if dropProb > 0 {
+		fs = append(fs, straggler.DropWithProb{P: dropProb})
+	}
+	if disconnectAt >= 0 {
+		fs = append(fs, straggler.DisconnectAt{Step: disconnectAt})
+	}
+	if len(fs) == 0 {
+		return nil
+	}
+	return fs
+}
+
+func run(addr string, id int, spec cliconfig.SchemeSpec, dspec cliconfig.DataSpec, delay time.Duration, fault straggler.Fault, reconnect, heartbeat time.Duration) error {
 	p, err := spec.Build()
 	if err != nil {
 		return err
@@ -66,14 +97,18 @@ func run(addr string, id int, spec cliconfig.SchemeSpec, dspec cliconfig.DataSpe
 		delayModel = straggler.Exponential{Mean: delay}
 	}
 	w, err := cluster.NewWorker(cluster.WorkerConfig{
-		Addr:       addr,
-		ID:         id,
-		Partitions: pids,
-		Loaders:    loaders,
-		Model:      model.SoftmaxRegression{Features: dspec.Features, Classes: dspec.Classes},
-		Encode:     cluster.SumEncoder(),
-		Delay:      delayModel,
-		DelaySeed:  dspec.Seed + int64(id),
+		Addr:              addr,
+		ID:                id,
+		Partitions:        pids,
+		Loaders:           loaders,
+		Model:             model.SoftmaxRegression{Features: dspec.Features, Classes: dspec.Classes},
+		Encode:            cluster.SumEncoder(),
+		Delay:             delayModel,
+		DelaySeed:         dspec.Seed + int64(id),
+		Fault:             fault,
+		FaultSeed:         dspec.Seed + int64(id),
+		HeartbeatInterval: heartbeat,
+		ReconnectTimeout:  reconnect,
 	})
 	if err != nil {
 		return err

@@ -3,9 +3,13 @@
 // cmd/isgc-master and cmd/isgc-worker binaries run the same protocol as
 // separate processes).
 //
-// Two of the four workers are made persistent stragglers with real sleeps;
-// the master waits only for the two fastest uploads per step (the paper's
-// ray.wait(w) gather), decodes with IS-GC over CR(4, 2), and still trains.
+// Two of the four workers are persistent stragglers with real sleeps, and a
+// third *crashes outright* mid-run: at step 8 worker 3 dies without a
+// farewell, exactly like a killed process. The master waits only for the
+// two fastest uploads per step (the paper's ray.wait(w) gather), decodes
+// with IS-GC over CR(4, 2), notices the death through its liveness layer,
+// and keeps training on the survivors — CR(4, 2) tolerates the loss
+// because every partition still has a live replica.
 //
 // Run with: go run ./examples/distributed
 package main
@@ -27,11 +31,12 @@ import (
 
 func main() {
 	const (
-		n     = 4
-		c     = 2
-		w     = 2
-		batch = 8
-		seed  = 42
+		n         = 4
+		c         = 2
+		w         = 2
+		batch     = 8
+		seed      = 42
+		crashStep = 8
 	)
 	data, err := dataset.SyntheticClusters(240, 6, 3, 2.0, seed)
 	if err != nil {
@@ -49,15 +54,16 @@ func main() {
 	}
 
 	master, err := cluster.NewMaster(cluster.MasterConfig{
-		Addr:          "127.0.0.1:0",
-		Strategy:      strategy,
-		Model:         mdl,
-		Data:          data,
-		LearningRate:  0.2,
-		W:             w,
-		MaxSteps:      30,
-		LossThreshold: 0.35,
-		Seed:          seed,
+		Addr:            "127.0.0.1:0",
+		Strategy:        strategy,
+		Model:           mdl,
+		Data:            data,
+		LearningRate:    0.2,
+		W:               w,
+		MaxSteps:        30,
+		LossThreshold:   0.05,
+		Seed:            seed,
+		LivenessTimeout: 2 * time.Second,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -90,15 +96,23 @@ func main() {
 			if i < 2 {
 				delay = straggler.Exponential{Mean: 60 * time.Millisecond}
 			}
+			// Worker 3 dies for real at crashStep — no farewell message.
+			var fault straggler.Fault
+			if i == 3 {
+				fault = straggler.CrashAt{Step: crashStep}
+			}
 			worker, err := cluster.NewWorker(cluster.WorkerConfig{
-				Addr:       master.Addr(),
-				ID:         i,
-				Partitions: pids,
-				Loaders:    loaders,
-				Model:      mdl,
-				Encode:     cluster.SumEncoder(),
-				Delay:      delay,
-				DelaySeed:  int64(i),
+				Addr:              master.Addr(),
+				ID:                i,
+				Partitions:        pids,
+				Loaders:           loaders,
+				Model:             mdl,
+				Encode:            cluster.SumEncoder(),
+				Delay:             delay,
+				DelaySeed:         int64(i),
+				Fault:             fault,
+				FaultSeed:         int64(i),
+				HeartbeatInterval: 200 * time.Millisecond,
 			})
 			if err != nil {
 				log.Fatal(err)
@@ -106,6 +120,10 @@ func main() {
 			steps, err := worker.Run()
 			if err != nil {
 				log.Fatal(err)
+			}
+			if i == 3 {
+				fmt.Printf("worker %d crashed after %d steps\n", i, steps)
+				return
 			}
 			fmt.Printf("worker %d served %d steps\n", i, steps)
 		}()
@@ -119,13 +137,18 @@ func main() {
 
 	fmt.Println()
 	for _, rec := range res.Run.Records {
-		fmt.Printf("step %2d: avail=%d recovered=%.2f loss=%.4f elapsed=%v\n",
-			rec.Step, rec.Available, rec.RecoveredFraction, rec.Loss,
-			rec.Elapsed.Round(time.Millisecond))
+		mark := ""
+		if rec.Degraded {
+			mark = " DEGRADED"
+		}
+		fmt.Printf("step %2d: avail=%d alive=%d recovered=%.2f loss=%.4f elapsed=%v%s\n",
+			rec.Step, rec.Available, rec.Alive, rec.RecoveredFraction, rec.Loss,
+			rec.Elapsed.Round(time.Millisecond), mark)
 	}
-	fmt.Printf("\ntrained %d steps in %v (converged=%v, final loss %.4f)\n",
+	fmt.Printf("\ntrained %d steps in %v (converged=%v, final loss %.4f, degraded steps %d)\n",
 		res.Run.Steps(), res.Run.TotalTime().Round(time.Millisecond),
-		res.Converged, res.Run.FinalLoss())
-	fmt.Println("the master never waited for the slow workers 0 and 1 —")
-	fmt.Println("that is the arbitrary straggler ignorance IS-GC provides.")
+		res.Converged, res.Run.FinalLoss(), res.Run.DegradedSteps())
+	fmt.Println("the master never waited for the slow workers 0 and 1, and kept")
+	fmt.Printf("training after worker 3 died at step %d — arbitrary straggler\n", crashStep)
+	fmt.Println("ignorance covers crashes, not just slowness.")
 }

@@ -1,7 +1,6 @@
 package cluster
 
 import (
-	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -14,6 +13,10 @@ import (
 	"isgc/internal/model"
 	"isgc/internal/trace"
 )
+
+// defaultWriteTimeout bounds a single outbound send on either side of the
+// protocol so one stalled socket cannot wedge a broadcast or a heartbeat.
+const defaultWriteTimeout = 5 * time.Second
 
 // MasterConfig configures a training master.
 type MasterConfig struct {
@@ -46,21 +49,62 @@ type MasterConfig struct {
 	// AcceptTimeout bounds how long the master waits for all workers to
 	// register (default 10s).
 	AcceptTimeout time.Duration
+	// StepTimeout, when positive, bounds a single step's gather even when
+	// every worker is alive — the guard against workers that heartbeat
+	// but never upload (lossy links, FaultDrop). On expiry a flexible
+	// scheme proceeds with whatever arrived (marked degraded) and a rigid
+	// scheme fails with a diagnostic. 0 disables.
+	StepTimeout time.Duration
+	// LivenessTimeout declares a worker dead when nothing (gradient or
+	// heartbeat) has been received from it for this long; its connection
+	// is closed and the gather target degrades if the scheme permits.
+	// Default 15s; negative disables the monitor (reader-exit detection
+	// still catches closed connections).
+	LivenessTimeout time.Duration
+	// WriteTimeout bounds each outbound send (default 5s; negative
+	// disables).
+	WriteTimeout time.Duration
 }
 
-// Master orchestrates distributed training over TCP.
+// workerState is the master's per-worker liveness view. gen increments on
+// every (re-)registration so a stale reader goroutine cannot mark a
+// reborn worker's fresh connection dead.
+type workerState struct {
+	c        *conn
+	alive    bool
+	lastSeen time.Time
+	gen      int
+}
+
+// Master orchestrates distributed training over TCP and survives worker
+// loss: it tracks per-worker liveness, degrades the gather target when a
+// flexible scheme can decode the alive subset, fails fast for rigid
+// schemes, and accepts mid-run rejoins.
 type Master struct {
 	cfg MasterConfig
 	ln  net.Listener
 
-	mu    sync.Mutex
-	conns map[int]*conn
+	mu        sync.Mutex
+	workers   []*workerState
+	done      bool // training over: reject further registrations
+	running   bool // a step has been broadcast: rejoiners get it re-sent
+	curStep   int
+	curParams []float64
+	rejoins   int
+
+	grads  chan arrival
+	wakeup chan struct{} // liveness-changed signal for the gather loop
+	quit   chan struct{} // closed when Run finishes; unblocks readers
 
 	// accepted[i] counts the steps in which worker i's gradient was
 	// gathered before the cut-off — the per-worker availability view an
 	// operator uses to spot enduring stragglers. Written only by the
 	// training loop; read via ArrivalCounts after Run returns.
 	accepted []int
+	// malformed counts gradients rejected before decoding (wrong
+	// dimension, bad worker id) — a nonzero value flags a misconfigured
+	// or hostile worker. Written only by the training loop.
+	malformed int
 }
 
 // ArrivalCounts returns, per worker, how many steps gathered that worker's
@@ -70,6 +114,18 @@ func (m *Master) ArrivalCounts() []int {
 	copy(out, m.accepted)
 	return out
 }
+
+// Rejoins returns how many mid-run re-registrations the master accepted.
+// Valid after Run returns.
+func (m *Master) Rejoins() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rejoins
+}
+
+// MalformedGradients returns how many gradient envelopes were rejected
+// before decoding. Valid after Run returns.
+func (m *Master) MalformedGradients() int { return m.malformed }
 
 // arrival is one gradient delivery tagged with its origin.
 type arrival struct {
@@ -95,96 +151,269 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 	if cfg.AcceptTimeout <= 0 {
 		cfg.AcceptTimeout = 10 * time.Second
 	}
+	if cfg.LivenessTimeout == 0 {
+		cfg.LivenessTimeout = 15 * time.Second
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = defaultWriteTimeout
+	}
+	if cfg.WriteTimeout < 0 {
+		cfg.WriteTimeout = 0
+	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: listen: %w", err)
 	}
-	return &Master{cfg: cfg, ln: ln, conns: map[int]*conn{}}, nil
+	return &Master{cfg: cfg, ln: ln}, nil
 }
 
 // Addr returns the actual listen address (useful with ":0").
 func (m *Master) Addr() string { return m.ln.Addr().String() }
 
 // Run accepts the n workers, trains, shuts the workers down, and returns
-// the run result. It blocks until training finishes or fails.
+// the run result. It blocks until training finishes or fails, and — unlike
+// a naive gather — it cannot hang forever on dead workers: connection loss
+// and liveness timeouts feed the gather loop, which degrades or errors out.
 func (m *Master) Run() (*engine.Result, error) {
-	defer m.ln.Close()
 	n := m.cfg.Strategy.N()
+	m.grads = make(chan arrival, 8*n)
+	m.wakeup = make(chan struct{}, 1)
+	m.quit = make(chan struct{})
+	m.workers = make([]*workerState, n)
+	m.accepted = make([]int, n)
 
-	grads := make(chan arrival, 4*n)
 	var readers sync.WaitGroup
-	if err := m.acceptWorkers(n, grads, &readers); err != nil {
-		m.closeAll()
-		return nil, err
+	acceptDone := make(chan struct{})
+	go func() {
+		defer close(acceptDone)
+		m.acceptLoop(&readers)
+	}()
+	if m.cfg.LivenessTimeout > 0 {
+		go m.monitorLiveness()
 	}
 
-	res, err := m.trainLoop(grads)
+	var res *engine.Result
+	err := m.awaitFleet(n)
+	if err == nil {
+		res, err = m.trainLoop()
+	}
 
-	// Stop workers and close connections; readers drain on close.
+	// Shutdown order matters: refuse further registrations, say goodbye,
+	// stop accepting, then close every connection so readers drain.
+	m.mu.Lock()
+	m.done = true
+	m.mu.Unlock()
 	m.broadcast(&Envelope{Kind: MsgStop})
+	close(m.quit)
+	m.ln.Close()
+	<-acceptDone
 	m.closeAll()
 	readers.Wait()
 	return res, err
 }
 
-func (m *Master) acceptWorkers(n int, grads chan<- arrival, readers *sync.WaitGroup) error {
-	deadline := time.Now().Add(m.cfg.AcceptTimeout)
-	for len(m.conns) < n {
-		type deadliner interface{ SetDeadline(time.Time) error }
-		if d, ok := m.ln.(deadliner); ok {
-			if err := d.SetDeadline(deadline); err != nil {
-				return fmt.Errorf("cluster: %w", err)
-			}
-		}
+// acceptLoop serves registrations (initial and rejoin) until the listener
+// closes.
+func (m *Master) acceptLoop(readers *sync.WaitGroup) {
+	for {
 		raw, err := m.ln.Accept()
 		if err != nil {
-			return fmt.Errorf("cluster: accept (have %d/%d workers): %w", len(m.conns), n, err)
+			return // listener closed: Run is shutting down
 		}
-		c := newConn(raw)
-		hello, err := c.recv()
-		if err != nil || hello.Kind != MsgHello {
-			_ = c.close()
-			return fmt.Errorf("cluster: bad hello from %s: %v", raw.RemoteAddr(), err)
-		}
-		if hello.Worker < 0 || hello.Worker >= n {
-			_ = c.close()
-			return fmt.Errorf("cluster: worker id %d out of range [0,%d)", hello.Worker, n)
-		}
-		m.mu.Lock()
-		if _, dup := m.conns[hello.Worker]; dup {
-			m.mu.Unlock()
-			_ = c.close()
-			return fmt.Errorf("cluster: duplicate worker id %d", hello.Worker)
-		}
-		m.conns[hello.Worker] = c
-		m.mu.Unlock()
-
-		readers.Add(1)
-		go func(c *conn) {
-			defer readers.Done()
-			for {
-				e, err := c.recv()
-				if err != nil {
-					return // connection closed
-				}
-				if e.Kind == MsgGradient {
-					grads <- arrival{worker: e.Worker, step: e.Step, coded: e.Coded}
-				}
-			}
-		}(c)
+		m.handshake(raw, readers)
 	}
-	return nil
 }
 
-func (m *Master) trainLoop(grads <-chan arrival) (*engine.Result, error) {
+// handshake validates a MsgHello and registers (or re-registers) the
+// worker. Invalid or duplicate registrations close the connection but keep
+// the cluster running — a reborn worker must not be able to kill the
+// master, and neither must a stranger.
+func (m *Master) handshake(raw net.Conn, readers *sync.WaitGroup) {
+	n := m.cfg.Strategy.N()
+	c := newConn(raw, m.cfg.WriteTimeout)
+	_ = raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+	hello, err := c.recv()
+	if err != nil || hello.Kind != MsgHello || hello.Worker < 0 || hello.Worker >= n {
+		_ = c.close()
+		return
+	}
+	_ = raw.SetReadDeadline(time.Time{})
+	id := hello.Worker
+
+	m.mu.Lock()
+	if m.done {
+		m.mu.Unlock()
+		_ = c.close()
+		return
+	}
+	prev := m.workers[id]
+	if prev != nil && prev.alive {
+		// Duplicate id on a live connection: refuse the newcomer.
+		m.mu.Unlock()
+		_ = c.close()
+		return
+	}
+	gen := 0
+	if prev != nil {
+		gen = prev.gen + 1
+		m.rejoins++
+	}
+	m.workers[id] = &workerState{c: c, alive: true, lastSeen: time.Now(), gen: gen}
+	var resume *Envelope
+	if m.running {
+		resume = &Envelope{Kind: MsgStep, Step: m.curStep, Params: m.curParams}
+	}
+	m.mu.Unlock()
+
+	m.pokeLiveness()
+	if resume != nil {
+		// Mid-run rejoin: hand the worker the in-flight step immediately
+		// so it can participate without waiting for the next broadcast.
+		if err := c.send(resume); err != nil {
+			_ = c.close() // the reader below will mark it dead
+		}
+	}
+	readers.Add(1)
+	go m.readFrom(id, gen, c, readers)
+}
+
+// readFrom pumps one worker connection: heartbeats refresh lastSeen,
+// gradients are forwarded to the gather loop, and connection loss marks the
+// worker dead and wakes the gather loop — the "reader-exit notification"
+// that keeps trainLoop from blocking forever on a dead fleet.
+func (m *Master) readFrom(id, gen int, c *conn, readers *sync.WaitGroup) {
+	defer readers.Done()
+	for {
+		e, err := c.recv()
+		if err != nil {
+			break
+		}
+		m.mu.Lock()
+		if ws := m.workers[id]; ws != nil && ws.gen == gen {
+			ws.lastSeen = time.Now()
+		}
+		m.mu.Unlock()
+		if e.Kind == MsgGradient {
+			// The arrival is attributed to the authenticated connection id,
+			// not the envelope's claim, so a worker cannot spoof another.
+			select {
+			case m.grads <- arrival{worker: id, step: e.Step, coded: e.Coded}:
+			case <-m.quit:
+				return
+			}
+		}
+	}
+	m.mu.Lock()
+	ws := m.workers[id]
+	current := ws != nil && ws.gen == gen
+	if current {
+		ws.alive = false
+	}
+	m.mu.Unlock()
+	if current {
+		_ = c.close()
+		m.pokeLiveness()
+	}
+}
+
+// pokeLiveness nudges whoever is blocked on the gather/accept select to
+// recompute the alive set. The channel holds one pending signal; dropping
+// extras is fine because the consumer recomputes from scratch.
+func (m *Master) pokeLiveness() {
+	select {
+	case m.wakeup <- struct{}{}:
+	default:
+	}
+}
+
+// monitorLiveness closes connections that have been silent for longer than
+// LivenessTimeout; the reader then marks the worker dead. Heartbeats keep
+// healthy-but-idle workers off this path.
+func (m *Master) monitorLiveness() {
+	interval := m.cfg.LivenessTimeout / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.quit:
+			return
+		case <-t.C:
+			now := time.Now()
+			var evict []*conn
+			m.mu.Lock()
+			for _, ws := range m.workers {
+				if ws != nil && ws.alive && now.Sub(ws.lastSeen) > m.cfg.LivenessTimeout {
+					evict = append(evict, ws.c)
+				}
+			}
+			m.mu.Unlock()
+			for _, c := range evict {
+				_ = c.close()
+			}
+		}
+	}
+}
+
+// awaitFleet blocks until all n workers are registered and alive, or the
+// accept timeout expires.
+func (m *Master) awaitFleet(n int) error {
+	deadline := time.NewTimer(m.cfg.AcceptTimeout)
+	defer deadline.Stop()
+	for {
+		if alive := m.countAlive(); alive >= n {
+			return nil
+		}
+		select {
+		case <-m.wakeup:
+		case <-deadline.C:
+			return fmt.Errorf("cluster: accept (have %d/%d workers): timed out after %v",
+				m.countAlive(), n, m.cfg.AcceptTimeout)
+		}
+	}
+}
+
+// countAlive returns the number of workers with a live connection.
+func (m *Master) countAlive() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	alive := 0
+	for _, ws := range m.workers {
+		if ws != nil && ws.alive {
+			alive++
+		}
+	}
+	return alive
+}
+
+// achievable returns the most gradients the current step can still gather:
+// those already received plus the alive workers yet to deliver. (A worker
+// that uploaded and then died still contributed.)
+func (m *Master) achievable(avail *bitset.Set) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	count := avail.Len()
+	for id, ws := range m.workers {
+		if ws != nil && ws.alive && !avail.Contains(id) {
+			count++
+		}
+	}
+	return count
+}
+
+func (m *Master) trainLoop() (*engine.Result, error) {
 	st := m.cfg.Strategy
 	n := st.N()
 	waitFor := st.WaitFor(m.cfg.W)
-	// Deadline mode applies only to flexible schemes: a rigid scheme
-	// reports the same WaitFor for every target.
-	useDeadline := m.cfg.Deadline > 0 && st.WaitFor(1) != st.WaitFor(n)
-	m.accepted = make([]int, n)
+	// Deadline mode and graceful degradation apply only to flexible
+	// schemes: a rigid scheme reports the same WaitFor for every target
+	// and cannot decode a smaller subset.
+	flexible := st.WaitFor(1) != st.WaitFor(n)
+	useDeadline := m.cfg.Deadline > 0 && flexible
 	params := m.cfg.Model.InitParams(m.cfg.Seed)
+	dim := len(params)
 	all := make([]dataset.Sample, m.cfg.Data.Len())
 	for i := range all {
 		all[i] = m.cfg.Data.At(i)
@@ -192,6 +421,13 @@ func (m *Master) trainLoop(grads <-chan arrival) (*engine.Result, error) {
 
 	res := &engine.Result{}
 	for step := 0; step < m.cfg.MaxSteps; step++ {
+		m.mu.Lock()
+		m.running = true
+		m.curStep = step
+		// Rejoin handshakes read curParams concurrently with the AXPY
+		// update below, so they get their own copy.
+		m.curParams = append([]float64(nil), params...)
+		m.mu.Unlock()
 		m.broadcast(&Envelope{Kind: MsgStep, Step: step, Params: params})
 		stepStart := time.Now()
 
@@ -201,43 +437,26 @@ func (m *Master) trainLoop(grads <-chan arrival) (*engine.Result, error) {
 			if a.step != step || a.worker < 0 || a.worker >= n || avail.Contains(a.worker) {
 				return // stale or duplicate delivery
 			}
+			if len(a.coded) != dim {
+				// A malformed envelope must never reach Recover/AXPY,
+				// where a wrong-dimension vector panics the master.
+				m.malformed++
+				return
+			}
 			avail.Add(a.worker)
 			coded[a.worker] = a.coded
 			m.accepted[a.worker]++
 		}
+
+		var degraded bool
+		var gatherErr error
 		if useDeadline {
-			timer := time.NewTimer(m.cfg.Deadline)
-		gather:
-			for avail.Len() < n {
-				select {
-				case a, ok := <-grads:
-					if !ok {
-						timer.Stop()
-						return res, errors.New("cluster: gradient channel closed mid-step")
-					}
-					accept(a)
-				case <-timer.C:
-					break gather
-				}
-			}
-			timer.Stop()
-			// The step must make progress: if nobody beat the deadline,
-			// block for the first arrival of this step.
-			for avail.Empty() {
-				a, ok := <-grads
-				if !ok {
-					return res, errors.New("cluster: gradient channel closed mid-step")
-				}
-				accept(a)
-			}
+			gatherErr = m.gatherDeadline(step, n, avail, accept)
 		} else {
-			for avail.Len() < waitFor {
-				a, ok := <-grads
-				if !ok {
-					return res, errors.New("cluster: gradient channel closed mid-step")
-				}
-				accept(a)
-			}
+			degraded, gatherErr = m.gatherFastest(step, n, waitFor, flexible, avail, accept)
+		}
+		if gatherErr != nil {
+			return res, gatherErr
 		}
 		elapsed := time.Since(stepStart)
 
@@ -256,6 +475,8 @@ func (m *Master) trainLoop(grads <-chan arrival) (*engine.Result, error) {
 			Chosen:            recovered / st.C(),
 			RecoveredFraction: float64(recovered) / float64(n),
 			Partitions:        recParts,
+			Alive:             m.countAlive(),
+			Degraded:          degraded,
 			Loss:              loss,
 			Elapsed:           elapsed,
 		})
@@ -272,18 +493,123 @@ func (m *Master) trainLoop(grads <-chan arrival) (*engine.Result, error) {
 	return res, nil
 }
 
+// gatherFastest implements the fastest-w gather with graceful degradation:
+// when fewer than waitFor gradients remain achievable, a flexible scheme
+// shrinks its target to the achievable set (IS-GC decodes any subset) and
+// the step is marked degraded; a rigid scheme fails fast with a diagnostic
+// instead of hanging forever.
+func (m *Master) gatherFastest(step, n, waitFor int, flexible bool, avail *bitset.Set, accept func(arrival)) (bool, error) {
+	var timeout <-chan time.Time
+	if m.cfg.StepTimeout > 0 {
+		timer := time.NewTimer(m.cfg.StepTimeout)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	for {
+		target := waitFor
+		if reachable := m.achievable(avail); reachable < waitFor {
+			if !flexible {
+				return false, fmt.Errorf(
+					"cluster: step %d: only %d of %d workers reachable; rigid scheme %s needs %d — failing fast",
+					step, m.countAlive(), n, m.cfg.Strategy.Name(), waitFor)
+			}
+			if reachable == 0 {
+				return false, fmt.Errorf("cluster: step %d: all %d workers lost", step, n)
+			}
+			target = reachable
+		}
+		if avail.Len() >= target {
+			return avail.Len() < waitFor, nil
+		}
+		select {
+		case a := <-m.grads:
+			accept(a)
+		case <-m.wakeup:
+			// Liveness changed: recompute the target on the next pass.
+		case <-timeout:
+			// Alive workers exist but the gradients are not coming (lossy
+			// links, drop faults): proceed degraded rather than stall.
+			if flexible && !avail.Empty() {
+				return true, nil
+			}
+			return false, fmt.Errorf(
+				"cluster: step %d: gathered %d of %d needed gradients within %v (scheme %s)",
+				step, avail.Len(), waitFor, m.cfg.StepTimeout, m.cfg.Strategy.Name())
+		}
+	}
+}
+
+// gatherDeadline implements the Sec. IV deadline policy with liveness
+// awareness: accept everything until the deadline, stop early when no more
+// gradients can arrive, and — when nobody beat the deadline — block for
+// the first arrival only while someone is alive to produce it.
+func (m *Master) gatherDeadline(step, n int, avail *bitset.Set, accept func(arrival)) error {
+	timer := time.NewTimer(m.cfg.Deadline)
+	defer timer.Stop()
+gather:
+	for avail.Len() < n {
+		if m.achievable(avail) <= avail.Len() {
+			break // every remaining worker is dead; waiting is pointless
+		}
+		select {
+		case a := <-m.grads:
+			accept(a)
+		case <-m.wakeup:
+		case <-timer.C:
+			break gather
+		}
+	}
+	// The step must make progress: if nobody beat the deadline, block for
+	// the first arrival of this step — but only while someone is alive to
+	// produce it, and never past the step timeout.
+	var timeout <-chan time.Time
+	if m.cfg.StepTimeout > 0 {
+		t := time.NewTimer(m.cfg.StepTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	for avail.Empty() {
+		if m.countAlive() == 0 {
+			return fmt.Errorf("cluster: step %d: all %d workers lost", step, n)
+		}
+		select {
+		case a := <-m.grads:
+			accept(a)
+		case <-m.wakeup:
+		case <-timeout:
+			return fmt.Errorf("cluster: step %d: no gradient within step timeout %v", step, m.cfg.StepTimeout)
+		}
+	}
+	return nil
+}
+
+// broadcast sends e to every live worker. The connection list is
+// snapshotted under the lock but the sends happen outside it, each bounded
+// by the write timeout, so one stalled socket can neither wedge
+// registration/shutdown paths nor stall the other workers; a failed send
+// evicts the connection (its reader marks the worker dead).
 func (m *Master) broadcast(e *Envelope) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	for _, c := range m.conns {
-		_ = c.send(e) // a dead worker just becomes a permanent straggler
+	conns := make([]*conn, 0, len(m.workers))
+	for _, ws := range m.workers {
+		if ws != nil && ws.alive {
+			conns = append(conns, ws.c)
+		}
+	}
+	m.mu.Unlock()
+	for _, c := range conns {
+		if err := c.send(e); err != nil {
+			_ = c.close()
+		}
 	}
 }
 
 func (m *Master) closeAll() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for _, c := range m.conns {
-		_ = c.close()
+	for _, ws := range m.workers {
+		if ws != nil {
+			_ = ws.c.close()
+		}
 	}
 }

@@ -5,6 +5,14 @@
 // gathers the fastest w (the ray.wait(w) equivalent), decodes with the
 // configured strategy, updates the parameters, and broadcasts them.
 //
+// Unlike the in-process engine, real workers do not just slow down — they
+// die. The runtime therefore layers fault tolerance on top of the paper's
+// protocol: the master tracks per-worker liveness (reader-exit notification
+// plus periodic MsgHeartbeat), shrinks its gather target to the alive set
+// when a flexible scheme permits it (IS-GC can decode any subset), fails
+// fast for rigid schemes, and accepts mid-run rejoins from workers that
+// redial after a disconnect.
+//
 // The engine package is the fast in-process twin used for experiments; this
 // package demonstrates the same protocol end-to-end over real sockets and
 // is exercised by integration tests and the examples/distributed binary.
@@ -14,17 +22,23 @@ import (
 	"encoding/gob"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 )
 
 // Message kinds exchanged between master and workers.
 const (
-	// MsgHello registers a worker with the master.
+	// MsgHello registers a worker with the master. A rejoining worker
+	// re-sends it with Step set to its last completed step.
 	MsgHello = "hello"
 	// MsgStep carries parameters from master to workers for one step.
 	MsgStep = "step"
 	// MsgGradient carries a coded gradient from a worker to the master.
 	MsgGradient = "gradient"
+	// MsgHeartbeat is a periodic worker→master liveness ping; it carries
+	// no payload and exists so the master can distinguish "slow" from
+	// "hung" on an otherwise idle connection.
+	MsgHeartbeat = "heartbeat"
 	// MsgStop tells workers to shut down cleanly.
 	MsgStop = "stop"
 )
@@ -32,9 +46,10 @@ const (
 // Envelope is the single wire message type; unused fields stay zero.
 type Envelope struct {
 	Kind string
-	// Worker is the sender's worker id (Hello, Gradient).
+	// Worker is the sender's worker id (Hello, Gradient, Heartbeat).
 	Worker int
-	// Step is the training step the message belongs to (Step, Gradient).
+	// Step is the training step the message belongs to (Step, Gradient),
+	// or the worker's last completed step on a rejoin Hello.
 	Step int
 	// Params are the model parameters (Step).
 	Params []float64
@@ -42,22 +57,37 @@ type Envelope struct {
 	Coded []float64
 }
 
-// conn wraps a net.Conn with gob codecs. Encode and Decode are each safe
-// for a single goroutine; the master uses one reader goroutine and one
-// writer per connection.
+// conn wraps a net.Conn with gob codecs. Decode is safe for a single
+// goroutine; Encode is serialized internally so that heartbeat goroutines,
+// broadcasts, and rejoin replies may share one connection.
 type conn struct {
 	raw net.Conn
-	enc *gob.Encoder
 	dec *gob.Decoder
+
+	sendMu sync.Mutex
+	enc    *gob.Encoder
+	// writeTimeout bounds each send so one stalled socket cannot wedge a
+	// broadcast (0 = no deadline).
+	writeTimeout time.Duration
 }
 
-func newConn(c net.Conn) *conn {
-	return &conn{raw: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+func newConn(c net.Conn, writeTimeout time.Duration) *conn {
+	return &conn{raw: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c), writeTimeout: writeTimeout}
 }
 
 func (c *conn) send(e *Envelope) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if c.writeTimeout > 0 {
+		if err := c.raw.SetWriteDeadline(time.Now().Add(c.writeTimeout)); err != nil {
+			return fmt.Errorf("cluster: send %s: %w", e.Kind, err)
+		}
+	}
 	if err := c.enc.Encode(e); err != nil {
 		return fmt.Errorf("cluster: send %s: %w", e.Kind, err)
+	}
+	if c.writeTimeout > 0 {
+		_ = c.raw.SetWriteDeadline(time.Time{})
 	}
 	return nil
 }

@@ -14,7 +14,7 @@ import (
 // pipePair returns two connected conns over an in-memory duplex pipe.
 func pipePair() (*conn, *conn) {
 	a, b := net.Pipe()
-	return newConn(a), newConn(b)
+	return newConn(a, 0), newConn(b, 0)
 }
 
 func TestEnvelopeRoundTrip(t *testing.T) {
@@ -115,17 +115,22 @@ func TestMasterRejectsBadHello(t *testing.T) {
 		_, err := m.Run()
 		done <- err
 	}()
-	// Connect and send an out-of-range worker id.
+	// Connect and send an out-of-range worker id: the master drops the
+	// connection (it must survive strangers mid-run) and, with no valid
+	// workers ever registering, fails the accept phase on its timeout.
 	raw, err := net.Dial("tcp", m.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := newConn(raw)
+	c := newConn(raw, 0)
 	if err := c.send(&Envelope{Kind: MsgHello, Worker: 99}); err != nil {
 		t.Fatal(err)
 	}
+	if _, err := c.recv(); err == nil {
+		t.Fatal("master must close the connection of an out-of-range worker id")
+	}
 	if err := <-done; err == nil {
-		t.Fatal("master must reject out-of-range worker id")
+		t.Fatal("master must not start training without valid workers")
 	}
 	c.close()
 }
@@ -157,7 +162,7 @@ func TestMasterRejectsDuplicateWorker(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return newConn(raw)
+		return newConn(raw, 0)
 	}
 	c1 := dial()
 	defer c1.close()
@@ -169,8 +174,14 @@ func TestMasterRejectsDuplicateWorker(t *testing.T) {
 	if err := c2.send(&Envelope{Kind: MsgHello, Worker: 0}); err != nil {
 		t.Fatal(err)
 	}
+	// The duplicate registration for the live worker 0 is refused (its
+	// connection closes) while the first one stays registered; the master
+	// then times out waiting for the still-missing worker 1.
+	if _, err := c2.recv(); err == nil {
+		t.Fatal("master must close the duplicate's connection")
+	}
 	if err := <-done; err == nil {
-		t.Fatal("master must reject duplicate worker ids")
+		t.Fatal("master must not start training with a missing worker")
 	}
 }
 

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"math/rand"
+	"net"
 	"time"
 
 	"isgc/internal/dataset"
@@ -37,6 +38,23 @@ type WorkerConfig struct {
 	Delay straggler.Model
 	// DelaySeed seeds the delay sampling.
 	DelaySeed int64
+	// Fault optionally injects crash/drop/disconnect faults per step
+	// (nil = none) — the deterministic worker-death counterpart of Delay,
+	// used by integration tests and examples to reproduce machine loss.
+	Fault straggler.Fault
+	// FaultSeed seeds the fault sampling.
+	FaultSeed int64
+	// HeartbeatInterval is the period of MsgHeartbeat liveness pings sent
+	// from a dedicated goroutine, so the master can tell "slow" from
+	// "hung" even while this worker computes or sleeps (default 1s;
+	// negative disables).
+	HeartbeatInterval time.Duration
+	// ReconnectTimeout, when positive, makes a worker whose connection
+	// drops (or that injects FaultDisconnect) redial the master with
+	// exponential backoff for up to this long, re-registering via
+	// MsgHello with its last completed step. 0 disables reconnection:
+	// a dropped connection ends Run.
+	ReconnectTimeout time.Duration
 	// DialTimeout bounds the initial connection (default 5s).
 	DialTimeout time.Duration
 }
@@ -44,9 +62,12 @@ type WorkerConfig struct {
 // Worker trains on its partitions and uploads coded gradients until the
 // master says stop.
 type Worker struct {
-	cfg WorkerConfig
-	c   *conn
-	rng *rand.Rand
+	cfg    WorkerConfig
+	c      *conn
+	rng    *rand.Rand
+	frng   *rand.Rand
+	steps  int
+	stopHB chan struct{}
 }
 
 // NewWorker connects to the master and registers.
@@ -70,42 +91,148 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := newConn(raw)
+	c := newConn(raw, defaultWriteTimeout)
 	if err := c.send(&Envelope{Kind: MsgHello, Worker: cfg.ID}); err != nil {
 		_ = c.close()
 		return nil, err
 	}
-	return &Worker{cfg: cfg, c: c, rng: rand.New(rand.NewSource(cfg.DelaySeed))}, nil
+	w := &Worker{
+		cfg:  cfg,
+		c:    c,
+		rng:  rand.New(rand.NewSource(cfg.DelaySeed)),
+		frng: rand.New(rand.NewSource(cfg.FaultSeed)),
+	}
+	w.startHeartbeat()
+	return w, nil
 }
 
 // Run processes step requests until the master stops the worker or the
-// connection drops. It returns the number of steps served.
+// connection drops (and, with ReconnectTimeout set, cannot be re-dialed).
+// It returns the number of steps served.
 func (w *Worker) Run() (int, error) {
-	defer w.c.close()
-	steps := 0
+	defer func() {
+		w.stopHeartbeat()
+		_ = w.c.close()
+	}()
 	for {
 		e, err := w.c.recv()
 		if err != nil {
 			// Connection torn down by the master after MsgStop raced us,
-			// or a genuine failure; either way we are done serving.
-			return steps, nil
+			// or a genuine failure; try to rejoin, else we are done.
+			if w.reconnect() {
+				continue
+			}
+			return w.steps, nil
 		}
 		switch e.Kind {
 		case MsgStop:
-			return steps, nil
+			return w.steps, nil
 		case MsgStep:
+			action := straggler.FaultNone
+			if w.cfg.Fault != nil {
+				action = w.cfg.Fault.At(e.Step, w.frng)
+			}
+			if action == straggler.FaultCrash {
+				// Die abruptly — no farewell message, exactly like a
+				// killed process; the master learns via the closed socket.
+				return w.steps, nil
+			}
+			if action == straggler.FaultDisconnect {
+				w.stopHeartbeat()
+				_ = w.c.close()
+				if w.reconnect() {
+					continue
+				}
+				return w.steps, nil
+			}
 			coded, err := w.computeStep(e.Step, e.Params)
 			if err != nil {
-				return steps, err
+				return w.steps, err
 			}
 			if w.cfg.Delay != nil {
 				time.Sleep(w.cfg.Delay.Sample(w.rng))
 			}
-			if err := w.c.send(&Envelope{Kind: MsgGradient, Worker: w.cfg.ID, Step: e.Step, Coded: coded}); err != nil {
-				return steps, nil // master already gone
+			if action == straggler.FaultDrop {
+				w.steps++ // computed, but the upload is lost
+				continue
 			}
-			steps++
+			if err := w.c.send(&Envelope{Kind: MsgGradient, Worker: w.cfg.ID, Step: e.Step, Coded: coded}); err != nil {
+				if w.reconnect() {
+					continue
+				}
+				return w.steps, nil // master already gone
+			}
+			w.steps++
 		}
+	}
+}
+
+// reconnect redials the master with exponential backoff and re-registers
+// with the last completed step. It reports whether the worker is connected
+// again; false when reconnection is disabled or the budget ran out.
+func (w *Worker) reconnect() bool {
+	if w.cfg.ReconnectTimeout <= 0 {
+		return false
+	}
+	w.stopHeartbeat()
+	_ = w.c.close()
+	deadline := time.Now().Add(w.cfg.ReconnectTimeout)
+	backoff := 25 * time.Millisecond
+	for {
+		raw, err := net.DialTimeout("tcp", w.cfg.Addr, 500*time.Millisecond)
+		if err == nil {
+			c := newConn(raw, defaultWriteTimeout)
+			if c.send(&Envelope{Kind: MsgHello, Worker: w.cfg.ID, Step: w.steps}) == nil {
+				w.c = c
+				w.startHeartbeat()
+				return true
+			}
+			_ = c.close()
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > time.Second {
+			backoff = time.Second
+		}
+	}
+}
+
+// startHeartbeat launches the liveness pinger for the current connection;
+// it exits on stopHeartbeat or when a ping fails (connection gone).
+func (w *Worker) startHeartbeat() {
+	if w.cfg.HeartbeatInterval < 0 {
+		return
+	}
+	interval := w.cfg.HeartbeatInterval
+	if interval == 0 {
+		interval = time.Second
+	}
+	c := w.c
+	stop := make(chan struct{})
+	w.stopHB = stop
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if c.send(&Envelope{Kind: MsgHeartbeat, Worker: w.cfg.ID}) != nil {
+					return
+				}
+			}
+		}
+	}()
+}
+
+func (w *Worker) stopHeartbeat() {
+	if w.stopHB != nil {
+		close(w.stopHB)
+		w.stopHB = nil
 	}
 }
 

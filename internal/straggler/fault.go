@@ -1,0 +1,129 @@
+package straggler
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// FaultAction is what a faulty worker does at one training step. Delay
+// models (Model) make workers slow; faults make them wrong or gone —
+// the regime related work calls "partial recovery", where some machines
+// never respond at all.
+type FaultAction int
+
+const (
+	// FaultNone means the worker behaves normally this step.
+	FaultNone FaultAction = iota
+	// FaultDrop means the worker computes but never uploads this step's
+	// gradient (a lossy link or a silently failed send).
+	FaultDrop
+	// FaultDisconnect means the worker tears down its connection at this
+	// step and then rejoins (if reconnection is enabled).
+	FaultDisconnect
+	// FaultCrash means the worker dies permanently at this step.
+	FaultCrash
+)
+
+// String names the action for logs.
+func (a FaultAction) String() string {
+	switch a {
+	case FaultNone:
+		return "none"
+	case FaultDrop:
+		return "drop"
+	case FaultDisconnect:
+		return "disconnect"
+	case FaultCrash:
+		return "crash"
+	default:
+		return fmt.Sprintf("fault(%d)", int(a))
+	}
+}
+
+// Fault decides, per training step, whether a worker misbehaves and how.
+// Like Model it is sampled with the worker's seeded RNG so whole fault
+// scenarios are reproducible. Implementations may be stateful; give each
+// worker its own value.
+type Fault interface {
+	// At returns the worker's action for the given step.
+	At(step int, rng *rand.Rand) FaultAction
+	// String describes the fault for experiment logs.
+	String() string
+}
+
+// CrashAt kills the worker permanently at step Step.
+type CrashAt struct {
+	Step int
+}
+
+// At implements Fault.
+func (c CrashAt) At(step int, _ *rand.Rand) FaultAction {
+	if step >= c.Step {
+		return FaultCrash
+	}
+	return FaultNone
+}
+
+// String implements Fault.
+func (c CrashAt) String() string { return fmt.Sprintf("crashAt(%d)", c.Step) }
+
+// DisconnectAt tears the connection down at step Step (once); whether the
+// worker comes back depends on the runtime's reconnect policy.
+type DisconnectAt struct {
+	Step int
+}
+
+// At implements Fault.
+func (d DisconnectAt) At(step int, _ *rand.Rand) FaultAction {
+	if step == d.Step {
+		return FaultDisconnect
+	}
+	return FaultNone
+}
+
+// String implements Fault.
+func (d DisconnectAt) String() string { return fmt.Sprintf("disconnectAt(%d)", d.Step) }
+
+// DropWithProb drops each step's gradient independently with probability P.
+type DropWithProb struct {
+	P float64
+}
+
+// At implements Fault.
+func (d DropWithProb) At(_ int, rng *rand.Rand) FaultAction {
+	if rng.Float64() < d.P {
+		return FaultDrop
+	}
+	return FaultNone
+}
+
+// String implements Fault.
+func (d DropWithProb) String() string { return fmt.Sprintf("dropWithProb(%.2f)", d.P) }
+
+// Compose combines faults: the most severe action any member returns wins
+// (crash > disconnect > drop > none), so e.g. a lossy worker can also be
+// scheduled to crash later.
+type Compose []Fault
+
+// At implements Fault.
+func (cs Compose) At(step int, rng *rand.Rand) FaultAction {
+	worst := FaultNone
+	for _, f := range cs {
+		if a := f.At(step, rng); a > worst {
+			worst = a
+		}
+	}
+	return worst
+}
+
+// String implements Fault.
+func (cs Compose) String() string {
+	s := "compose("
+	for i, f := range cs {
+		if i > 0 {
+			s += ","
+		}
+		s += f.String()
+	}
+	return s + ")"
+}

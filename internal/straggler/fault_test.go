@@ -1,0 +1,96 @@
+package straggler
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCrashAt(t *testing.T) {
+	f := CrashAt{Step: 5}
+	rng := rand.New(rand.NewSource(1))
+	for step := 0; step < 5; step++ {
+		if got := f.At(step, rng); got != FaultNone {
+			t.Fatalf("step %d: %v, want none before the crash step", step, got)
+		}
+	}
+	// Crash is permanent: every step from Step on reports it.
+	for step := 5; step < 8; step++ {
+		if got := f.At(step, rng); got != FaultCrash {
+			t.Fatalf("step %d: %v, want crash", step, got)
+		}
+	}
+	if f.String() != "crashAt(5)" {
+		t.Fatalf("String = %q", f.String())
+	}
+}
+
+func TestDisconnectAt(t *testing.T) {
+	f := DisconnectAt{Step: 3}
+	rng := rand.New(rand.NewSource(1))
+	for step := 0; step < 8; step++ {
+		want := FaultNone
+		if step == 3 {
+			want = FaultDisconnect
+		}
+		if got := f.At(step, rng); got != want {
+			t.Fatalf("step %d: %v, want %v", step, got, want)
+		}
+	}
+}
+
+func TestDropWithProb(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	always := DropWithProb{P: 1}
+	never := DropWithProb{P: 0}
+	for step := 0; step < 10; step++ {
+		if always.At(step, rng) != FaultDrop {
+			t.Fatal("p=1 must always drop")
+		}
+		if never.At(step, rng) != FaultNone {
+			t.Fatal("p=0 must never drop")
+		}
+	}
+	// p=0.5 drops roughly half the steps.
+	half := DropWithProb{P: 0.5}
+	drops := 0
+	for step := 0; step < 1000; step++ {
+		if half.At(step, rng) == FaultDrop {
+			drops++
+		}
+	}
+	if drops < 400 || drops > 600 {
+		t.Fatalf("p=0.5 dropped %d/1000", drops)
+	}
+}
+
+func TestComposeSeverity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := Compose{DropWithProb{P: 1}, DisconnectAt{Step: 2}, CrashAt{Step: 4}}
+	wants := []FaultAction{FaultDrop, FaultDrop, FaultDisconnect, FaultDrop, FaultCrash, FaultCrash}
+	for step, want := range wants {
+		if got := f.At(step, rng); got != want {
+			t.Fatalf("step %d: %v, want %v", step, got, want)
+		}
+	}
+	if Compose(nil).At(0, rng) != FaultNone {
+		t.Fatal("empty compose must be benign")
+	}
+	if f.String() != "compose(dropWithProb(1.00),disconnectAt(2),crashAt(4))" {
+		t.Fatalf("String = %q", f.String())
+	}
+}
+
+func TestFaultActionString(t *testing.T) {
+	cases := map[FaultAction]string{
+		FaultNone:       "none",
+		FaultDrop:       "drop",
+		FaultDisconnect: "disconnect",
+		FaultCrash:      "crash",
+		FaultAction(9):  "fault(9)",
+	}
+	for a, want := range cases {
+		if a.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", int(a), a.String(), want)
+		}
+	}
+}

@@ -15,6 +15,8 @@ type jsonRecord struct {
 	Chosen            int     `json:"chosen"`
 	RecoveredFraction float64 `json:"recovered_fraction"`
 	Partitions        []int   `json:"partitions,omitempty"`
+	Alive             int     `json:"alive,omitempty"`
+	Degraded          bool    `json:"degraded,omitempty"`
 	Loss              float64 `json:"loss"`
 	Accuracy          float64 `json:"accuracy,omitempty"`
 	ElapsedMillis     float64 `json:"elapsed_ms"`
@@ -48,6 +50,8 @@ func (r *Run) WriteJSON(w io.Writer) error {
 			Chosen:            rec.Chosen,
 			RecoveredFraction: rec.RecoveredFraction,
 			Partitions:        rec.Partitions,
+			Alive:             rec.Alive,
+			Degraded:          rec.Degraded,
 			Loss:              rec.Loss,
 			Accuracy:          rec.Accuracy,
 			ElapsedMillis:     float64(rec.Elapsed) / float64(time.Millisecond),
@@ -75,6 +79,8 @@ func ReadJSON(rd io.Reader) (*Run, error) {
 			Chosen:            rec.Chosen,
 			RecoveredFraction: rec.RecoveredFraction,
 			Partitions:        rec.Partitions,
+			Alive:             rec.Alive,
+			Degraded:          rec.Degraded,
 			Loss:              rec.Loss,
 			Accuracy:          rec.Accuracy,
 			Elapsed:           time.Duration(rec.ElapsedMillis * float64(time.Millisecond)),

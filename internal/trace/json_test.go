@@ -12,7 +12,8 @@ func TestJSONRoundTrip(t *testing.T) {
 	r.Append(StepRecord{Step: 0, Available: 3, Chosen: 2, RecoveredFraction: 0.5,
 		Partitions: []int{0, 2}, Loss: 1.25, Elapsed: 1500 * time.Millisecond})
 	r.Append(StepRecord{Step: 1, Available: 4, Chosen: 2, RecoveredFraction: 1.0,
-		Partitions: []int{0, 1, 2, 3}, Loss: 0.75, Elapsed: 2 * time.Second})
+		Partitions: []int{0, 1, 2, 3}, Alive: 3, Degraded: true,
+		Loss: 0.75, Elapsed: 2 * time.Second})
 
 	var buf bytes.Buffer
 	if err := r.WriteJSON(&buf); err != nil {
@@ -40,6 +41,15 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 	if len(back.Records[1].Partitions) != 4 {
 		t.Fatal("partitions lost in round trip")
+	}
+	if back.Records[1].Alive != 3 || !back.Records[1].Degraded {
+		t.Fatal("liveness fields lost in round trip")
+	}
+	if back.Records[0].Degraded {
+		t.Fatal("degraded must default to false")
+	}
+	if back.DegradedSteps() != 1 {
+		t.Fatalf("DegradedSteps = %d, want 1", back.DegradedSteps())
 	}
 }
 

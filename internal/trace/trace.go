@@ -25,6 +25,14 @@ type StepRecord struct {
 	// Partitions lists the recovered partition indices (sorted); nil when
 	// the producer does not track them.
 	Partitions []int
+	// Alive is the number of workers the producer believed reachable when
+	// the step's gather ended (0 when the producer does not track
+	// liveness, e.g. the in-process engine where workers cannot die).
+	Alive int
+	// Degraded reports that the gather shrank its wait target below the
+	// configured one because too few workers were alive — the graceful-
+	// degradation path of the fault-tolerant cluster runtime.
+	Degraded bool
 	// Loss is the training loss after the update.
 	Loss float64
 	// Accuracy is the training accuracy after the update (0 when the
@@ -93,6 +101,18 @@ func (r *Run) PartitionInclusion(n int) []float64 {
 		out[i] /= float64(len(r.Records))
 	}
 	return out
+}
+
+// DegradedSteps counts the steps whose gather ran in degraded mode
+// (fewer live workers than the configured wait target).
+func (r *Run) DegradedSteps() int {
+	n := 0
+	for _, rec := range r.Records {
+		if rec.Degraded {
+			n++
+		}
+	}
+	return n
 }
 
 // FinalLoss returns the last recorded loss (NaN for an empty run).
