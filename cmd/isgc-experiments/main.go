@@ -14,13 +14,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"isgc/internal/admin"
 	"isgc/internal/experiments"
+	"isgc/internal/metrics"
 	"isgc/internal/placement"
 	"isgc/internal/trace"
 )
@@ -33,7 +37,24 @@ func main() {
 	seed := flag.Int64("seed", 0, "override the experiment seed (0 = default)")
 	show := flag.String("show", "", `print a placement and its conflict graph instead of running experiments; format "fr:n:c", "cr:n:c", or "hr:n:c1:c2:g", e.g. -show hr:8:2:2:2`)
 	workload := flag.String("workload", "", `Fig. 12 training workload: "softmax" (default) or "mlp"`)
+	metricsAddr := flag.String("metrics-addr", "", "serve /debug/pprof and /metrics on this address while experiments run (empty disables)")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		// Paper-scale runs (-trials 10) take minutes; a live pprof endpoint
+		// makes them inspectable without restarting.
+		adm := admin.New(admin.Config{Addr: *metricsAddr, Registry: metrics.NewRegistry()})
+		if err := adm.Start(); err != nil {
+			fmt.Fprintln(os.Stderr, "isgc-experiments: metrics endpoint:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = adm.Shutdown(ctx)
+		}()
+		fmt.Fprintf(os.Stderr, "profiling: %s/debug/pprof/\n", adm.URL())
+	}
 
 	if *show != "" {
 		if err := runShow(*show); err != nil {

@@ -1,22 +1,48 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"isgc/internal/cliconfig"
+	"isgc/internal/cluster"
 )
+
+// syncBuffer lets the test poll a subprocess's combined output while the
+// process is still writing it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
 
 // TestEndToEndBinaries builds the real isgc-master and isgc-worker
 // executables and runs a full CR(4,2) training session over TCP with one
-// deliberately slow worker — the complete multi-process deployment story.
+// deliberately slow worker and one that crashes mid-run, while this test
+// scrapes the master's live metrics endpoint — the complete multi-process
+// deployment story including observability.
 func TestEndToEndBinaries(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping binary e2e in -short mode")
@@ -36,15 +62,19 @@ func TestEndToEndBinaries(t *testing.T) {
 	}
 
 	addr := freeAddr(t)
+	metricsAddr := freeAddr(t)
 	master := exec.Command(masterBin,
 		"-addr", addr, "-n", "4", "-c", "2", "-scheme", "cr",
-		"-w", "2", "-steps", "6", "-threshold", "0", "-seed", "42")
-	var masterOut strings.Builder
-	master.Stdout = &masterOut
-	master.Stderr = &masterOut
+		"-w", "2", "-steps", "8", "-threshold", "0", "-seed", "42",
+		"-liveness", "2s",
+		"-metrics-addr", metricsAddr, "-metrics-linger", "10s")
+	masterOut := &syncBuffer{}
+	master.Stdout = masterOut
+	master.Stderr = masterOut
 	if err := master.Start(); err != nil {
 		t.Fatal(err)
 	}
+	defer func() { _ = master.Process.Kill() }()
 
 	var wg sync.WaitGroup
 	workerErrs := make(chan string, 4)
@@ -57,8 +87,11 @@ func TestEndToEndBinaries(t *testing.T) {
 				"-addr", addr, "-id", fmt.Sprint(i), "-n", "4", "-c", "2",
 				"-scheme", "cr", "-seed", "42",
 			}
-			if i == 0 {
+			switch i {
+			case 0:
 				args = append(args, "-delay", "150ms") // a real straggler process
+			case 3:
+				args = append(args, "-crash-at", "3") // dies mid-run
 			}
 			w := exec.Command(workerBin, args...)
 			if out, err := w.CombinedOutput(); err != nil {
@@ -67,16 +100,73 @@ func TestEndToEndBinaries(t *testing.T) {
 		}()
 	}
 
+	// Wait until the run has completed (the "done:" line) but the metrics
+	// endpoint still lingers, then scrape the final state.
+	deadline := time.Now().Add(90 * time.Second)
+	for !strings.Contains(masterOut.String(), "done: steps=") {
+		if time.Now().After(deadline) {
+			_ = master.Process.Kill()
+			t.Fatalf("master never finished\n%s", masterOut.String())
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	base := "http://" + metricsAddr
+	body := httpGet(t, base+"/metrics")
+	if !promTextValid(body) {
+		t.Errorf("metrics output is not valid Prometheus text:\n%s", clip(body))
+	}
+	doneLine := regexp.MustCompile(`done: steps=(\d+) .*degraded_steps=(\d+)`).
+		FindStringSubmatch(masterOut.String())
+	if doneLine == nil {
+		t.Fatalf("no parseable done line in:\n%s", masterOut.String())
+	}
+	for _, want := range []string{
+		"isgc_master_gather_latency_seconds_bucket",
+		fmt.Sprintf("isgc_master_gather_latency_seconds_count %s", doneLine[1]),
+		fmt.Sprintf("isgc_master_steps_total %s", doneLine[1]),
+		fmt.Sprintf("isgc_master_degraded_steps_total %s", doneLine[2]),
+		"isgc_master_recovered_fraction",
+		`isgc_master_worker_alive{worker="3"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("final /metrics missing %q", want)
+		}
+	}
+
+	var health cluster.MasterHealth
+	if err := json.Unmarshal([]byte(httpGet(t, base+"/healthz")), &health); err != nil {
+		t.Fatalf("healthz decode: %v", err)
+	}
+	if len(health.Workers) != 4 {
+		t.Fatalf("healthz has %d workers, want 4", len(health.Workers))
+	}
+	if health.Workers[3].Alive {
+		t.Error("healthz reports crashed worker 3 alive after the run")
+	}
+	// The run is over and all connections are closed, but the per-worker
+	// history must survive: every worker registered and the survivors
+	// contributed gradients.
+	for i, wv := range health.Workers {
+		if wv.Generation < 0 {
+			t.Errorf("healthz says worker %d never connected", i)
+		}
+		// Workers 1 and 2 are fast and healthy, so the fastest-2 gather
+		// must have accepted them; 0 (straggler) and 3 (crashed) may
+		// legitimately never win a step.
+		if (i == 1 || i == 2) && wv.AcceptedSteps == 0 {
+			t.Errorf("healthz says fast worker %d contributed no gradients", i)
+		}
+	}
+
+	// The run is over; the master only lingers for metrics now.
+	_ = master.Process.Kill()
 	done := make(chan error, 1)
 	go func() { done <- master.Wait() }()
 	select {
-	case err := <-done:
-		if err != nil {
-			t.Fatalf("master failed: %v\n%s", err, masterOut.String())
-		}
-	case <-time.After(90 * time.Second):
-		_ = master.Process.Kill()
-		t.Fatalf("master timed out\n%s", masterOut.String())
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("master did not exit after kill")
 	}
 	wg.Wait()
 	close(workerErrs)
@@ -85,12 +175,59 @@ func TestEndToEndBinaries(t *testing.T) {
 	}
 
 	out := masterOut.String()
-	if !strings.Contains(out, "done: steps=6") {
+	if !strings.Contains(out, "done: steps=8") {
 		t.Fatalf("master output missing completion line:\n%s", out)
 	}
 	if !strings.Contains(out, "avail=2") {
 		t.Fatalf("master never gathered w=2 workers:\n%s", out)
 	}
+	if !strings.Contains(out, "latency: p50=") {
+		t.Fatalf("master output missing latency summary:\n%s", out)
+	}
+	if !strings.Contains(out, "metrics: http://") {
+		t.Fatalf("master output missing metrics URL:\n%s", out)
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d\n%s", url, resp.StatusCode, body)
+	}
+	return string(body)
+}
+
+// promTextValid checks every non-empty line is a comment or a sample of
+// the form `name{labels} value` — the 0.0.4 exposition grammar this repo
+// emits.
+func promTextValid(body string) bool {
+	sample := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (NaN|[+-]?(Inf|[0-9].*))$`)
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "# ") {
+			continue
+		}
+		if !sample.MatchString(line) {
+			return false
+		}
+	}
+	return strings.Contains(body, "# TYPE")
+}
+
+func clip(s string) string {
+	if len(s) > 2000 {
+		return s[:2000] + "..."
+	}
+	return s
 }
 
 func freeAddr(t *testing.T) string {
@@ -106,7 +243,8 @@ func freeAddr(t *testing.T) string {
 
 func TestRunRejectsBadScheme(t *testing.T) {
 	spec := cliconfig.SchemeSpec{Scheme: "bogus", N: 4, C: 2}
-	if err := run("127.0.0.1:0", spec, cliconfig.DefaultData(1), 2, 0, 0.1, 1, 0, 0, 0); err == nil {
+	err := run(options{addr: "127.0.0.1:0", spec: spec, data: cliconfig.DefaultData(1), w: 2, lr: 0.1, maxSteps: 1})
+	if err == nil {
 		t.Fatal("expected error for unknown scheme")
 	}
 }
@@ -115,7 +253,19 @@ func TestRunRejectsBadDataset(t *testing.T) {
 	spec := cliconfig.SchemeSpec{Scheme: "cr", N: 4, C: 2}
 	d := cliconfig.DefaultData(1)
 	d.Samples = 0
-	if err := run("127.0.0.1:0", spec, d, 2, 0, 0.1, 1, 0, 0, 0); err == nil {
+	err := run(options{addr: "127.0.0.1:0", spec: spec, data: d, w: 2, lr: 0.1, maxSteps: 1})
+	if err == nil {
 		t.Fatal("expected error for empty dataset")
+	}
+}
+
+func TestRunRejectsBadMetricsAddr(t *testing.T) {
+	spec := cliconfig.SchemeSpec{Scheme: "cr", N: 4, C: 2}
+	err := run(options{
+		addr: "127.0.0.1:0", spec: spec, data: cliconfig.DefaultData(1),
+		w: 2, lr: 0.1, maxSteps: 1, metricsAddr: "256.256.256.256:0", out: io.Discard,
+	})
+	if err == nil || !strings.Contains(err.Error(), "metrics endpoint") {
+		t.Fatalf("expected metrics endpoint error, got %v", err)
 	}
 }

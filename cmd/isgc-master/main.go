@@ -7,24 +7,50 @@
 // the deterministic loaders produce identical batches on partition
 // replicas.
 //
+// With -metrics-addr the master also serves an admin endpoint: Prometheus
+// metrics on /metrics, a liveness snapshot on /healthz, and profiling on
+// /debug/pprof/. -metrics-linger keeps it up after training ends so the
+// final counters can still be scraped.
+//
 // Example (CR(4,2), wait for the 2 fastest workers):
 //
-//	isgc-master -addr 127.0.0.1:7000 -n 4 -c 2 -scheme cr -w 2 &
+//	isgc-master -addr 127.0.0.1:7000 -n 4 -c 2 -scheme cr -w 2 -metrics-addr 127.0.0.1:9100 &
 //	for i in 0 1 2 3; do isgc-worker -addr 127.0.0.1:7000 -id $i -n 4 -c 2 -scheme cr & done
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	"isgc/internal/admin"
 	"isgc/internal/cliconfig"
 	"isgc/internal/cluster"
 	"isgc/internal/engine"
 	"isgc/internal/isgc"
+	"isgc/internal/metrics"
 	"isgc/internal/model"
 )
+
+// options collects everything run needs; flags fill one in main.
+type options struct {
+	addr          string
+	spec          cliconfig.SchemeSpec
+	data          cliconfig.DataSpec
+	w             int
+	deadline      time.Duration
+	lr            float64
+	maxSteps      int
+	threshold     float64
+	liveness      time.Duration
+	stepTimeout   time.Duration
+	metricsAddr   string        // empty disables the admin endpoint
+	metricsLinger time.Duration // keep the admin endpoint up after the run
+	out           io.Writer     // defaults to os.Stdout
+}
 
 func main() {
 	var (
@@ -45,53 +71,104 @@ func main() {
 
 		liveness    = flag.Duration("liveness", 15*time.Second, "declare a worker dead after this much silence (negative disables)")
 		stepTimeout = flag.Duration("step-timeout", 0, "bound one step's gather even with live workers (0 disables)")
+
+		metricsAddr   = flag.String("metrics-addr", "", "serve /metrics, /healthz, /debug/pprof on this address (empty disables)")
+		metricsLinger = flag.Duration("metrics-linger", 0, "keep the metrics endpoint up this long after training ends")
 	)
 	flag.Parse()
 	spec := cliconfig.SchemeSpec{Scheme: *scheme, N: *n, C: *c, C1: *c1, G: *g}
 	data := cliconfig.DefaultData(*seed)
 	data.Samples = *samples
 	data.Batch = *batch
-	if err := run(*addr, spec, data, *w, *deadline, *lr, *maxSteps, *threshold, *liveness, *stepTimeout); err != nil {
+	err := run(options{
+		addr:          *addr,
+		spec:          spec,
+		data:          data,
+		w:             *w,
+		deadline:      *deadline,
+		lr:            *lr,
+		maxSteps:      *maxSteps,
+		threshold:     *threshold,
+		liveness:      *liveness,
+		stepTimeout:   *stepTimeout,
+		metricsAddr:   *metricsAddr,
+		metricsLinger: *metricsLinger,
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "isgc-master:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, spec cliconfig.SchemeSpec, dspec cliconfig.DataSpec, w int, deadline time.Duration, lr float64, maxSteps int, threshold float64, liveness, stepTimeout time.Duration) error {
-	p, err := spec.Build()
+func run(opts options) error {
+	out := opts.out
+	if out == nil {
+		out = os.Stdout
+	}
+	p, err := opts.spec.Build()
 	if err != nil {
 		return err
 	}
-	st, err := engine.NewISGC(isgc.New(p, dspec.Seed))
+	st, err := engine.NewISGC(isgc.New(p, opts.data.Seed))
 	if err != nil {
 		return err
 	}
-	data, err := dspec.BuildDataset()
+	data, err := opts.data.BuildDataset()
 	if err != nil {
 		return err
 	}
+	w := opts.w
 	if w <= 0 {
-		w = spec.N
+		w = opts.spec.N
+	}
+
+	var mm *cluster.MasterMetrics
+	var reg *metrics.Registry
+	if opts.metricsAddr != "" {
+		reg = metrics.NewRegistry()
+		mm = cluster.NewMasterMetrics(reg)
 	}
 	master, err := cluster.NewMaster(cluster.MasterConfig{
-		Addr:            addr,
+		Addr:            opts.addr,
 		Strategy:        st,
-		Model:           model.SoftmaxRegression{Features: dspec.Features, Classes: dspec.Classes},
+		Model:           model.SoftmaxRegression{Features: opts.data.Features, Classes: opts.data.Classes},
 		Data:            data,
-		LearningRate:    lr,
+		LearningRate:    opts.lr,
 		W:               w,
-		Deadline:        deadline,
-		MaxSteps:        maxSteps,
-		LossThreshold:   threshold,
-		Seed:            dspec.Seed,
-		LivenessTimeout: liveness,
-		StepTimeout:     stepTimeout,
+		Deadline:        opts.deadline,
+		MaxSteps:        opts.maxSteps,
+		LossThreshold:   opts.threshold,
+		Seed:            opts.data.Seed,
+		LivenessTimeout: opts.liveness,
+		StepTimeout:     opts.stepTimeout,
+		Metrics:         mm,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("master: %s on %s, waiting for %d workers (w=%d per step, deadline=%v, liveness=%v)\n",
-		p, master.Addr(), spec.N, w, deadline, liveness)
+	if opts.metricsAddr != "" {
+		adm := admin.New(admin.Config{
+			Addr:     opts.metricsAddr,
+			Registry: reg,
+			Health:   func() any { return master.Health() },
+		})
+		if err := adm.Start(); err != nil {
+			return fmt.Errorf("metrics endpoint: %w", err)
+		}
+		defer func() {
+			if opts.metricsLinger > 0 {
+				fmt.Fprintf(out, "metrics: lingering %v on %s\n", opts.metricsLinger, adm.URL())
+				time.Sleep(opts.metricsLinger)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = adm.Shutdown(ctx)
+		}()
+		fmt.Fprintf(out, "metrics: %s/metrics (healthz, debug/pprof alongside)\n", adm.URL())
+	}
+
+	fmt.Fprintf(out, "master: %s on %s, waiting for %d workers (w=%d per step, deadline=%v, liveness=%v)\n",
+		p, master.Addr(), opts.spec.N, w, opts.deadline, opts.liveness)
 	res, err := master.Run()
 	if err != nil {
 		return err
@@ -101,10 +178,11 @@ func run(addr string, spec cliconfig.SchemeSpec, dspec cliconfig.DataSpec, w int
 		if rec.Degraded {
 			mark = " DEGRADED"
 		}
-		fmt.Printf("step %3d: avail=%d alive=%d recovered=%.2f loss=%.4f elapsed=%v%s\n",
+		fmt.Fprintf(out, "step %3d: avail=%d alive=%d recovered=%.2f loss=%.4f elapsed=%v%s\n",
 			rec.Step, rec.Available, rec.Alive, rec.RecoveredFraction, rec.Loss, rec.Elapsed, mark)
 	}
-	fmt.Printf("done: steps=%d converged=%v final_loss=%.4f total=%v degraded_steps=%d rejoins=%d malformed=%d\n",
+	fmt.Fprintf(out, "latency: %v\n", res.Run.LatencySummary())
+	fmt.Fprintf(out, "done: steps=%d converged=%v final_loss=%.4f total=%v degraded_steps=%d rejoins=%d malformed=%d\n",
 		res.Run.Steps(), res.Converged, res.Run.FinalLoss(), res.Run.TotalTime(),
 		res.Run.DegradedSteps(), master.Rejoins(), master.MalformedGradients())
 	return nil

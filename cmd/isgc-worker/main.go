@@ -13,13 +13,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"isgc/internal/admin"
 	"isgc/internal/cliconfig"
 	"isgc/internal/cluster"
+	"isgc/internal/metrics"
 	"isgc/internal/model"
 	"isgc/internal/straggler"
 )
@@ -43,6 +46,7 @@ func main() {
 		disconnectAt = flag.Int("disconnect-at", -1, "tear the connection down at this step and rejoin (-1 = never)")
 		reconnect    = flag.Duration("reconnect", 10*time.Second, "redial budget after a lost connection (0 disables rejoin)")
 		heartbeat    = flag.Duration("heartbeat", time.Second, "liveness ping interval (negative disables)")
+		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /healthz, /debug/pprof on this address (empty disables)")
 	)
 	flag.Parse()
 	spec := cliconfig.SchemeSpec{Scheme: *scheme, N: *n, C: *c, C1: *c1, G: *g}
@@ -50,7 +54,7 @@ func main() {
 	dspec.Samples = *samples
 	dspec.Batch = *batch
 	fault := buildFault(*crashAt, *dropProb, *disconnectAt)
-	if err := run(*addr, *id, spec, dspec, *delay, fault, *reconnect, *heartbeat); err != nil {
+	if err := run(*addr, *id, spec, dspec, *delay, fault, *reconnect, *heartbeat, *metricsAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "isgc-worker:", err)
 		os.Exit(1)
 	}
@@ -75,7 +79,7 @@ func buildFault(crashAt int, dropProb float64, disconnectAt int) straggler.Fault
 	return fs
 }
 
-func run(addr string, id int, spec cliconfig.SchemeSpec, dspec cliconfig.DataSpec, delay time.Duration, fault straggler.Fault, reconnect, heartbeat time.Duration) error {
+func run(addr string, id int, spec cliconfig.SchemeSpec, dspec cliconfig.DataSpec, delay time.Duration, fault straggler.Fault, reconnect, heartbeat time.Duration, metricsAddr string) error {
 	p, err := spec.Build()
 	if err != nil {
 		return err
@@ -96,6 +100,12 @@ func run(addr string, id int, spec cliconfig.SchemeSpec, dspec cliconfig.DataSpe
 	if delay > 0 {
 		delayModel = straggler.Exponential{Mean: delay}
 	}
+	var wm *cluster.WorkerMetrics
+	var reg *metrics.Registry
+	if metricsAddr != "" {
+		reg = metrics.NewRegistry()
+		wm = cluster.NewWorkerMetrics(reg)
+	}
 	w, err := cluster.NewWorker(cluster.WorkerConfig{
 		Addr:              addr,
 		ID:                id,
@@ -109,9 +119,26 @@ func run(addr string, id int, spec cliconfig.SchemeSpec, dspec cliconfig.DataSpe
 		FaultSeed:         dspec.Seed + int64(id),
 		HeartbeatInterval: heartbeat,
 		ReconnectTimeout:  reconnect,
+		Metrics:           wm,
 	})
 	if err != nil {
 		return err
+	}
+	if metricsAddr != "" {
+		adm := admin.New(admin.Config{
+			Addr:     metricsAddr,
+			Registry: reg,
+			Health:   func() any { return w.Health() },
+		})
+		if err := adm.Start(); err != nil {
+			return fmt.Errorf("metrics endpoint: %w", err)
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = adm.Shutdown(ctx)
+		}()
+		fmt.Printf("worker %d: metrics on %s/metrics\n", id, adm.URL())
 	}
 	fmt.Printf("worker %d: partitions %v, connected to %s\n", id, pids, addr)
 	steps, err := w.Run()

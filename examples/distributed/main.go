@@ -11,19 +11,30 @@
 // and keeps training on the survivors — CR(4, 2) tolerates the loss
 // because every partition still has a live replica.
 //
+// The master also exposes its observability endpoint (Prometheus /metrics,
+// JSON /healthz, /debug/pprof) on a loopback port; the example prints the
+// URL and scrapes it once mid-run, right around the injected crash.
+//
 // Run with: go run ./examples/distributed
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"strings"
 	"sync"
 	"time"
 
+	"isgc/internal/admin"
 	"isgc/internal/cluster"
 	"isgc/internal/dataset"
 	"isgc/internal/engine"
 	icore "isgc/internal/isgc"
+	"isgc/internal/metrics"
 	"isgc/internal/model"
 	"isgc/internal/placement"
 	"isgc/internal/straggler"
@@ -53,6 +64,8 @@ func main() {
 		log.Fatal(err)
 	}
 
+	reg := metrics.NewRegistry()
+	mm := cluster.NewMasterMetrics(reg)
 	master, err := cluster.NewMaster(cluster.MasterConfig{
 		Addr:            "127.0.0.1:0",
 		Strategy:        strategy,
@@ -64,12 +77,81 @@ func main() {
 		LossThreshold:   0.05,
 		Seed:            seed,
 		LivenessTimeout: 2 * time.Second,
+		Metrics:         mm,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("master listening on %s (%s, waiting for %d fastest of %d workers)\n",
 		master.Addr(), place, w, n)
+
+	// The master also serves live observability: Prometheus metrics,
+	// a JSON liveness snapshot, and pprof. Scrape it while training runs:
+	//   curl http://<addr>/metrics
+	adm := admin.New(admin.Config{
+		Addr:     "127.0.0.1:0",
+		Registry: reg,
+		Health:   func() any { return master.Health() },
+	})
+	if err := adm.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = adm.Shutdown(ctx)
+	}()
+	fmt.Printf("metrics at %s/metrics, health at %s/healthz\n", adm.URL(), adm.URL())
+
+	// One scrape mid-run, right after the injected crash, to show the live
+	// view a Prometheus server would collect. Failures only log:
+	// observability must never take the training down.
+	scraped := make(chan struct{})
+	go func() {
+		defer close(scraped)
+		client := &http.Client{Timeout: time.Second}
+		// Poll the health endpoint until the run has passed the crash step
+		// (bounded: the run may finish first on a fast machine).
+		var h cluster.MasterHealth
+		sawRunning := false
+		for i := 0; i < 200; i++ {
+			resp, err := client.Get(adm.URL() + "/healthz")
+			if err != nil {
+				log.Printf("mid-run scrape: %v", err)
+				return
+			}
+			err = json.NewDecoder(resp.Body).Decode(&h)
+			resp.Body.Close()
+			if err != nil {
+				log.Printf("mid-run scrape: %v", err)
+				return
+			}
+			sawRunning = sawRunning || h.Running
+			if h.Step > crashStep || (sawRunning && !h.Running) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		fmt.Printf("[scrape] step=%d alive=%d degraded_steps=%d\n",
+			h.Step, h.AliveWorkers, h.DegradedSteps)
+		resp, err := client.Get(adm.URL() + "/metrics")
+		if err != nil {
+			log.Printf("mid-run scrape: %v", err)
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			log.Printf("mid-run scrape: %v", err)
+			return
+		}
+		for _, line := range strings.Split(string(body), "\n") {
+			if strings.HasPrefix(line, "isgc_master_recovered_fraction") ||
+				strings.HasPrefix(line, "isgc_master_alive_workers") {
+				fmt.Printf("[scrape] %s\n", line)
+			}
+		}
+	}()
 
 	parts, err := data.Partition(n)
 	if err != nil {
@@ -134,6 +216,7 @@ func main() {
 		log.Fatal(err)
 	}
 	wg.Wait()
+	<-scraped
 
 	fmt.Println()
 	for _, rec := range res.Run.Records {

@@ -1,0 +1,145 @@
+// Package admin is the operational HTTP surface of a running master or
+// worker process: Prometheus metrics on /metrics, a JSON liveness and
+// degradation summary on /healthz, and the standard Go profiling
+// endpoints under /debug/pprof/. It is stdlib-only and deliberately
+// decoupled from the cluster packages — any process hands it a metrics
+// registry and an optional health snapshot function.
+//
+// Lifecycle: New → Start (binds the listener, serves in the background) →
+// Shutdown (graceful, bounded by the caller's context). Start with
+// ":0" and read Addr() to get an ephemeral port, the same discipline the
+// cluster listener uses.
+package admin
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"isgc/internal/metrics"
+)
+
+// Config configures the admin server.
+type Config struct {
+	// Addr is the listen address, e.g. "127.0.0.1:9090" or ":0".
+	Addr string
+	// Registry backs /metrics; nil serves an empty exposition.
+	Registry *metrics.Registry
+	// Health produces the /healthz payload at request time; it must be
+	// safe to call from any goroutine. Nil serves {"status":"ok"}.
+	Health func() any
+}
+
+// Server is one admin HTTP server.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+	srv *http.Server
+}
+
+// New builds a server; nothing listens until Start.
+func New(cfg Config) *Server {
+	s := &Server{cfg: cfg}
+	s.srv = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return s
+}
+
+// Handler returns the route table (also used directly by tests).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Start binds the listener and serves in a background goroutine.
+func (s *Server) Start() error {
+	if s.ln != nil {
+		return fmt.Errorf("admin: already started on %s", s.ln.Addr())
+	}
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("admin: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.ln = ln
+	go func() {
+		// ErrServerClosed is the normal Shutdown result; anything else
+		// surfaces on the next Shutdown call, not here — the admin plane
+		// must never take the training plane down with it.
+		_ = s.srv.Serve(ln)
+	}()
+	return nil
+}
+
+// Addr returns the bound address (empty before Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// URL returns "http://addr" (empty before Start).
+func (s *Server) URL() string {
+	if s.ln == nil {
+		return ""
+	}
+	return "http://" + s.ln.Addr().String()
+}
+
+// Shutdown drains in-flight requests and closes the listener, bounded by
+// ctx. Safe to call without a prior Start (no-op).
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.ln == nil {
+		return nil
+	}
+	return s.srv.Shutdown(ctx)
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, "isgc admin endpoints:\n"+
+		"  /metrics       Prometheus exposition\n"+
+		"  /healthz       liveness + degradation summary (JSON)\n"+
+		"  /debug/pprof/  Go profiling\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", metrics.TextContentType)
+	if s.cfg.Registry == nil {
+		return
+	}
+	// Errors past the first byte cannot change the status code; the
+	// scraper sees a truncated body and retries on its next interval.
+	_ = s.cfg.Registry.WritePrometheus(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	var payload any = map[string]string{"status": "ok"}
+	if s.cfg.Health != nil {
+		payload = s.cfg.Health()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(payload); err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err), http.StatusInternalServerError)
+	}
+}

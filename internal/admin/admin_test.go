@@ -1,0 +1,291 @@
+package admin
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"isgc/internal/metrics"
+)
+
+// TestMetricsGolden pins the /metrics response: status, content type, and
+// exact exposition body.
+func TestMetricsGolden(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := reg.NewCounter("steps_total", "Training steps.")
+	c.Add(3)
+	h := reg.NewHistogram("gather_seconds", "Gather latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+
+	s := New(Config{Registry: reg})
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != metrics.TextContentType {
+		t.Fatalf("content type = %q", ct)
+	}
+	const want = `# HELP gather_seconds Gather latency.
+# TYPE gather_seconds histogram
+gather_seconds_bucket{le="0.1"} 1
+gather_seconds_bucket{le="1"} 2
+gather_seconds_bucket{le="+Inf"} 2
+gather_seconds_sum 0.55
+gather_seconds_count 2
+# HELP steps_total Training steps.
+# TYPE steps_total counter
+steps_total 3
+`
+	if rec.Body.String() != want {
+		t.Fatalf("body mismatch:\n--- got ---\n%s--- want ---\n%s", rec.Body.String(), want)
+	}
+}
+
+func TestHealthzShape(t *testing.T) {
+	type workerHealth struct {
+		ID    int  `json:"id"`
+		Alive bool `json:"alive"`
+	}
+	s := New(Config{Health: func() any {
+		return map[string]any{
+			"running": true,
+			"step":    7,
+			"workers": []workerHealth{{0, true}, {1, false}},
+		}
+	}})
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var got struct {
+		Running bool `json:"running"`
+		Step    int  `json:"step"`
+		Workers []struct {
+			ID    int  `json:"id"`
+			Alive bool `json:"alive"`
+		} `json:"workers"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("healthz is not valid JSON: %v\n%s", err, rec.Body.String())
+	}
+	if !got.Running || got.Step != 7 || len(got.Workers) != 2 || got.Workers[1].Alive {
+		t.Fatalf("unexpected payload: %+v", got)
+	}
+}
+
+func TestHealthzDefault(t *testing.T) {
+	s := New(Config{})
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	var got map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["status"] != "ok" {
+		t.Fatalf("default healthz = %v", got)
+	}
+}
+
+func TestIndexAndPprof(t *testing.T) {
+	s := New(Config{})
+	for _, path := range []string{"/", "/debug/pprof/"} {
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/no-such-page", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("GET /no-such-page: status %d, want 404", rec.Code)
+	}
+}
+
+// sampleLine matches a Prometheus text-format sample or comment line.
+var sampleLine = regexp.MustCompile(`^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? (-?[0-9.e+-]+|[+-]Inf|NaN))$`)
+
+// TestConcurrentScrapeWhileStepping runs a real HTTP server and hammers
+// /metrics and /healthz while "training steps" update the instruments —
+// the -race workout for the whole scrape path.
+func TestConcurrentScrapeWhileStepping(t *testing.T) {
+	reg := metrics.NewRegistry()
+	steps := reg.NewCounter("steps_total", "")
+	gather := reg.NewHistogram("gather_seconds", "", metrics.DefBuckets)
+	frac := reg.NewGauge("recovered_fraction", "")
+	var stepCount int64
+	var mu sync.Mutex
+	reg.NewGaugeFunc("alive_workers", "", func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return float64(stepCount % 5)
+	})
+
+	s := New(Config{
+		Addr:     "127.0.0.1:0",
+		Registry: reg,
+		Health: func() any {
+			mu.Lock()
+			defer mu.Unlock()
+			return map[string]int64{"step": stepCount}
+		},
+	})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the "training loop"
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			steps.Inc()
+			gather.Observe(float64(i%100) / 1000)
+			frac.Set(float64(i%10) / 10)
+			mu.Lock()
+			stepCount++
+			mu.Unlock()
+		}
+	}()
+
+	client := &http.Client{Timeout: 2 * time.Second}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				resp, err := client.Get(s.URL() + "/metrics")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+					if !sampleLine.MatchString(line) {
+						t.Errorf("invalid exposition line %q", line)
+						return
+					}
+				}
+				resp, err = client.Get(s.URL() + "/healthz")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var payload map[string]int64
+				err = json.NewDecoder(resp.Body).Decode(&payload)
+				resp.Body.Close()
+				if err != nil {
+					t.Errorf("healthz decode: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	// Let the scrapers finish, then stop the stepper.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for scrapers")
+	}
+}
+
+func TestDoubleStartFails(t *testing.T) {
+	s := New(Config{Addr: "127.0.0.1:0"})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	if err := s.Start(); err == nil {
+		t.Fatal("second Start should fail")
+	}
+}
+
+func TestShutdownWithoutStart(t *testing.T) {
+	s := New(Config{})
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrBeforeStart(t *testing.T) {
+	s := New(Config{Addr: "127.0.0.1:0"})
+	if s.Addr() != "" || s.URL() != "" {
+		t.Fatal("Addr/URL should be empty before Start")
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	if s.Addr() == "" || !strings.HasPrefix(s.URL(), "http://127.0.0.1:") {
+		t.Fatalf("Addr = %q URL = %q", s.Addr(), s.URL())
+	}
+	// The server actually answers on that address.
+	resp, err := http.Get(s.URL() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func ExampleServer() {
+	reg := metrics.NewRegistry()
+	reg.NewCounter("example_total", "An example counter.").Add(2)
+	s := New(Config{Addr: "127.0.0.1:0", Registry: reg})
+	if err := s.Start(); err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer s.Shutdown(context.Background())
+	resp, err := http.Get(s.URL() + "/metrics")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	fmt.Print(string(body))
+	// Output:
+	// # HELP example_total An example counter.
+	// # TYPE example_total counter
+	// example_total 2
+}

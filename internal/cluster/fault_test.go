@@ -340,7 +340,7 @@ func TestLivenessTimeoutReapsSilentWorker(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer raw.Close()
-	silent := newConn(raw, 0)
+	silent := newConn(raw, 0, nil)
 	if err := silent.send(&Envelope{Kind: MsgHello, Worker: 1}); err != nil {
 		t.Fatal(err)
 	}
@@ -405,7 +405,7 @@ func TestMasterRejectsMalformedGradient(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer raw.Close()
-	c := newConn(raw, 0)
+	c := newConn(raw, 0, nil)
 	if err := c.send(&Envelope{Kind: MsgHello, Worker: 0}); err != nil {
 		t.Fatal(err)
 	}

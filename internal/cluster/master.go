@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"isgc/internal/bitset"
@@ -64,6 +65,10 @@ type MasterConfig struct {
 	// WriteTimeout bounds each outbound send (default 5s; negative
 	// disables).
 	WriteTimeout time.Duration
+	// Metrics, when non-nil, receives live instrumentation (gather
+	// latency, recovered fraction, liveness, evictions); serve it via the
+	// admin package. One MasterMetrics per master.
+	Metrics *MasterMetrics
 }
 
 // workerState is the master's per-worker liveness view. gen increments on
@@ -91,6 +96,7 @@ type Master struct {
 	curStep   int
 	curParams []float64
 	rejoins   int
+	degraded  int // degraded steps so far (live view for Health)
 
 	grads  chan arrival
 	wakeup chan struct{} // liveness-changed signal for the gather loop
@@ -98,20 +104,23 @@ type Master struct {
 
 	// accepted[i] counts the steps in which worker i's gradient was
 	// gathered before the cut-off — the per-worker availability view an
-	// operator uses to spot enduring stragglers. Written only by the
-	// training loop; read via ArrivalCounts after Run returns.
-	accepted []int
+	// operator uses to spot enduring stragglers. Atomic because the
+	// admin server's Health snapshot reads it while the training loop
+	// writes.
+	accepted []atomic.Int64
 	// malformed counts gradients rejected before decoding (wrong
 	// dimension, bad worker id) — a nonzero value flags a misconfigured
-	// or hostile worker. Written only by the training loop.
-	malformed int
+	// or hostile worker. Atomic for the same live-read reason.
+	malformed atomic.Int64
 }
 
 // ArrivalCounts returns, per worker, how many steps gathered that worker's
 // gradient. Valid after Run returns.
 func (m *Master) ArrivalCounts() []int {
 	out := make([]int, len(m.accepted))
-	copy(out, m.accepted)
+	for i := range m.accepted {
+		out[i] = int(m.accepted[i].Load())
+	}
 	return out
 }
 
@@ -125,7 +134,7 @@ func (m *Master) Rejoins() int {
 
 // MalformedGradients returns how many gradient envelopes were rejected
 // before decoding. Valid after Run returns.
-func (m *Master) MalformedGradients() int { return m.malformed }
+func (m *Master) MalformedGradients() int { return int(m.malformed.Load()) }
 
 // arrival is one gradient delivery tagged with its origin.
 type arrival struct {
@@ -164,7 +173,60 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: listen: %w", err)
 	}
-	return &Master{cfg: cfg, ln: ln}, nil
+	m := &Master{cfg: cfg, ln: ln}
+	cfg.Metrics.bind(m)
+	return m, nil
+}
+
+// Health returns a point-in-time snapshot of the master's liveness view —
+// the /healthz payload. Safe to call from any goroutine at any time
+// (before Run it reports an empty worker list).
+func (m *Master) Health() MasterHealth {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := time.Now()
+	h := MasterHealth{
+		Running:            m.running && !m.done,
+		Step:               m.curStep,
+		DegradedSteps:      m.degraded,
+		Rejoins:            m.rejoins,
+		MalformedGradients: m.malformed.Load(),
+		Workers:            make([]WorkerHealthView, len(m.workers)),
+	}
+	for i, ws := range m.workers {
+		v := WorkerHealthView{ID: i, LastSeenAgeSeconds: -1, Generation: -1}
+		if i < len(m.accepted) {
+			v.AcceptedSteps = m.accepted[i].Load()
+		}
+		if ws != nil {
+			v.Alive = ws.alive
+			v.LastSeenAgeSeconds = now.Sub(ws.lastSeen).Seconds()
+			v.Generation = ws.gen
+			if ws.alive {
+				h.AliveWorkers++
+			}
+		}
+		h.Workers[i] = v
+	}
+	return h
+}
+
+// maxHeartbeatAge returns the age in seconds of the stalest alive
+// worker's last message (0 when no worker is alive) — the scrape-time
+// heartbeat-lag gauge.
+func (m *Master) maxHeartbeatAge() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := time.Now()
+	max := 0.0
+	for _, ws := range m.workers {
+		if ws != nil && ws.alive {
+			if age := now.Sub(ws.lastSeen).Seconds(); age > max {
+				max = age
+			}
+		}
+	}
+	return max
 }
 
 // Addr returns the actual listen address (useful with ":0").
@@ -179,8 +241,12 @@ func (m *Master) Run() (*engine.Result, error) {
 	m.grads = make(chan arrival, 8*n)
 	m.wakeup = make(chan struct{}, 1)
 	m.quit = make(chan struct{})
+	// The admin server may snapshot Health concurrently with Run's setup,
+	// so the shared slices appear under the lock.
+	m.mu.Lock()
 	m.workers = make([]*workerState, n)
-	m.accepted = make([]int, n)
+	m.accepted = make([]atomic.Int64, n)
+	m.mu.Unlock()
 
 	var readers sync.WaitGroup
 	acceptDone := make(chan struct{})
@@ -230,7 +296,7 @@ func (m *Master) acceptLoop(readers *sync.WaitGroup) {
 // master, and neither must a stranger.
 func (m *Master) handshake(raw net.Conn, readers *sync.WaitGroup) {
 	n := m.cfg.Strategy.N()
-	c := newConn(raw, m.cfg.WriteTimeout)
+	c := newConn(raw, m.cfg.WriteTimeout, m.cfg.Metrics.sentCounter())
 	_ = raw.SetReadDeadline(time.Now().Add(2 * time.Second))
 	hello, err := c.recv()
 	if err != nil || hello.Kind != MsgHello || hello.Worker < 0 || hello.Worker >= n {
@@ -257,8 +323,10 @@ func (m *Master) handshake(raw net.Conn, readers *sync.WaitGroup) {
 	if prev != nil {
 		gen = prev.gen + 1
 		m.rejoins++
+		m.cfg.Metrics.markRejoin()
 	}
 	m.workers[id] = &workerState{c: c, alive: true, lastSeen: time.Now(), gen: gen}
+	m.cfg.Metrics.setWorkerAlive(id, true)
 	var resume *Envelope
 	if m.running {
 		resume = &Envelope{Kind: MsgStep, Step: m.curStep, Params: m.curParams}
@@ -311,6 +379,7 @@ func (m *Master) readFrom(id, gen int, c *conn, readers *sync.WaitGroup) {
 	}
 	m.mu.Unlock()
 	if current {
+		m.cfg.Metrics.setWorkerAlive(id, false)
 		_ = c.close()
 		m.pokeLiveness()
 	}
@@ -351,6 +420,7 @@ func (m *Master) monitorLiveness() {
 			}
 			m.mu.Unlock()
 			for _, c := range evict {
+				m.cfg.Metrics.markEviction()
 				_ = c.close()
 			}
 		}
@@ -440,12 +510,14 @@ func (m *Master) trainLoop() (*engine.Result, error) {
 			if len(a.coded) != dim {
 				// A malformed envelope must never reach Recover/AXPY,
 				// where a wrong-dimension vector panics the master.
-				m.malformed++
+				m.malformed.Add(1)
+				m.cfg.Metrics.markMalformed()
 				return
 			}
 			avail.Add(a.worker)
 			coded[a.worker] = a.coded
-			m.accepted[a.worker]++
+			m.accepted[a.worker].Add(1)
+			m.cfg.Metrics.markAccepted(a.worker)
 		}
 
 		var degraded bool
@@ -459,12 +531,18 @@ func (m *Master) trainLoop() (*engine.Result, error) {
 			return res, gatherErr
 		}
 		elapsed := time.Since(stepStart)
+		if degraded {
+			m.mu.Lock()
+			m.degraded++
+			m.mu.Unlock()
+		}
 
 		ghat, recParts, err := st.Recover(avail, coded)
 		if err != nil {
 			return res, fmt.Errorf("cluster: step %d: %w", step, err)
 		}
 		recovered := len(recParts)
+		m.cfg.Metrics.observeStep(elapsed, float64(recovered)/float64(n), degraded)
 		if recovered > 0 {
 			linalg.AXPY(params, -m.cfg.LearningRate/float64(recovered), ghat)
 		}
@@ -599,6 +677,7 @@ func (m *Master) broadcast(e *Envelope) {
 	m.mu.Unlock()
 	for _, c := range conns {
 		if err := c.send(e); err != nil {
+			m.cfg.Metrics.markEviction()
 			_ = c.close()
 		}
 	}

@@ -19,11 +19,15 @@
 package cluster
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
+
+	"isgc/internal/metrics"
 )
 
 // Message kinds exchanged between master and workers.
@@ -43,6 +47,12 @@ const (
 	MsgStop = "stop"
 )
 
+// maxVectorLen caps the Params/Coded length a peer may claim: a malformed
+// or hostile envelope must not be able to commit the receiver to an absurd
+// decode. 2^24 float64s is a 128 MiB vector — far beyond any model this
+// runtime trains, and far below anything that would hurt the process.
+const maxVectorLen = 1 << 24
+
 // Envelope is the single wire message type; unused fields stay zero.
 type Envelope struct {
 	Kind string
@@ -55,6 +65,86 @@ type Envelope struct {
 	Params []float64
 	// Coded is the worker's coded gradient (Gradient).
 	Coded []float64
+}
+
+// validateEnvelope enforces the structural invariants every well-formed
+// message satisfies, independent of protocol state: a known kind, non-
+// negative ids, and bounded vector lengths. Semantic checks (worker id in
+// range, step currency, gradient dimension) stay with the master, which
+// knows the cluster shape.
+func validateEnvelope(e *Envelope) error {
+	switch e.Kind {
+	case MsgHello, MsgStep, MsgGradient, MsgHeartbeat, MsgStop:
+	default:
+		return fmt.Errorf("cluster: unknown message kind %q", e.Kind)
+	}
+	if e.Worker < 0 {
+		return fmt.Errorf("cluster: negative worker id %d in %s", e.Worker, e.Kind)
+	}
+	if e.Step < 0 {
+		return fmt.Errorf("cluster: negative step %d in %s", e.Step, e.Kind)
+	}
+	if len(e.Params) > maxVectorLen {
+		return fmt.Errorf("cluster: params length %d exceeds limit %d", len(e.Params), maxVectorLen)
+	}
+	if len(e.Coded) > maxVectorLen {
+		return fmt.Errorf("cluster: coded length %d exceeds limit %d", len(e.Coded), maxVectorLen)
+	}
+	return nil
+}
+
+// decodeEnvelope decodes and validates one envelope from dec. A malformed
+// or truncated stream must yield an error, never a crash: gob's own error
+// paths are converted, any decoder panic is recovered, and the result is
+// validated before anyone trusts it. This is the single choke point every
+// received message passes through — the fuzz target FuzzDecodeMessage
+// hammers it with adversarial bytes.
+func decodeEnvelope(dec *gob.Decoder) (e *Envelope, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e, err = nil, fmt.Errorf("cluster: decode panic: %v", r)
+		}
+	}()
+	var env Envelope
+	if err := dec.Decode(&env); err != nil {
+		return nil, fmt.Errorf("cluster: recv: %w", err)
+	}
+	if err := validateEnvelope(&env); err != nil {
+		return nil, err
+	}
+	return &env, nil
+}
+
+// DecodeMessage decodes a single envelope from a standalone gob stream
+// (type descriptor + one value), as produced by EncodeMessage or by the
+// first send on a fresh connection. It never panics on malformed input.
+func DecodeMessage(data []byte) (*Envelope, error) {
+	return decodeEnvelope(gob.NewDecoder(bytes.NewReader(data)))
+}
+
+// EncodeMessage renders one envelope as a standalone gob stream — the
+// inverse of DecodeMessage, used by tests and fuzz seeds.
+func EncodeMessage(e *Envelope) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		return nil, fmt.Errorf("cluster: encode %s: %w", e.Kind, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// countingWriter counts bytes as they leave for the network, feeding a
+// sent-bytes counter (the upload-volume metric).
+type countingWriter struct {
+	w io.Writer
+	c *metrics.Counter
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	if n > 0 {
+		cw.c.Add(uint64(n))
+	}
+	return n, err
 }
 
 // conn wraps a net.Conn with gob codecs. Decode is safe for a single
@@ -71,8 +161,14 @@ type conn struct {
 	writeTimeout time.Duration
 }
 
-func newConn(c net.Conn, writeTimeout time.Duration) *conn {
-	return &conn{raw: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c), writeTimeout: writeTimeout}
+// newConn wraps c. sent, when non-nil, accumulates every byte written to
+// the connection (metrics instrumentation); nil skips the counting layer.
+func newConn(c net.Conn, writeTimeout time.Duration, sent *metrics.Counter) *conn {
+	var w io.Writer = c
+	if sent != nil {
+		w = &countingWriter{w: c, c: sent}
+	}
+	return &conn{raw: c, enc: gob.NewEncoder(w), dec: gob.NewDecoder(c), writeTimeout: writeTimeout}
 }
 
 func (c *conn) send(e *Envelope) error {
@@ -93,11 +189,7 @@ func (c *conn) send(e *Envelope) error {
 }
 
 func (c *conn) recv() (*Envelope, error) {
-	var e Envelope
-	if err := c.dec.Decode(&e); err != nil {
-		return nil, fmt.Errorf("cluster: recv: %w", err)
-	}
-	return &e, nil
+	return decodeEnvelope(c.dec)
 }
 
 func (c *conn) close() error { return c.raw.Close() }

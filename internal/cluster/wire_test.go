@@ -14,7 +14,7 @@ import (
 // pipePair returns two connected conns over an in-memory duplex pipe.
 func pipePair() (*conn, *conn) {
 	a, b := net.Pipe()
-	return newConn(a, 0), newConn(b, 0)
+	return newConn(a, 0, nil), newConn(b, 0, nil)
 }
 
 func TestEnvelopeRoundTrip(t *testing.T) {
@@ -122,7 +122,7 @@ func TestMasterRejectsBadHello(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := newConn(raw, 0)
+	c := newConn(raw, 0, nil)
 	if err := c.send(&Envelope{Kind: MsgHello, Worker: 99}); err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +162,7 @@ func TestMasterRejectsDuplicateWorker(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return newConn(raw, 0)
+		return newConn(raw, 0, nil)
 	}
 	c1 := dial()
 	defer c1.close()

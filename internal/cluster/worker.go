@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"isgc/internal/dataset"
@@ -57,6 +58,9 @@ type WorkerConfig struct {
 	ReconnectTimeout time.Duration
 	// DialTimeout bounds the initial connection (default 5s).
 	DialTimeout time.Duration
+	// Metrics, when non-nil, receives live instrumentation (compute time,
+	// upload bytes, reconnects); serve it via the admin package.
+	Metrics *WorkerMetrics
 }
 
 // Worker trains on its partitions and uploads coded gradients until the
@@ -66,8 +70,24 @@ type Worker struct {
 	c      *conn
 	rng    *rand.Rand
 	frng   *rand.Rand
-	steps  int
 	stopHB chan struct{}
+
+	// steps, reconnects, and connected are atomics because the admin
+	// server's Health snapshot reads them while Run mutates.
+	steps      atomic.Int64
+	reconnects atomic.Int64
+	connected  atomic.Bool
+}
+
+// Health returns a point-in-time snapshot for the worker's /healthz
+// payload. Safe to call from any goroutine.
+func (w *Worker) Health() WorkerHealth {
+	return WorkerHealth{
+		ID:          w.cfg.ID,
+		Connected:   w.connected.Load(),
+		StepsServed: w.steps.Load(),
+		Reconnects:  w.reconnects.Load(),
+	}
 }
 
 // NewWorker connects to the master and registers.
@@ -91,7 +111,7 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := newConn(raw, defaultWriteTimeout)
+	c := newConn(raw, defaultWriteTimeout, cfg.Metrics.sentCounter())
 	if err := c.send(&Envelope{Kind: MsgHello, Worker: cfg.ID}); err != nil {
 		_ = c.close()
 		return nil, err
@@ -102,8 +122,15 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		rng:  rand.New(rand.NewSource(cfg.DelaySeed)),
 		frng: rand.New(rand.NewSource(cfg.FaultSeed)),
 	}
+	w.setConnected(true)
 	w.startHeartbeat()
 	return w, nil
+}
+
+// setConnected keeps the atomic state and the gauge in lockstep.
+func (w *Worker) setConnected(up bool) {
+	w.connected.Store(up)
+	w.cfg.Metrics.setConnected(up)
 }
 
 // Run processes step requests until the master stops the worker or the
@@ -113,6 +140,7 @@ func (w *Worker) Run() (int, error) {
 	defer func() {
 		w.stopHeartbeat()
 		_ = w.c.close()
+		w.setConnected(false)
 	}()
 	for {
 		e, err := w.c.recv()
@@ -122,11 +150,11 @@ func (w *Worker) Run() (int, error) {
 			if w.reconnect() {
 				continue
 			}
-			return w.steps, nil
+			return int(w.steps.Load()), nil
 		}
 		switch e.Kind {
 		case MsgStop:
-			return w.steps, nil
+			return int(w.steps.Load()), nil
 		case MsgStep:
 			action := straggler.FaultNone
 			if w.cfg.Fault != nil {
@@ -135,34 +163,38 @@ func (w *Worker) Run() (int, error) {
 			if action == straggler.FaultCrash {
 				// Die abruptly — no farewell message, exactly like a
 				// killed process; the master learns via the closed socket.
-				return w.steps, nil
+				return int(w.steps.Load()), nil
 			}
 			if action == straggler.FaultDisconnect {
 				w.stopHeartbeat()
 				_ = w.c.close()
+				w.setConnected(false)
 				if w.reconnect() {
 					continue
 				}
-				return w.steps, nil
+				return int(w.steps.Load()), nil
 			}
 			coded, err := w.computeStep(e.Step, e.Params)
 			if err != nil {
-				return w.steps, err
+				return int(w.steps.Load()), err
 			}
 			if w.cfg.Delay != nil {
 				time.Sleep(w.cfg.Delay.Sample(w.rng))
 			}
 			if action == straggler.FaultDrop {
-				w.steps++ // computed, but the upload is lost
+				w.steps.Add(1) // computed, but the upload is lost
+				w.cfg.Metrics.markStep()
+				w.cfg.Metrics.markDrop()
 				continue
 			}
 			if err := w.c.send(&Envelope{Kind: MsgGradient, Worker: w.cfg.ID, Step: e.Step, Coded: coded}); err != nil {
 				if w.reconnect() {
 					continue
 				}
-				return w.steps, nil // master already gone
+				return int(w.steps.Load()), nil // master already gone
 			}
-			w.steps++
+			w.steps.Add(1)
+			w.cfg.Metrics.markStep()
 		}
 	}
 }
@@ -176,14 +208,19 @@ func (w *Worker) reconnect() bool {
 	}
 	w.stopHeartbeat()
 	_ = w.c.close()
+	w.setConnected(false)
 	deadline := time.Now().Add(w.cfg.ReconnectTimeout)
 	backoff := 25 * time.Millisecond
 	for {
+		w.cfg.Metrics.markReconnectAttempt()
 		raw, err := net.DialTimeout("tcp", w.cfg.Addr, 500*time.Millisecond)
 		if err == nil {
-			c := newConn(raw, defaultWriteTimeout)
-			if c.send(&Envelope{Kind: MsgHello, Worker: w.cfg.ID, Step: w.steps}) == nil {
+			c := newConn(raw, defaultWriteTimeout, w.cfg.Metrics.sentCounter())
+			if c.send(&Envelope{Kind: MsgHello, Worker: w.cfg.ID, Step: int(w.steps.Load())}) == nil {
 				w.c = c
+				w.reconnects.Add(1)
+				w.cfg.Metrics.markReconnect()
+				w.setConnected(true)
 				w.startHeartbeat()
 				return true
 			}
@@ -237,6 +274,7 @@ func (w *Worker) stopHeartbeat() {
 }
 
 func (w *Worker) computeStep(step int, params []float64) ([]float64, error) {
+	start := time.Now()
 	local := make([][]float64, len(w.cfg.Partitions))
 	for j, l := range w.cfg.Loaders {
 		local[j] = w.cfg.Model.Grad(params, l.Samples(step))
@@ -245,6 +283,7 @@ func (w *Worker) computeStep(step int, params []float64) ([]float64, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: worker %d step %d: %w", w.cfg.ID, step, err)
 	}
+	w.cfg.Metrics.observeCompute(time.Since(start))
 	return coded, nil
 }
 

@@ -84,6 +84,10 @@ type Config struct {
 	// goroutines. Results are bit-identical to the serial path (each
 	// partition writes its own slot); worth enabling for large models.
 	Parallel bool
+	// Metrics, when non-nil, receives live instrumentation (step wall
+	// time, decode MIS size, partitions recovered); serve it via the
+	// admin package. Nil costs one branch per step.
+	Metrics *Metrics
 }
 
 // Result summarizes a completed run.
@@ -148,6 +152,10 @@ func Train(cfg Config) (*Result, error) {
 	rigid := st.WaitFor(1) == st.WaitFor(n) // Sync-SGD / classic GC
 
 	for step := 0; step < cfg.MaxSteps; step++ {
+		var wallStart time.Time
+		if cfg.Metrics != nil {
+			wallStart = time.Now()
+		}
 		// 1. Straggler simulation: who is available, and how long the
 		// master waited — fastest-w by default, optionally per-step
 		// adaptive w or a fixed deadline (Sec. IV policies).
@@ -256,6 +264,10 @@ func Train(cfg Config) (*Result, error) {
 			if isClassifier {
 				lastAcc = model.Accuracy(classifier, params, all)
 			}
+		}
+		if cfg.Metrics != nil {
+			cfg.Metrics.observeStep(time.Since(wallStart), recovered/st.C(),
+				recovered, float64(recovered)/float64(n))
 		}
 		res.Run.Append(trace.StepRecord{
 			Step:              step,

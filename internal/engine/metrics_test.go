@@ -1,0 +1,186 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"isgc/internal/dataset"
+	"isgc/internal/isgc"
+	"isgc/internal/metrics"
+	"isgc/internal/model"
+	"isgc/internal/placement"
+)
+
+// TestTrainMetrics runs the same config with and without instrumentation:
+// the results must be bit-identical (metrics are pure observation) and the
+// exported values must agree with the trace.
+func TestTrainMetrics(t *testing.T) {
+	p, perr := placement.CR(4, 2)
+	st := isgcStrategy(t, p, perr, 7)
+	cfg := baseConfig(t, st)
+	cfg.W = 2
+	cfg.MaxSteps = 20
+
+	plain, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := metrics.NewRegistry()
+	em := NewMetrics(reg)
+	cfg.Metrics = em
+	// Fresh strategy: the decoder's RNG is stateful across runs.
+	p, perr = placement.CR(4, 2)
+	cfg.Strategy = isgcStrategy(t, p, perr, 7)
+	instrumented, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Observation must not perturb training.
+	if len(plain.Params) != len(instrumented.Params) {
+		t.Fatal("param dim changed")
+	}
+	for i := range plain.Params {
+		if plain.Params[i] != instrumented.Params[i] {
+			t.Fatalf("params diverge at %d: %v vs %v", i, plain.Params[i], instrumented.Params[i])
+		}
+	}
+
+	// Exported values agree with the trace.
+	steps := uint64(instrumented.Run.Steps())
+	if got := em.Steps.Value(); got != steps {
+		t.Errorf("steps counter = %d, trace says %d", got, steps)
+	}
+	if got := em.StepTime.Count(); got != steps {
+		t.Errorf("step-time observations = %d, want %d", got, steps)
+	}
+	if got := em.MISSize.Count(); got != steps {
+		t.Errorf("MIS-size observations = %d, want %d", got, steps)
+	}
+	var wantParts uint64
+	var lastFrac float64
+	for _, rec := range instrumented.Run.Records {
+		wantParts += uint64(len(rec.Partitions))
+		lastFrac = rec.RecoveredFraction
+	}
+	if got := em.PartitionsRecovered.Value(); got != wantParts {
+		t.Errorf("partitions recovered = %d, trace says %d", got, wantParts)
+	}
+	if got := em.RecoveredFraction.Value(); got != lastFrac {
+		t.Errorf("recovered fraction gauge = %v, trace says %v", got, lastFrac)
+	}
+}
+
+// BenchmarkTrainStep measures the engine step hot path with metrics off
+// and on — the acceptance criterion is < 5% overhead when enabled.
+func BenchmarkTrainStep(b *testing.B) {
+	for _, withMetrics := range []bool{false, true} {
+		name := "metrics=off"
+		if withMetrics {
+			name = "metrics=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			p, err := placement.CR(8, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st, err := NewISGC(isgc.New(p, 7))
+			if err != nil {
+				b.Fatal(err)
+			}
+			data, err := dataset.SyntheticClusters(960, 6, 3, 4.0, 101)
+			if err != nil {
+				b.Fatal(err)
+			}
+			const stepsPerRun = 50
+			cfg := Config{
+				Strategy:     st,
+				Model:        model.SoftmaxRegression{Features: 6, Classes: 3},
+				Data:         data,
+				BatchSize:    16,
+				LearningRate: 0.3,
+				W:            4,
+				MaxSteps:     stepsPerRun,
+				Seed:         42,
+				EvalEvery:    stepsPerRun, // keep the loss pass off the hot path
+			}
+			if withMetrics {
+				cfg.Metrics = NewMetrics(metrics.NewRegistry())
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Train(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			perStep := float64(b.Elapsed().Nanoseconds()) / float64(b.N*stepsPerRun)
+			b.ReportMetric(perStep, "ns/step")
+		})
+	}
+}
+
+// TestMetricsOverheadBudget is the executable form of the < 5% criterion:
+// it times the step loop with metrics off and on (best of three, to shed
+// scheduler noise) and fails when the instrumented path is more than 5%
+// slower.
+func TestMetricsOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race detector inflates atomic costs; budget holds for normal builds")
+	}
+	p, err := placement.CR(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewISGC(isgc.New(p, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := dataset.SyntheticClusters(960, 6, 3, 4.0, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(em *Metrics) time.Duration {
+		cfg := Config{
+			Strategy:     st,
+			Model:        model.SoftmaxRegression{Features: 6, Classes: 3},
+			Data:         data,
+			BatchSize:    16,
+			LearningRate: 0.3,
+			W:            4,
+			MaxSteps:     60,
+			Seed:         42,
+			EvalEvery:    60,
+			Metrics:      em,
+		}
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			if _, err := Train(cfg); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	run(nil) // warm caches
+	// A single measurement is at the mercy of whatever the rest of the
+	// test binary is doing; accept the first attempt under budget.
+	var overhead float64
+	for attempt := 0; attempt < 3; attempt++ {
+		off := run(nil)
+		on := run(NewMetrics(metrics.NewRegistry()))
+		overhead = float64(on-off) / float64(off)
+		t.Logf("attempt %d: metrics off %v, on %v, overhead %.2f%%", attempt, off, on, overhead*100)
+		if overhead <= 0.05 {
+			return
+		}
+	}
+	t.Errorf("metrics overhead %.2f%% exceeds 5%% budget on all attempts", overhead*100)
+}

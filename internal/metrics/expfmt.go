@@ -1,0 +1,98 @@
+// Prometheus text exposition (format version 0.0.4): the rendering half
+// of the registry. Families are emitted sorted by name, each with # HELP
+// and # TYPE headers followed by its sample lines.
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// TextContentType is the Content-Type of the exposition format served on
+// /metrics.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered family to w in the Prometheus
+// text format. Families appear sorted by name; vec children sorted by
+// label values. Safe to call concurrently with metric updates.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	lw := &lineWriter{w: bw}
+	for _, f := range r.families() {
+		lw.meta(f.name, f.help, f.typ)
+		f.collect(lw)
+		if lw.err != nil {
+			return lw.err
+		}
+	}
+	if lw.err != nil {
+		return lw.err
+	}
+	return bw.Flush()
+}
+
+// lineWriter accumulates exposition lines, remembering the first write
+// error so collectors can stay error-free.
+type lineWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (lw *lineWriter) meta(name, help, typ string) {
+	if lw.err != nil {
+		return
+	}
+	if help != "" {
+		_, lw.err = lw.w.WriteString("# HELP " + name + " " + escapeHelp(help) + "\n")
+		if lw.err != nil {
+			return
+		}
+	}
+	_, lw.err = lw.w.WriteString("# TYPE " + name + " " + typ + "\n")
+}
+
+// sample writes one `name{labels} value` line; labels may be empty.
+func (lw *lineWriter) sample(name, labels, value string) {
+	if lw.err != nil {
+		return
+	}
+	line := name
+	if labels != "" {
+		line += "{" + labels + "}"
+	}
+	_, lw.err = lw.w.WriteString(line + " " + value + "\n")
+}
+
+// joinLabels merges two comma-joined label-pair strings, either possibly
+// empty.
+func joinLabels(a, b string) string {
+	switch {
+	case a == "":
+		return b
+	case b == "":
+		return a
+	default:
+		return a + "," + b
+	}
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatFloat(v float64) string {
+	// strconv handles ±Inf and NaN with the spellings Prometheus expects
+	// ("+Inf", "-Inf", "NaN").
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestExpositionGolden pins the full output byte-for-byte: family order
+// (sorted by name), HELP/TYPE headers, escaping, histogram layout.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("zz_last", "Registered first, renders last.")
+	g.Set(0.25)
+	c := r.NewCounter("aa_first", `Help with a "quote", back\slash and`+"\nnewline.")
+	c.Add(7)
+	h := r.NewHistogram("mid_hist", "A histogram.", []float64{0.5, 1})
+	h.Observe(0.4)
+	h.Observe(0.6)
+	h.Observe(2)
+	cv := r.NewCounterVec("mid_vec", "Labeled.", "worker", "kind")
+	cv.With("3", `odd"value`+"\n").Add(2)
+
+	const want = `# HELP aa_first Help with a "quote", back\\slash and\nnewline.
+# TYPE aa_first counter
+aa_first 7
+# HELP mid_hist A histogram.
+# TYPE mid_hist histogram
+mid_hist_bucket{le="0.5"} 1
+mid_hist_bucket{le="1"} 2
+mid_hist_bucket{le="+Inf"} 3
+mid_hist_sum 3
+mid_hist_count 3
+# HELP mid_vec Labeled.
+# TYPE mid_vec counter
+mid_vec{worker="3",kind="odd\"value\n"} 2
+# HELP zz_last Registered first, renders last.
+# TYPE zz_last gauge
+zz_last 0.25
+`
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+func TestFormatFloatSpecials(t *testing.T) {
+	for v, want := range map[float64]string{
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+		0.1:          "0.1",
+		3:            "3",
+	} {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := formatFloat(math.NaN()); got != "NaN" {
+		t.Errorf("formatFloat(NaN) = %q", got)
+	}
+}
+
+func TestNoHelpOmitsHelpLine(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("bare", "")
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "# HELP") {
+		t.Fatalf("unexpected HELP line:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "# TYPE bare counter\n") {
+		t.Fatalf("missing TYPE line:\n%s", b.String())
+	}
+}

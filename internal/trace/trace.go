@@ -115,6 +115,35 @@ func (r *Run) DegradedSteps() int {
 	return n
 }
 
+// LatencySummary holds step-latency order statistics of a run.
+type LatencySummary struct {
+	P50 time.Duration
+	P95 time.Duration
+	P99 time.Duration
+}
+
+func (s LatencySummary) String() string {
+	return fmt.Sprintf("p50=%v p95=%v p99=%v",
+		s.P50.Round(time.Microsecond), s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond))
+}
+
+// LatencySummary returns the p50/p95/p99 of the per-step elapsed times
+// (all zero for an empty run).
+func (r *Run) LatencySummary() LatencySummary {
+	if len(r.Records) == 0 {
+		return LatencySummary{}
+	}
+	xs := make([]float64, len(r.Records))
+	for i, rec := range r.Records {
+		xs[i] = float64(rec.Elapsed)
+	}
+	return LatencySummary{
+		P50: time.Duration(Percentile(xs, 50)),
+		P95: time.Duration(Percentile(xs, 95)),
+		P99: time.Duration(Percentile(xs, 99)),
+	}
+}
+
 // FinalLoss returns the last recorded loss (NaN for an empty run).
 func (r *Run) FinalLoss() float64 {
 	if len(r.Records) == 0 {

@@ -143,3 +143,61 @@ func TestTableCSV(t *testing.T) {
 		t.Errorf("CSV = %q, want %q", csv, want)
 	}
 }
+
+func TestLatencySummary(t *testing.T) {
+	var r Run
+	if s := r.LatencySummary(); s.P50 != 0 || s.P95 != 0 || s.P99 != 0 {
+		t.Errorf("empty run summary = %+v, want zeros", s)
+	}
+	for i := 1; i <= 100; i++ {
+		r.Append(StepRecord{Elapsed: time.Duration(i) * time.Millisecond})
+	}
+	s := r.LatencySummary()
+	if s.P50 != 50500*time.Microsecond {
+		t.Errorf("p50 = %v, want 50.5ms", s.P50)
+	}
+	if s.P95 != 95050*time.Microsecond {
+		t.Errorf("p95 = %v, want 95.05ms", s.P95)
+	}
+	if s.P99 != 99010*time.Microsecond {
+		t.Errorf("p99 = %v, want 99.01ms", s.P99)
+	}
+	str := s.String()
+	for _, want := range []string{"p50=", "p95=", "p99="} {
+		if !strings.Contains(str, want) {
+			t.Errorf("summary string %q missing %q", str, want)
+		}
+	}
+}
+
+// TestEmptyInputGuards pins the documented behaviour of the summary
+// statistics on empty input: Percentile is NaN, Mean and Stddev are 0,
+// and none of them panic.
+func TestEmptyInputGuards(t *testing.T) {
+	if v := Percentile(nil, 50); !math.IsNaN(v) {
+		t.Errorf("Percentile(nil) = %v, want NaN", v)
+	}
+	if v := Percentile([]float64{}, 99); !math.IsNaN(v) {
+		t.Errorf("Percentile(empty) = %v, want NaN", v)
+	}
+	if v := Mean(nil); v != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", v)
+	}
+	if v := Stddev(nil); v != 0 {
+		t.Errorf("Stddev(nil) = %v, want 0", v)
+	}
+	if v := Stddev([]float64{7}); v != 0 {
+		t.Errorf("Stddev(single) = %v, want 0", v)
+	}
+	if v := MeanDuration(nil); v != 0 {
+		t.Errorf("MeanDuration(nil) = %v, want 0", v)
+	}
+	// Out-of-range percentiles clamp rather than index out of bounds.
+	xs := []float64{1, 2, 3}
+	if v := Percentile(xs, -5); v != 1 {
+		t.Errorf("Percentile(p=-5) = %v, want 1", v)
+	}
+	if v := Percentile(xs, 150); v != 3 {
+		t.Errorf("Percentile(p=150) = %v, want 3", v)
+	}
+}
