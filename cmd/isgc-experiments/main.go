@@ -9,6 +9,7 @@
 //	isgc-experiments -fig 12             # Fig. 12(a-d): training comparison
 //	isgc-experiments -fig 13             # Fig. 13(a-b): HR trade-off
 //	isgc-experiments -fig bounds         # Theorems 10-11 validation table
+//	isgc-experiments -fig attribution    # straggler-attribution timeline table
 //	isgc-experiments -fig 12 -trials 10  # paper-scale averaging
 //	isgc-experiments -fig 12 -csv        # machine-readable output
 package main
@@ -23,6 +24,9 @@ import (
 	"time"
 
 	"isgc/internal/admin"
+	"isgc/internal/buildinfo"
+	"isgc/internal/cliconfig"
+	"isgc/internal/events"
 	"isgc/internal/experiments"
 	"isgc/internal/metrics"
 	"isgc/internal/placement"
@@ -30,7 +34,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 11a, 11b, 12, 13, bounds, ablations, theory, hetero, all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 11a, 11b, 12, 13, bounds, ablations, theory, hetero, attribution, all")
 	trials := flag.Int("trials", 0, "override the number of trials per data point (0 = default)")
 	steps := flag.Int("steps", 0, "override simulated steps for Fig. 11 (0 = default)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -38,7 +42,14 @@ func main() {
 	show := flag.String("show", "", `print a placement and its conflict graph instead of running experiments; format "fr:n:c", "cr:n:c", or "hr:n:c1:c2:g", e.g. -show hr:8:2:2:2`)
 	workload := flag.String("workload", "", `Fig. 12 training workload: "softmax" (default) or "mlp"`)
 	metricsAddr := flag.String("metrics-addr", "", "serve /debug/pprof and /metrics on this address while experiments run (empty disables)")
+	eventsPath := flag.String("events", "", "write a JSONL structured event log to this path (\"-\" = stderr)")
+	logLevel := flag.String("log-level", "info", "minimum event level: debug, info, warn, or error")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Get())
+		return
+	}
 
 	if *metricsAddr != "" {
 		// Paper-scale runs (-trials 10) take minutes; a live pprof endpoint
@@ -63,7 +74,19 @@ func main() {
 		}
 		return
 	}
-	if err := run(*fig, *trials, *steps, *seed, *csv, *workload); err != nil {
+	var ev *events.Log
+	if *eventsPath != "" {
+		log, closer, err := cliconfig.OpenEventLog(*eventsPath, *logLevel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "isgc-experiments:", err)
+			os.Exit(1)
+		}
+		if closer != nil {
+			defer closer.Close()
+		}
+		ev = log
+	}
+	if err := run(*fig, *trials, *steps, *seed, *csv, *workload, ev); err != nil {
 		fmt.Fprintln(os.Stderr, "isgc-experiments:", err)
 		os.Exit(1)
 	}
@@ -108,7 +131,7 @@ func runShow(spec string) error {
 	return nil
 }
 
-func run(fig string, trials, steps int, seed int64, csv bool, workload string) error {
+func run(fig string, trials, steps int, seed int64, csv bool, workload string, ev *events.Log) error {
 	emit := func(tabs ...*trace.Table) {
 		for _, t := range tabs {
 			if csv {
@@ -255,8 +278,24 @@ func run(fig string, trials, steps int, seed int64, csv bool, workload string) e
 		}
 		emit(tab)
 	}
+	if want("attribution") {
+		matched = true
+		cfg := experiments.DefaultAttribution()
+		if steps > 0 {
+			cfg.Steps = steps
+		}
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		cfg.Events = ev
+		_, tab, err := experiments.Attribution(cfg)
+		if err != nil {
+			return err
+		}
+		emit(tab)
+	}
 	if !matched {
-		return fmt.Errorf("unknown -fig %q (want 11a, 11b, 12, 13, bounds, ablations, theory, hetero, or all)", fig)
+		return fmt.Errorf("unknown -fig %q (want 11a, 11b, 12, 13, bounds, ablations, theory, hetero, attribution, or all)", fig)
 	}
 	return nil
 }

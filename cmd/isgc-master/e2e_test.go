@@ -61,12 +61,22 @@ func TestEndToEndBinaries(t *testing.T) {
 		}
 	}
 
+	// -version must identify the binary without starting a run.
+	if out, err := exec.Command(masterBin, "-version").CombinedOutput(); err != nil {
+		t.Fatalf("isgc-master -version: %v\n%s", err, out)
+	} else if !strings.Contains(string(out), "isgc") {
+		t.Fatalf("-version output does not identify the module: %q", out)
+	}
+
 	addr := freeAddr(t)
 	metricsAddr := freeAddr(t)
+	timelinePath := filepath.Join(dir, "timeline.json")
+	eventsPath := filepath.Join(dir, "events.jsonl")
 	master := exec.Command(masterBin,
 		"-addr", addr, "-n", "4", "-c", "2", "-scheme", "cr",
 		"-w", "2", "-steps", "8", "-threshold", "0", "-seed", "42",
 		"-liveness", "2s",
+		"-timeline", timelinePath, "-events", eventsPath,
 		"-metrics-addr", metricsAddr, "-metrics-linger", "10s")
 	masterOut := &syncBuffer{}
 	master.Stdout = masterOut
@@ -134,8 +144,12 @@ func TestEndToEndBinaries(t *testing.T) {
 		}
 	}
 
+	healthBody := httpGet(t, base+"/healthz")
+	if !strings.Contains(healthBody, "go_version") {
+		t.Errorf("healthz missing build info (no go_version key):\n%s", clip(healthBody))
+	}
 	var health cluster.MasterHealth
-	if err := json.Unmarshal([]byte(httpGet(t, base+"/healthz")), &health); err != nil {
+	if err := json.Unmarshal([]byte(healthBody), &health); err != nil {
 		t.Fatalf("healthz decode: %v", err)
 	}
 	if len(health.Workers) != 4 {
@@ -186,6 +200,81 @@ func TestEndToEndBinaries(t *testing.T) {
 	}
 	if !strings.Contains(out, "metrics: http://") {
 		t.Fatalf("master output missing metrics URL:\n%s", out)
+	}
+	if !strings.Contains(out, "straggler attribution (per worker)") {
+		t.Fatalf("master output missing attribution table:\n%s", out)
+	}
+
+	checkTimelineFile(t, timelinePath)
+	checkEventLogFile(t, eventsPath)
+}
+
+// checkTimelineFile asserts the -timeline output is a loadable Chrome
+// trace: a JSON object with a traceEvents array holding at least one master
+// step span and at least one per-worker compute span whose duration came
+// from the worker's own clock.
+func checkTimelineFile(t *testing.T, path string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("timeline file: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TID  int     `json:"tid"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("timeline is not valid Chrome trace JSON: %v\n%s", err, clip(string(raw)))
+	}
+	steps, computes := 0, 0
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		if strings.HasPrefix(e.Name, "step ") && e.TID == 0 {
+			steps++
+		}
+		// Worker compute spans live on tid = worker id + 1 and carry the
+		// worker-reported duration, which a real compute pass makes nonzero.
+		if e.Name == "compute" && e.TID > 0 && e.Dur > 0 {
+			computes++
+		}
+	}
+	if steps == 0 {
+		t.Errorf("timeline has no master step spans (%d events)", len(doc.TraceEvents))
+	}
+	if computes == 0 {
+		t.Errorf("timeline has no per-worker compute spans with duration (%d events)", len(doc.TraceEvents))
+	}
+}
+
+// checkEventLogFile asserts the -events output is valid JSONL covering the
+// run's lifecycle.
+func checkEventLogFile(t *testing.T, path string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("event log: %v", err)
+	}
+	types := map[string]bool{}
+	for i, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var e struct {
+			Level string `json:"level"`
+			Type  string `json:"type"`
+		}
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("event log line %d is not JSON: %v\n%s", i+1, err, line)
+		}
+		types[e.Type] = true
+	}
+	for _, want := range []string{"master.run_started", "master.worker_registered", "master.run_finished"} {
+		if !types[want] {
+			t.Errorf("event log missing %q events (saw %v)", want, types)
+		}
 	}
 }
 

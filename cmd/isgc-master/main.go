@@ -8,9 +8,17 @@
 // replicas.
 //
 // With -metrics-addr the master also serves an admin endpoint: Prometheus
-// metrics on /metrics, a liveness snapshot on /healthz, and profiling on
-// /debug/pprof/. -metrics-linger keeps it up after training ends so the
-// final counters can still be scraped.
+// metrics on /metrics, a liveness snapshot on /healthz, recent structured
+// events on /debug/events, a Chrome trace on /debug/timeline, and
+// profiling on /debug/pprof/. -metrics-linger keeps it up after training
+// ends so the final counters can still be scraped.
+//
+// Observability: -events writes a JSONL event log ("-" for stderr) with
+// -log-level filtering, and -timeline writes a Chrome trace-event file of
+// the run (load it in ui.perfetto.dev) with per-step master spans and
+// per-worker compute spans. After the run the master prints the
+// straggler-attribution table: per-worker chosen/ignored deliveries and
+// compute-vs-arrival latency percentiles.
 //
 // Example (CR(4,2), wait for the 2 fastest workers):
 //
@@ -27,9 +35,11 @@ import (
 	"time"
 
 	"isgc/internal/admin"
+	"isgc/internal/buildinfo"
 	"isgc/internal/cliconfig"
 	"isgc/internal/cluster"
 	"isgc/internal/engine"
+	"isgc/internal/events"
 	"isgc/internal/isgc"
 	"isgc/internal/metrics"
 	"isgc/internal/model"
@@ -49,6 +59,9 @@ type options struct {
 	stepTimeout   time.Duration
 	metricsAddr   string        // empty disables the admin endpoint
 	metricsLinger time.Duration // keep the admin endpoint up after the run
+	eventsPath    string        // JSONL event log path ("-" = stderr; empty disables)
+	logLevel      string        // minimum event level
+	timelinePath  string        // Chrome trace output path (empty disables)
 	out           io.Writer     // defaults to os.Stdout
 }
 
@@ -74,8 +87,17 @@ func main() {
 
 		metricsAddr   = flag.String("metrics-addr", "", "serve /metrics, /healthz, /debug/pprof on this address (empty disables)")
 		metricsLinger = flag.Duration("metrics-linger", 0, "keep the metrics endpoint up this long after training ends")
+
+		eventsPath   = flag.String("events", "", "write a JSONL structured event log to this path (\"-\" = stderr)")
+		logLevel     = flag.String("log-level", "info", "minimum event level: debug, info, warn, or error")
+		timelinePath = flag.String("timeline", "", "write a Chrome trace-event file of the run to this path (load in ui.perfetto.dev)")
+		version      = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Get())
+		return
+	}
 	spec := cliconfig.SchemeSpec{Scheme: *scheme, N: *n, C: *c, C1: *c1, G: *g}
 	data := cliconfig.DefaultData(*seed)
 	data.Samples = *samples
@@ -93,6 +115,9 @@ func main() {
 		stepTimeout:   *stepTimeout,
 		metricsAddr:   *metricsAddr,
 		metricsLinger: *metricsLinger,
+		eventsPath:    *eventsPath,
+		logLevel:      *logLevel,
+		timelinePath:  *timelinePath,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "isgc-master:", err)
@@ -128,6 +153,24 @@ func run(opts options) error {
 		reg = metrics.NewRegistry()
 		mm = cluster.NewMasterMetrics(reg)
 	}
+	// The event log exists when requested explicitly or when the admin
+	// endpoint needs a ring to serve on /debug/events; otherwise it stays
+	// nil and instrumentation costs one branch per call site.
+	var ev *events.Log
+	if opts.eventsPath != "" || opts.metricsAddr != "" {
+		log, closer, err := cliconfig.OpenEventLog(opts.eventsPath, opts.logLevel)
+		if err != nil {
+			return err
+		}
+		if closer != nil {
+			defer closer.Close()
+		}
+		ev = log
+	}
+	var tl *events.Timeline
+	if opts.timelinePath != "" || opts.metricsAddr != "" {
+		tl = events.NewTimeline(0)
+	}
 	master, err := cluster.NewMaster(cluster.MasterConfig{
 		Addr:            opts.addr,
 		Strategy:        st,
@@ -142,6 +185,8 @@ func run(opts options) error {
 		LivenessTimeout: opts.liveness,
 		StepTimeout:     opts.stepTimeout,
 		Metrics:         mm,
+		Events:          ev,
+		Timeline:        tl,
 	})
 	if err != nil {
 		return err
@@ -151,6 +196,8 @@ func run(opts options) error {
 			Addr:     opts.metricsAddr,
 			Registry: reg,
 			Health:   func() any { return master.Health() },
+			Events:   ev,
+			Timeline: tl,
 		})
 		if err := adm.Start(); err != nil {
 			return fmt.Errorf("metrics endpoint: %w", err)
@@ -170,6 +217,15 @@ func run(opts options) error {
 	fmt.Fprintf(out, "master: %s on %s, waiting for %d workers (w=%d per step, deadline=%v, liveness=%v)\n",
 		p, master.Addr(), opts.spec.N, w, opts.deadline, opts.liveness)
 	res, err := master.Run()
+	if opts.timelinePath != "" {
+		// Written even on a failed run: a trace of what happened before the
+		// failure is exactly what the operator wants to look at.
+		if werr := tl.WriteFile(opts.timelinePath); werr != nil {
+			fmt.Fprintf(out, "timeline: %v\n", werr)
+		} else {
+			fmt.Fprintf(out, "timeline: wrote %s (load in ui.perfetto.dev)\n", opts.timelinePath)
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -182,6 +238,7 @@ func run(opts options) error {
 			rec.Step, rec.Available, rec.Alive, rec.RecoveredFraction, rec.Loss, rec.Elapsed, mark)
 	}
 	fmt.Fprintf(out, "latency: %v\n", res.Run.LatencySummary())
+	fmt.Fprint(out, master.AttributionReport().Table().String())
 	fmt.Fprintf(out, "done: steps=%d converged=%v final_loss=%.4f total=%v degraded_steps=%d rejoins=%d malformed=%d\n",
 		res.Run.Steps(), res.Converged, res.Run.FinalLoss(), res.Run.TotalTime(),
 		res.Run.DegradedSteps(), master.Rejoins(), master.MalformedGradients())

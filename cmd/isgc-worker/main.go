@@ -20,8 +20,10 @@ import (
 	"time"
 
 	"isgc/internal/admin"
+	"isgc/internal/buildinfo"
 	"isgc/internal/cliconfig"
 	"isgc/internal/cluster"
+	"isgc/internal/events"
 	"isgc/internal/metrics"
 	"isgc/internal/model"
 	"isgc/internal/straggler"
@@ -47,14 +49,22 @@ func main() {
 		reconnect    = flag.Duration("reconnect", 10*time.Second, "redial budget after a lost connection (0 disables rejoin)")
 		heartbeat    = flag.Duration("heartbeat", time.Second, "liveness ping interval (negative disables)")
 		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /healthz, /debug/pprof on this address (empty disables)")
+
+		eventsPath = flag.String("events", "", "write a JSONL structured event log to this path (\"-\" = stderr)")
+		logLevel   = flag.String("log-level", "info", "minimum event level: debug, info, warn, or error")
+		version    = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Get())
+		return
+	}
 	spec := cliconfig.SchemeSpec{Scheme: *scheme, N: *n, C: *c, C1: *c1, G: *g}
 	dspec := cliconfig.DefaultData(*seed)
 	dspec.Samples = *samples
 	dspec.Batch = *batch
 	fault := buildFault(*crashAt, *dropProb, *disconnectAt)
-	if err := run(*addr, *id, spec, dspec, *delay, fault, *reconnect, *heartbeat, *metricsAddr); err != nil {
+	if err := run(*addr, *id, spec, dspec, *delay, fault, *reconnect, *heartbeat, *metricsAddr, *eventsPath, *logLevel); err != nil {
 		fmt.Fprintln(os.Stderr, "isgc-worker:", err)
 		os.Exit(1)
 	}
@@ -79,7 +89,7 @@ func buildFault(crashAt int, dropProb float64, disconnectAt int) straggler.Fault
 	return fs
 }
 
-func run(addr string, id int, spec cliconfig.SchemeSpec, dspec cliconfig.DataSpec, delay time.Duration, fault straggler.Fault, reconnect, heartbeat time.Duration, metricsAddr string) error {
+func run(addr string, id int, spec cliconfig.SchemeSpec, dspec cliconfig.DataSpec, delay time.Duration, fault straggler.Fault, reconnect, heartbeat time.Duration, metricsAddr, eventsPath, logLevel string) error {
 	p, err := spec.Build()
 	if err != nil {
 		return err
@@ -106,6 +116,17 @@ func run(addr string, id int, spec cliconfig.SchemeSpec, dspec cliconfig.DataSpe
 		reg = metrics.NewRegistry()
 		wm = cluster.NewWorkerMetrics(reg)
 	}
+	var ev *events.Log
+	if eventsPath != "" || metricsAddr != "" {
+		log, closer, err := cliconfig.OpenEventLog(eventsPath, logLevel)
+		if err != nil {
+			return err
+		}
+		if closer != nil {
+			defer closer.Close()
+		}
+		ev = log
+	}
 	w, err := cluster.NewWorker(cluster.WorkerConfig{
 		Addr:              addr,
 		ID:                id,
@@ -120,6 +141,7 @@ func run(addr string, id int, spec cliconfig.SchemeSpec, dspec cliconfig.DataSpe
 		HeartbeatInterval: heartbeat,
 		ReconnectTimeout:  reconnect,
 		Metrics:           wm,
+		Events:            ev,
 	})
 	if err != nil {
 		return err
@@ -129,6 +151,7 @@ func run(addr string, id int, spec cliconfig.SchemeSpec, dspec cliconfig.DataSpe
 			Addr:     metricsAddr,
 			Registry: reg,
 			Health:   func() any { return w.Health() },
+			Events:   ev,
 		})
 		if err := adm.Start(); err != nil {
 			return fmt.Errorf("metrics endpoint: %w", err)

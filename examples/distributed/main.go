@@ -15,12 +15,17 @@
 // JSON /healthz, /debug/pprof) on a loopback port; the example prints the
 // URL and scrapes it once mid-run, right around the injected crash.
 //
+// With -events the run also writes a JSONL structured event log ("-" for
+// stderr) — the crash shows up as master.worker_evicted — and -timeline
+// writes a Chrome trace-event file to load in ui.perfetto.dev.
+//
 // Run with: go run ./examples/distributed
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"log"
@@ -30,9 +35,11 @@ import (
 	"time"
 
 	"isgc/internal/admin"
+	"isgc/internal/cliconfig"
 	"isgc/internal/cluster"
 	"isgc/internal/dataset"
 	"isgc/internal/engine"
+	"isgc/internal/events"
 	icore "isgc/internal/isgc"
 	"isgc/internal/metrics"
 	"isgc/internal/model"
@@ -41,6 +48,9 @@ import (
 )
 
 func main() {
+	eventsPath := flag.String("events", "", `write a JSONL structured event log to this path ("-" = stderr)`)
+	timelinePath := flag.String("timeline", "", "write a Chrome trace-event file of the run to this path")
+	flag.Parse()
 	const (
 		n         = 4
 		c         = 2
@@ -66,6 +76,21 @@ func main() {
 
 	reg := metrics.NewRegistry()
 	mm := cluster.NewMasterMetrics(reg)
+	var ev *events.Log
+	if *eventsPath != "" {
+		log2, closer, err := cliconfig.OpenEventLog(*eventsPath, "info")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if closer != nil {
+			defer closer.Close()
+		}
+		ev = log2
+	}
+	var tl *events.Timeline
+	if *timelinePath != "" {
+		tl = events.NewTimeline(0)
+	}
 	master, err := cluster.NewMaster(cluster.MasterConfig{
 		Addr:            "127.0.0.1:0",
 		Strategy:        strategy,
@@ -78,6 +103,8 @@ func main() {
 		Seed:            seed,
 		LivenessTimeout: 2 * time.Second,
 		Metrics:         mm,
+		Events:          ev,
+		Timeline:        tl,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -92,6 +119,8 @@ func main() {
 		Addr:     "127.0.0.1:0",
 		Registry: reg,
 		Health:   func() any { return master.Health() },
+		Events:   ev,
+		Timeline: tl,
 	})
 	if err := adm.Start(); err != nil {
 		log.Fatal(err)
@@ -195,6 +224,8 @@ func main() {
 				Fault:             fault,
 				FaultSeed:         int64(i),
 				HeartbeatInterval: 200 * time.Millisecond,
+				Events:            ev,
+				Timeline:          tl,
 			})
 			if err != nil {
 				log.Fatal(err)
@@ -217,6 +248,12 @@ func main() {
 	}
 	wg.Wait()
 	<-scraped
+	if *timelinePath != "" {
+		if err := tl.WriteFile(*timelinePath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("timeline: wrote %s (load in ui.perfetto.dev)\n", *timelinePath)
+	}
 
 	fmt.Println()
 	for _, rec := range res.Run.Records {

@@ -1,9 +1,11 @@
 // Package admin is the operational HTTP surface of a running master or
 // worker process: Prometheus metrics on /metrics, a JSON liveness and
-// degradation summary on /healthz, and the standard Go profiling
-// endpoints under /debug/pprof/. It is stdlib-only and deliberately
-// decoupled from the cluster packages — any process hands it a metrics
-// registry and an optional health snapshot function.
+// degradation summary on /healthz, the structured event ring on
+// /debug/events, a Chrome-trace timeline on /debug/timeline, and the
+// standard Go profiling endpoints under /debug/pprof/. It is stdlib-only
+// and deliberately decoupled from the cluster packages — any process
+// hands it a metrics registry, an optional health snapshot function, and
+// optional event/timeline sinks.
 //
 // Lifecycle: New → Start (binds the listener, serves in the background) →
 // Shutdown (graceful, bounded by the caller's context). Start with
@@ -18,8 +20,11 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
+	"isgc/internal/buildinfo"
+	"isgc/internal/events"
 	"isgc/internal/metrics"
 )
 
@@ -32,6 +37,12 @@ type Config struct {
 	// Health produces the /healthz payload at request time; it must be
 	// safe to call from any goroutine. Nil serves {"status":"ok"}.
 	Health func() any
+	// Events backs /debug/events with its in-memory ring; nil serves an
+	// empty list.
+	Events *events.Log
+	// Timeline backs /debug/timeline with a Chrome trace of the spans
+	// recorded so far; nil serves an empty trace.
+	Timeline *events.Timeline
 }
 
 // Server is one admin HTTP server.
@@ -57,6 +68,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/events", s.handleEvents)
+	mux.HandleFunc("/debug/timeline", s.handleTimeline)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -116,9 +129,11 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, "isgc admin endpoints:\n"+
-		"  /metrics       Prometheus exposition\n"+
-		"  /healthz       liveness + degradation summary (JSON)\n"+
-		"  /debug/pprof/  Go profiling\n")
+		"  /metrics         Prometheus exposition\n"+
+		"  /healthz         liveness + degradation summary (JSON)\n"+
+		"  /debug/events    recent structured events (JSON; ?n=K limits)\n"+
+		"  /debug/timeline  Chrome trace of the run so far (load in ui.perfetto.dev)\n"+
+		"  /debug/pprof/    Go profiling\n")
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -137,9 +152,61 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Health != nil {
 		payload = s.cfg.Health()
 	}
+	payload = withBuildInfo(payload)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(payload); err != nil {
 		http.Error(w, fmt.Sprintf(`{"error":%q}`, err), http.StatusInternalServerError)
 	}
+}
+
+// withBuildInfo injects a "build" key into a JSON-object health payload so
+// existing consumers that unmarshal the payload into their own struct keep
+// working (unknown keys are ignored) while new ones see the binary's
+// identity. Non-object payloads pass through untouched.
+func withBuildInfo(payload any) any {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return payload
+	}
+	var obj map[string]any
+	if err := json.Unmarshal(raw, &obj); err != nil || obj == nil {
+		return payload
+	}
+	obj["build"] = buildinfo.Get()
+	return obj
+}
+
+// handleEvents serves the in-memory event ring as a JSON array, oldest
+// first. ?n=K returns only the most recent K events.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	evs := s.cfg.Events.Snapshot()
+	if evs == nil {
+		evs = []events.Event{}
+	}
+	if q := r.URL.Query().Get("n"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			http.Error(w, `{"error":"n must be a non-negative integer"}`, http.StatusBadRequest)
+			return
+		}
+		if n < len(evs) {
+			evs = evs[len(evs)-n:]
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(evs); err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err), http.StatusInternalServerError)
+	}
+}
+
+// handleTimeline serves the recorded spans as a Chrome trace-event JSON
+// document — save it (or fetch it directly) and load it in
+// ui.perfetto.dev or chrome://tracing.
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="isgc-timeline.json"`)
+	_ = s.cfg.Timeline.WriteChromeTrace(w)
 }

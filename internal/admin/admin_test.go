@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"isgc/internal/events"
 	"isgc/internal/metrics"
 )
 
@@ -92,12 +93,121 @@ func TestHealthzDefault(t *testing.T) {
 	s := New(Config{})
 	rec := httptest.NewRecorder()
 	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
-	var got map[string]string
+	var got map[string]any
 	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
 		t.Fatal(err)
 	}
 	if got["status"] != "ok" {
 		t.Fatalf("default healthz = %v", got)
+	}
+}
+
+// TestHealthzBuildInfo pins that object payloads gain a "build" key with
+// the binary's identity — and that struct-typed consumers unmarshaling
+// into their own types are unaffected (unknown keys are ignored).
+func TestHealthzBuildInfo(t *testing.T) {
+	s := New(Config{Health: func() any { return map[string]any{"step": 3} }})
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	var got struct {
+		Step  int `json:"step"`
+		Build struct {
+			GoVersion string `json:"go_version"`
+			Version   string `json:"version"`
+		} `json:"build"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("healthz: %v\n%s", err, rec.Body.String())
+	}
+	if got.Step != 3 {
+		t.Fatalf("payload fields lost: %+v", got)
+	}
+	if got.Build.GoVersion == "" || got.Build.Version == "" {
+		t.Fatalf("build info missing: %s", rec.Body.String())
+	}
+}
+
+func TestDebugEvents(t *testing.T) {
+	log := events.New(events.Config{Writer: io.Discard})
+	for i := 0; i < 5; i++ {
+		log.Info("test.tick", "tick", i, events.NoWorker, nil)
+	}
+	log.Warn("test.evicted", "gone", 5, 2, nil)
+	s := New(Config{Events: log})
+
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/events", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var evs []events.Event
+	if err := json.Unmarshal(rec.Body.Bytes(), &evs); err != nil {
+		t.Fatalf("events: %v\n%s", err, rec.Body.String())
+	}
+	if len(evs) != 6 || evs[5].Type != "test.evicted" || evs[5].Level != events.LevelWarn {
+		t.Fatalf("events = %+v", evs)
+	}
+
+	// ?n=2 returns the most recent two.
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/events?n=2", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &evs); err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 || evs[1].Type != "test.evicted" {
+		t.Fatalf("limited events = %+v", evs)
+	}
+
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/events?n=bogus", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad n: status = %d, want 400", rec.Code)
+	}
+}
+
+func TestDebugEventsNilLog(t *testing.T) {
+	s := New(Config{})
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/events", nil))
+	if rec.Code != http.StatusOK || strings.TrimSpace(rec.Body.String()) != "[]" {
+		t.Fatalf("nil log: status=%d body=%q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestDebugTimeline(t *testing.T) {
+	tl := events.NewTimeline(0)
+	tl.SetThreadName(0, "master")
+	tl.Add(events.Span{Name: "step 0", Cat: "step", Start: time.Now(), Dur: time.Millisecond})
+	s := New(Config{Timeline: tl})
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/timeline", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &tr); err != nil {
+		t.Fatalf("timeline: %v\n%s", err, rec.Body.String())
+	}
+	var foundSpan bool
+	for _, e := range tr.TraceEvents {
+		if e.Ph == "X" && e.Name == "step 0" {
+			foundSpan = true
+		}
+	}
+	if !foundSpan {
+		t.Fatalf("span missing: %s", rec.Body.String())
+	}
+
+	// A nil timeline still serves a loadable empty trace.
+	rec = httptest.NewRecorder()
+	New(Config{}).Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/timeline", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"traceEvents"`) {
+		t.Fatalf("nil timeline: status=%d body=%q", rec.Code, rec.Body.String())
 	}
 }
 
@@ -204,7 +314,9 @@ func TestConcurrentScrapeWhileStepping(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				var payload map[string]int64
+				var payload struct {
+					Step int64 `json:"step"`
+				}
 				err = json.NewDecoder(resp.Body).Decode(&payload)
 				resp.Body.Close()
 				if err != nil {

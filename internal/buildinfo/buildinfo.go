@@ -1,0 +1,66 @@
+// Package buildinfo reports what binary is running: module version, Go
+// toolchain, and (when built inside a git checkout) the VCS revision.
+// Everything comes from debug.ReadBuildInfo — no ldflags stamping, no
+// build-system coupling — so the three CLIs and the /healthz payload can
+// identify themselves with zero configuration.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Info identifies the running binary.
+type Info struct {
+	// Module is the main module path (e.g. "isgc").
+	Module string `json:"module"`
+	// Version is the main module version ("(devel)" for local builds).
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS commit hash, empty when built outside VCS or
+	// with -buildvcs=false.
+	Revision string `json:"revision,omitempty"`
+	// Dirty reports uncommitted changes at build time.
+	Dirty bool `json:"dirty,omitempty"`
+}
+
+// Get reads the binary's build information. It degrades gracefully: a
+// binary built without module support still reports its Go version.
+func Get() Info {
+	info := Info{Version: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.Module = bi.Main.Path
+	info.GoVersion = bi.GoVersion
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the info as the one-line -version output.
+func (i Info) String() string {
+	s := fmt.Sprintf("%s %s (%s)", i.Module, i.Version, i.GoVersion)
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " " + rev
+		if i.Dirty {
+			s += "-dirty"
+		}
+	}
+	return s
+}

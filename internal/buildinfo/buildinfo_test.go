@@ -1,0 +1,39 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGet(t *testing.T) {
+	info := Get()
+	// Under `go test` the main module is the test binary's module and the
+	// toolchain is always known.
+	if info.GoVersion == "" {
+		t.Fatal("GoVersion must be populated under go test")
+	}
+	if info.Version == "" {
+		t.Fatal("Version must never be empty")
+	}
+}
+
+func TestString(t *testing.T) {
+	i := Info{Module: "isgc", Version: "(devel)", GoVersion: "go1.22",
+		Revision: "0123456789abcdef0123", Dirty: true}
+	s := i.String()
+	for _, want := range []string{"isgc", "(devel)", "go1.22", "0123456789ab", "-dirty"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q, missing %q", s, want)
+		}
+	}
+	if strings.Contains(s, "0123456789abcdef") {
+		t.Fatalf("String() = %q: revision not truncated", s)
+	}
+}
+
+func TestStringWithoutVCS(t *testing.T) {
+	s := Info{Module: "isgc", Version: "unknown", GoVersion: "go1.22"}.String()
+	if strings.Contains(s, "dirty") {
+		t.Fatalf("String() = %q: no VCS info should add no suffix", s)
+	}
+}

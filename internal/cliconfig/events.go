@@ -1,0 +1,40 @@
+package cliconfig
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"isgc/internal/events"
+)
+
+// OpenEventLog builds the structured event log the -events and -log-level
+// flags describe, shared by the master and worker binaries. path "" yields
+// a ring-only log (events visible on /debug/events but written nowhere),
+// "-" logs to stderr, anything else creates/truncates a JSONL file. The
+// returned closer is nil unless a file was opened; callers defer its Close.
+func OpenEventLog(path, level string) (*events.Log, io.Closer, error) {
+	if level == "" {
+		level = "info"
+	}
+	lvl, err := events.ParseLevel(level)
+	if err != nil {
+		return nil, nil, err
+	}
+	var w io.Writer
+	var closer io.Closer
+	switch path {
+	case "":
+		// ring-only
+	case "-":
+		w = os.Stderr
+	default:
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("event log: %w", err)
+		}
+		w = f
+		closer = f
+	}
+	return events.New(events.Config{Writer: w, MinLevel: lvl}), closer, nil
+}

@@ -1,0 +1,61 @@
+package cliconfig
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"isgc/internal/events"
+)
+
+func TestOpenEventLogRingOnly(t *testing.T) {
+	log, closer, err := OpenEventLog("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closer != nil {
+		t.Fatal("ring-only log must not return a closer")
+	}
+	log.Info("test.event", "hello", events.NoStep, events.NoWorker, nil)
+	if log.Total() != 1 {
+		t.Fatalf("ring total = %d, want 1", log.Total())
+	}
+	// The empty level defaults to info: debug must be filtered.
+	log.Debug("test.debug", "filtered", events.NoStep, events.NoWorker, nil)
+	if log.Total() != 1 {
+		t.Fatal("empty level must default to info and filter debug")
+	}
+}
+
+func TestOpenEventLogFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ev.jsonl")
+	log, closer, err := OpenEventLog(path, "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closer == nil {
+		t.Fatal("file-backed log must return its closer")
+	}
+	log.Info("test.info", "filtered", events.NoStep, events.NoWorker, nil)
+	log.Warn("test.warn", "kept", events.NoStep, events.NoWorker, nil)
+	if err := closer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(raw)); strings.Count(got, "\n") != 0 || !strings.Contains(got, "test.warn") {
+		t.Fatalf("file must hold exactly the one warn line, got:\n%s", got)
+	}
+}
+
+func TestOpenEventLogErrors(t *testing.T) {
+	if _, _, err := OpenEventLog("", "loud"); err == nil {
+		t.Fatal("bad level must error")
+	}
+	if _, _, err := OpenEventLog(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), "info"); err == nil {
+		t.Fatal("uncreatable path must error")
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"isgc/internal/dataset"
 	"isgc/internal/engine"
+	"isgc/internal/events"
 	"isgc/internal/isgc"
 	"isgc/internal/model"
 	"isgc/internal/placement"
@@ -25,6 +26,7 @@ type faultyOpts struct {
 	reconnect   time.Duration
 	faults      []straggler.Fault // per worker, may be nil
 	delays      []straggler.Model // per worker, may be nil
+	events      *events.Log       // shared by master and workers, may be nil
 }
 
 // runFaultyCluster launches a master plus its fleet with fault injection
@@ -47,6 +49,7 @@ func runFaultyCluster(t *testing.T, st engine.Strategy, o faultyOpts) (*Master, 
 		Seed:            42,
 		StepTimeout:     o.stepTimeout,
 		LivenessTimeout: o.liveness,
+		Events:          o.events,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -92,6 +95,7 @@ func runFaultyCluster(t *testing.T, st engine.Strategy, o faultyOpts) (*Master, 
 				FaultSeed:         int64(i) + 1,
 				HeartbeatInterval: o.heartbeat,
 				ReconnectTimeout:  o.reconnect,
+				Events:            o.events,
 			})
 			if err != nil {
 				t.Error(err)
@@ -255,6 +259,31 @@ func TestWorkerDisconnectRejoin(t *testing.T) {
 	counts := master.ArrivalCounts()
 	if counts[2] < 9 {
 		t.Fatalf("worker 2 arrived only %d/12 times; the rejoin must resume participation", counts[2])
+	}
+}
+
+// A rejoining worker is re-handed the in-flight step; the fault model
+// must not re-fire on that re-delivery. Regression: DisconnectAt used to
+// re-trigger on the re-delivered step, tearing the fresh connection down
+// in a tight loop (thousands of rejoins) until the master advanced past
+// the step. The slow worker stretches the disconnect step to ~300 ms,
+// which is exactly the window the storm needs.
+func TestDisconnectDoesNotRefireOnRedeliveredStep(t *testing.T) {
+	st := newCRStrategy(t, 4)
+	faults := []straggler.Fault{nil, nil, straggler.DisconnectAt{Step: 3}, nil}
+	delays := []straggler.Model{straggler.Constant{D: 300 * time.Millisecond}, nil, nil, nil}
+	master, res, err := runFaultyCluster(t, st, faultyOpts{
+		w: 4, maxSteps: 6, faults: faults, delays: delays,
+		reconnect: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("master: %v", err)
+	}
+	if res.Run.Steps() != 6 {
+		t.Fatalf("steps = %d, want 6", res.Run.Steps())
+	}
+	if got := master.Rejoins(); got != 1 {
+		t.Fatalf("rejoins = %d, want exactly 1 — the fault re-fired on the re-delivered step", got)
 	}
 }
 

@@ -15,6 +15,8 @@ func FuzzDecodeMessage(f *testing.F) {
 		{Kind: MsgHello, Worker: 2, Step: 17},
 		{Kind: MsgStep, Step: 5, Params: []float64{1.5, -2.25, 0}},
 		{Kind: MsgGradient, Worker: 1, Step: 9, Coded: []float64{0.25, 3}},
+		{Kind: MsgGradient, Worker: 4, Step: 2, Coded: []float64{1},
+			ComputeStartUnixNano: 1_700_000_000_000_000_000, ComputeDurNanos: 12_345_678},
 		{Kind: MsgHeartbeat, Worker: 0},
 		{Kind: MsgStop},
 	}
@@ -53,11 +55,15 @@ func FuzzDecodeMessage(f *testing.F) {
 		if len(e.Params) > maxVectorLen || len(e.Coded) > maxVectorLen {
 			t.Fatalf("decoded envelope exceeding vector cap: params=%d coded=%d", len(e.Params), len(e.Coded))
 		}
+		if e.ComputeStartUnixNano < 0 || e.ComputeDurNanos < 0 {
+			t.Fatalf("decoded envelope with negative compute timing: %+v", e)
+		}
 	})
 }
 
 func TestDecodeMessageRoundTrip(t *testing.T) {
-	want := &Envelope{Kind: MsgGradient, Worker: 2, Step: 11, Coded: []float64{1, 2, 3}}
+	want := &Envelope{Kind: MsgGradient, Worker: 2, Step: 11, Coded: []float64{1, 2, 3},
+		ComputeStartUnixNano: 1_700_000_000_000_000_000, ComputeDurNanos: 42_000_000}
 	data, err := EncodeMessage(want)
 	if err != nil {
 		t.Fatal(err)
@@ -69,13 +75,18 @@ func TestDecodeMessageRoundTrip(t *testing.T) {
 	if got.Kind != want.Kind || got.Worker != want.Worker || got.Step != want.Step || len(got.Coded) != 3 {
 		t.Fatalf("round trip mismatch: %+v", got)
 	}
+	if got.ComputeStartUnixNano != want.ComputeStartUnixNano || got.ComputeDurNanos != want.ComputeDurNanos {
+		t.Fatalf("compute timing lost in round trip: %+v", got)
+	}
 }
 
 func TestDecodeMessageRejectsMalformed(t *testing.T) {
 	cases := map[string]*Envelope{
-		"unknown kind":    {Kind: "pwn"},
-		"negative worker": {Kind: MsgGradient, Worker: -2},
-		"negative step":   {Kind: MsgStep, Step: -1},
+		"unknown kind":              {Kind: "pwn"},
+		"negative worker":           {Kind: MsgGradient, Worker: -2},
+		"negative step":             {Kind: MsgStep, Step: -1},
+		"negative compute start":    {Kind: MsgGradient, Worker: 1, ComputeStartUnixNano: -5},
+		"negative compute duration": {Kind: MsgGradient, Worker: 1, ComputeDurNanos: -1},
 	}
 	for name, e := range cases {
 		data, err := EncodeMessage(e)

@@ -10,6 +10,7 @@ import (
 	"isgc/internal/bitset"
 	"isgc/internal/dataset"
 	"isgc/internal/engine"
+	"isgc/internal/events"
 	"isgc/internal/linalg"
 	"isgc/internal/model"
 	"isgc/internal/trace"
@@ -69,6 +70,13 @@ type MasterConfig struct {
 	// latency, recovered fraction, liveness, evictions); serve it via the
 	// admin package. One MasterMetrics per master.
 	Metrics *MasterMetrics
+	// Events, when non-nil, receives the structured event stream
+	// (registrations, evictions, rejoins, degraded steps). Nil disables
+	// event logging with no overhead beyond a branch per call site.
+	Events *events.Log
+	// Timeline, when non-nil, collects per-step and per-worker spans for
+	// Chrome trace export. Nil disables span collection.
+	Timeline *events.Timeline
 }
 
 // workerState is the master's per-worker liveness view. gen increments on
@@ -112,6 +120,9 @@ type Master struct {
 	// dimension, bad worker id) — a nonzero value flags a misconfigured
 	// or hostile worker. Atomic for the same live-read reason.
 	malformed atomic.Int64
+	// attribution accumulates per-worker arrival/compute samples for the
+	// straggler-attribution report.
+	attribution *trace.Attribution
 }
 
 // ArrivalCounts returns, per worker, how many steps gathered that worker's
@@ -136,11 +147,24 @@ func (m *Master) Rejoins() int {
 // before decoding. Valid after Run returns.
 func (m *Master) MalformedGradients() int { return int(m.malformed.Load()) }
 
-// arrival is one gradient delivery tagged with its origin.
+// AttributionReport returns the per-worker straggler attribution
+// accumulated so far — chosen vs. ignored deliveries and compute vs.
+// arrival latency percentiles. Safe to call at any time.
+func (m *Master) AttributionReport() trace.AttributionReport {
+	return m.attribution.Report()
+}
+
+// arrival is one gradient delivery tagged with its origin and timing:
+// recvAt is stamped on the master's clock when the envelope is read, and
+// the compute fields carry the worker's self-reported timing from the
+// envelope (zero when the worker did not report).
 type arrival struct {
-	worker int
-	step   int
-	coded  []float64
+	worker       int
+	step         int
+	coded        []float64
+	recvAt       time.Time
+	computeStart time.Time
+	computeDur   time.Duration
 }
 
 // NewMaster starts listening; workers may connect immediately after.
@@ -173,7 +197,7 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: listen: %w", err)
 	}
-	m := &Master{cfg: cfg, ln: ln}
+	m := &Master{cfg: cfg, ln: ln, attribution: trace.NewAttribution(cfg.Strategy.N())}
 	cfg.Metrics.bind(m)
 	return m, nil
 }
@@ -238,6 +262,12 @@ func (m *Master) Addr() string { return m.ln.Addr().String() }
 // and liveness timeouts feed the gather loop, which degrades or errors out.
 func (m *Master) Run() (*engine.Result, error) {
 	n := m.cfg.Strategy.N()
+	m.cfg.Events.Info("master.run_started", "master listening", events.NoStep, events.NoWorker,
+		events.Fields{"addr": m.Addr(), "scheme": m.cfg.Strategy.Name(), "workers": n})
+	m.cfg.Timeline.SetThreadName(0, "master")
+	for i := 0; i < n; i++ {
+		m.cfg.Timeline.SetThreadName(i+1, fmt.Sprintf("worker %d", i))
+	}
 	m.grads = make(chan arrival, 8*n)
 	m.wakeup = make(chan struct{}, 1)
 	m.quit = make(chan struct{})
@@ -262,6 +292,13 @@ func (m *Master) Run() (*engine.Result, error) {
 	err := m.awaitFleet(n)
 	if err == nil {
 		res, err = m.trainLoop()
+	}
+	if err != nil {
+		m.cfg.Events.Error("master.run_finished", "training failed", events.NoStep, events.NoWorker,
+			events.Fields{"error": err.Error()})
+	} else {
+		m.cfg.Events.Info("master.run_finished", "training finished", events.NoStep, events.NoWorker,
+			events.Fields{"steps": res.Run.Steps(), "converged": res.Converged})
 	}
 
 	// Shutdown order matters: refuse further registrations, say goodbye,
@@ -327,11 +364,22 @@ func (m *Master) handshake(raw net.Conn, readers *sync.WaitGroup) {
 	}
 	m.workers[id] = &workerState{c: c, alive: true, lastSeen: time.Now(), gen: gen}
 	m.cfg.Metrics.setWorkerAlive(id, true)
+	step := events.NoStep
+	if m.running {
+		step = m.curStep
+	}
 	var resume *Envelope
 	if m.running {
 		resume = &Envelope{Kind: MsgStep, Step: m.curStep, Params: m.curParams}
 	}
 	m.mu.Unlock()
+
+	if gen > 0 {
+		m.cfg.Events.Info("master.worker_rejoined", "worker re-registered mid-run", step, id,
+			events.Fields{"generation": gen})
+	} else {
+		m.cfg.Events.Info("master.worker_registered", "worker registered", step, id, nil)
+	}
 
 	m.pokeLiveness()
 	if resume != nil {
@@ -362,10 +410,15 @@ func (m *Master) readFrom(id, gen int, c *conn, readers *sync.WaitGroup) {
 		}
 		m.mu.Unlock()
 		if e.Kind == MsgGradient {
+			a := arrival{worker: id, step: e.Step, coded: e.Coded, recvAt: time.Now(),
+				computeDur: time.Duration(e.ComputeDurNanos)}
+			if e.ComputeStartUnixNano > 0 {
+				a.computeStart = time.Unix(0, e.ComputeStartUnixNano)
+			}
 			// The arrival is attributed to the authenticated connection id,
 			// not the envelope's claim, so a worker cannot spoof another.
 			select {
-			case m.grads <- arrival{worker: id, step: e.Step, coded: e.Coded}:
+			case m.grads <- a:
 			case <-m.quit:
 				return
 			}
@@ -377,9 +430,21 @@ func (m *Master) readFrom(id, gen int, c *conn, readers *sync.WaitGroup) {
 	if current {
 		ws.alive = false
 	}
+	step := events.NoStep
+	if m.running {
+		step = m.curStep
+	}
+	done := m.done
 	m.mu.Unlock()
 	if current {
 		m.cfg.Metrics.setWorkerAlive(id, false)
+		if !done {
+			// The single authoritative eviction event: every path that kills
+			// a connection (remote close, liveness timeout, failed send)
+			// funnels through this reader exit.
+			m.cfg.Events.Warn("master.worker_evicted", "worker connection lost", step, id,
+				events.Fields{"generation": gen, "reason": "connection_lost"})
+		}
 		_ = c.close()
 		m.pokeLiveness()
 	}
@@ -411,17 +476,28 @@ func (m *Master) monitorLiveness() {
 			return
 		case <-t.C:
 			now := time.Now()
-			var evict []*conn
+			type victim struct {
+				id     int
+				c      *conn
+				silent time.Duration
+			}
+			var evict []victim
 			m.mu.Lock()
-			for _, ws := range m.workers {
+			for id, ws := range m.workers {
 				if ws != nil && ws.alive && now.Sub(ws.lastSeen) > m.cfg.LivenessTimeout {
-					evict = append(evict, ws.c)
+					evict = append(evict, victim{id: id, c: ws.c, silent: now.Sub(ws.lastSeen)})
 				}
 			}
+			step := events.NoStep
+			if m.running {
+				step = m.curStep
+			}
 			m.mu.Unlock()
-			for _, c := range evict {
+			for _, v := range evict {
 				m.cfg.Metrics.markEviction()
-				_ = c.close()
+				m.cfg.Events.Warn("master.worker_liveness_timeout", "no message within liveness timeout",
+					step, v.id, events.Fields{"silent": v.silent.String(), "timeout": m.cfg.LivenessTimeout.String()})
+				_ = v.c.close()
 			}
 		}
 	}
@@ -498,6 +574,7 @@ func (m *Master) trainLoop() (*engine.Result, error) {
 		// update below, so they get their own copy.
 		m.curParams = append([]float64(nil), params...)
 		m.mu.Unlock()
+		bcastStart := time.Now()
 		m.broadcast(&Envelope{Kind: MsgStep, Step: step, Params: params})
 		stepStart := time.Now()
 
@@ -505,19 +582,48 @@ func (m *Master) trainLoop() (*engine.Result, error) {
 		coded := make([][]float64, n)
 		accept := func(a arrival) {
 			if a.step != step || a.worker < 0 || a.worker >= n || avail.Contains(a.worker) {
-				return // stale or duplicate delivery
+				// Stale or duplicate delivery: the work was done but the
+				// master cannot use it — the "ignored" column of the
+				// attribution report. A duplicate's arrival is measured
+				// against the current broadcast; a stale gradient has no
+				// valid baseline, so its latency stays unmeasured (zero).
+				if a.worker >= 0 && a.worker < n {
+					s := trace.ArrivalSample{Worker: a.worker, Step: step, Compute: a.computeDur}
+					if a.step == step {
+						s.Arrival = a.recvAt.Sub(stepStart)
+					}
+					m.attribution.ObserveIgnored(s)
+				}
+				return
 			}
 			if len(a.coded) != dim {
 				// A malformed envelope must never reach Recover/AXPY,
 				// where a wrong-dimension vector panics the master.
 				m.malformed.Add(1)
 				m.cfg.Metrics.markMalformed()
+				m.cfg.Events.Warn("master.malformed_gradient", "gradient rejected before decode",
+					step, a.worker, events.Fields{"got_dim": len(a.coded), "want_dim": dim})
 				return
 			}
 			avail.Add(a.worker)
 			coded[a.worker] = a.coded
 			m.accepted[a.worker].Add(1)
 			m.cfg.Metrics.markAccepted(a.worker)
+			m.attribution.ObserveAccepted(trace.ArrivalSample{
+				Worker: a.worker, Step: step,
+				Compute: a.computeDur, Arrival: a.recvAt.Sub(stepStart),
+			})
+			if a.computeDur > 0 && !a.computeStart.IsZero() {
+				// The worker's self-reported compute interval, rendered on
+				// its own track. The start stamp is the worker's clock —
+				// on one machine that is the same clock; across machines
+				// skew shifts the span without changing its length.
+				m.cfg.Timeline.Add(events.Span{
+					Name: "compute", Cat: "compute", TID: a.worker + 1,
+					Start: a.computeStart, Dur: a.computeDur,
+					Args: map[string]any{"step": step},
+				})
+			}
 		}
 
 		var degraded bool
@@ -530,23 +636,44 @@ func (m *Master) trainLoop() (*engine.Result, error) {
 		if gatherErr != nil {
 			return res, gatherErr
 		}
-		elapsed := time.Since(stepStart)
+		gatherEnd := time.Now()
+		elapsed := gatherEnd.Sub(stepStart)
 		if degraded {
 			m.mu.Lock()
 			m.degraded++
 			m.mu.Unlock()
+			m.cfg.Events.Warn("master.step_degraded", "gather target shrank below configured wait",
+				step, events.NoWorker, events.Fields{"gathered": avail.Len(), "configured": waitFor})
 		}
 
 		ghat, recParts, err := st.Recover(avail, coded)
 		if err != nil {
 			return res, fmt.Errorf("cluster: step %d: %w", step, err)
 		}
+		decodeEnd := time.Now()
 		recovered := len(recParts)
 		m.cfg.Metrics.observeStep(elapsed, float64(recovered)/float64(n), degraded)
 		if recovered > 0 {
 			linalg.AXPY(params, -m.cfg.LearningRate/float64(recovered), ghat)
 		}
 		loss := m.cfg.Model.Loss(params, all)
+		updateEnd := time.Now()
+		if m.cfg.Timeline != nil {
+			stepArgs := map[string]any{"gathered": avail.Len(), "recovered": recovered, "degraded": degraded}
+			m.cfg.Timeline.Add(events.Span{Name: fmt.Sprintf("step %d", step), Cat: "step",
+				Start: bcastStart, Dur: updateEnd.Sub(bcastStart), Args: stepArgs})
+			m.cfg.Timeline.Add(events.Span{Name: "broadcast", Cat: "phase",
+				Start: bcastStart, Dur: stepStart.Sub(bcastStart)})
+			m.cfg.Timeline.Add(events.Span{Name: "gather", Cat: "phase",
+				Start: stepStart, Dur: elapsed})
+			m.cfg.Timeline.Add(events.Span{Name: "decode", Cat: "phase",
+				Start: gatherEnd, Dur: decodeEnd.Sub(gatherEnd)})
+			m.cfg.Timeline.Add(events.Span{Name: "update", Cat: "phase",
+				Start: decodeEnd, Dur: updateEnd.Sub(decodeEnd)})
+		}
+		m.cfg.Events.Debug("master.step_completed", "step finished", step, events.NoWorker,
+			events.Fields{"gathered": avail.Len(), "recovered": recovered,
+				"degraded": degraded, "loss": loss, "elapsed": elapsed.String()})
 		res.Run.Append(trace.StepRecord{
 			Step:              step,
 			Available:         avail.Len(),
@@ -667,18 +794,26 @@ gather:
 // registration/shutdown paths nor stall the other workers; a failed send
 // evicts the connection (its reader marks the worker dead).
 func (m *Master) broadcast(e *Envelope) {
+	type target struct {
+		id int
+		c  *conn
+	}
 	m.mu.Lock()
-	conns := make([]*conn, 0, len(m.workers))
-	for _, ws := range m.workers {
+	conns := make([]target, 0, len(m.workers))
+	for id, ws := range m.workers {
 		if ws != nil && ws.alive {
-			conns = append(conns, ws.c)
+			conns = append(conns, target{id: id, c: ws.c})
 		}
 	}
 	m.mu.Unlock()
-	for _, c := range conns {
-		if err := c.send(e); err != nil {
+	for _, t := range conns {
+		if err := t.c.send(e); err != nil {
 			m.cfg.Metrics.markEviction()
-			_ = c.close()
+			if e.Kind != MsgStop {
+				m.cfg.Events.Warn("master.worker_send_failed", "send failed; closing connection",
+					e.Step, t.id, events.Fields{"kind": e.Kind, "error": err.Error()})
+			}
+			_ = t.c.close()
 		}
 	}
 }

@@ -65,6 +65,15 @@ type Envelope struct {
 	Params []float64
 	// Coded is the worker's coded gradient (Gradient).
 	Coded []float64
+	// ComputeStartUnixNano is when the worker began computing the gradient
+	// (Gradient; worker's clock, Unix nanoseconds, 0 = not reported). With
+	// ComputeDurNanos it lets the master attribute a late arrival to slow
+	// compute versus slow network. Cross-machine clock skew shifts the
+	// start, not the duration.
+	ComputeStartUnixNano int64
+	// ComputeDurNanos is how long the gradient computation took
+	// (Gradient; 0 = not reported).
+	ComputeDurNanos int64
 }
 
 // validateEnvelope enforces the structural invariants every well-formed
@@ -89,6 +98,12 @@ func validateEnvelope(e *Envelope) error {
 	}
 	if len(e.Coded) > maxVectorLen {
 		return fmt.Errorf("cluster: coded length %d exceeds limit %d", len(e.Coded), maxVectorLen)
+	}
+	if e.ComputeStartUnixNano < 0 {
+		return fmt.Errorf("cluster: negative compute start %d in %s", e.ComputeStartUnixNano, e.Kind)
+	}
+	if e.ComputeDurNanos < 0 {
+		return fmt.Errorf("cluster: negative compute duration %d in %s", e.ComputeDurNanos, e.Kind)
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"isgc/internal/dataset"
+	"isgc/internal/events"
 	"isgc/internal/model"
 	"isgc/internal/straggler"
 )
@@ -61,6 +62,12 @@ type WorkerConfig struct {
 	// Metrics, when non-nil, receives live instrumentation (compute time,
 	// upload bytes, reconnects); serve it via the admin package.
 	Metrics *WorkerMetrics
+	// Events, when non-nil, receives the worker's structured event stream
+	// (connects, injected faults, reconnects). Nil disables it.
+	Events *events.Log
+	// Timeline, when non-nil, collects this worker's local compute and
+	// injected-delay spans for Chrome trace export. Nil disables it.
+	Timeline *events.Timeline
 }
 
 // Worker trains on its partitions and uploads coded gradients until the
@@ -71,6 +78,13 @@ type Worker struct {
 	rng    *rand.Rand
 	frng   *rand.Rand
 	stopHB chan struct{}
+
+	// faultedThrough is the highest step the fault model has been
+	// consulted for. A rejoining worker is re-handed the in-flight step by
+	// the master; re-rolling the fault on that re-delivery would make
+	// DisconnectAt tear the fresh connection down again immediately — a
+	// rejoin storm that lasts until the master advances past the step.
+	faultedThrough int
 
 	// steps, reconnects, and connected are atomics because the admin
 	// server's Health snapshot reads them while Run mutates.
@@ -117,13 +131,17 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		return nil, err
 	}
 	w := &Worker{
-		cfg:  cfg,
-		c:    c,
-		rng:  rand.New(rand.NewSource(cfg.DelaySeed)),
-		frng: rand.New(rand.NewSource(cfg.FaultSeed)),
+		cfg:            cfg,
+		c:              c,
+		rng:            rand.New(rand.NewSource(cfg.DelaySeed)),
+		frng:           rand.New(rand.NewSource(cfg.FaultSeed)),
+		faultedThrough: -1,
 	}
 	w.setConnected(true)
 	w.startHeartbeat()
+	cfg.Events.Info("worker.connected", "registered with master", events.NoStep, cfg.ID,
+		events.Fields{"addr": cfg.Addr})
+	cfg.Timeline.SetThreadName(cfg.ID+1, fmt.Sprintf("worker %d", cfg.ID))
 	return w, nil
 }
 
@@ -157,15 +175,20 @@ func (w *Worker) Run() (int, error) {
 			return int(w.steps.Load()), nil
 		case MsgStep:
 			action := straggler.FaultNone
-			if w.cfg.Fault != nil {
+			if w.cfg.Fault != nil && e.Step > w.faultedThrough {
 				action = w.cfg.Fault.At(e.Step, w.frng)
+				w.faultedThrough = e.Step
 			}
 			if action == straggler.FaultCrash {
 				// Die abruptly — no farewell message, exactly like a
 				// killed process; the master learns via the closed socket.
+				w.cfg.Events.Warn("worker.crash_injected", "injected crash; dying without farewell",
+					e.Step, w.cfg.ID, nil)
 				return int(w.steps.Load()), nil
 			}
 			if action == straggler.FaultDisconnect {
+				w.cfg.Events.Warn("worker.disconnect_injected", "injected disconnect; will redial",
+					e.Step, w.cfg.ID, nil)
 				w.stopHeartbeat()
 				_ = w.c.close()
 				w.setConnected(false)
@@ -174,20 +197,29 @@ func (w *Worker) Run() (int, error) {
 				}
 				return int(w.steps.Load()), nil
 			}
-			coded, err := w.computeStep(e.Step, e.Params)
+			coded, computeStart, computeDur, err := w.computeStep(e.Step, e.Params)
 			if err != nil {
 				return int(w.steps.Load()), err
 			}
+			w.cfg.Timeline.Add(events.Span{Name: "compute", Cat: "compute", TID: w.cfg.ID + 1,
+				Start: computeStart, Dur: computeDur, Args: map[string]any{"step": e.Step}})
 			if w.cfg.Delay != nil {
+				delayStart := time.Now()
 				time.Sleep(w.cfg.Delay.Sample(w.rng))
+				w.cfg.Timeline.Add(events.Span{Name: "delay", Cat: "delay", TID: w.cfg.ID + 1,
+					Start: delayStart, Dur: time.Since(delayStart), Args: map[string]any{"step": e.Step}})
 			}
 			if action == straggler.FaultDrop {
 				w.steps.Add(1) // computed, but the upload is lost
 				w.cfg.Metrics.markStep()
 				w.cfg.Metrics.markDrop()
+				w.cfg.Events.Warn("worker.upload_dropped", "injected drop; gradient not sent",
+					e.Step, w.cfg.ID, nil)
 				continue
 			}
-			if err := w.c.send(&Envelope{Kind: MsgGradient, Worker: w.cfg.ID, Step: e.Step, Coded: coded}); err != nil {
+			env := &Envelope{Kind: MsgGradient, Worker: w.cfg.ID, Step: e.Step, Coded: coded,
+				ComputeStartUnixNano: computeStart.UnixNano(), ComputeDurNanos: int64(computeDur)}
+			if err := w.c.send(env); err != nil {
 				if w.reconnect() {
 					continue
 				}
@@ -222,6 +254,8 @@ func (w *Worker) reconnect() bool {
 				w.cfg.Metrics.markReconnect()
 				w.setConnected(true)
 				w.startHeartbeat()
+				w.cfg.Events.Info("worker.reconnected", "re-registered after connection loss",
+					events.NoStep, w.cfg.ID, events.Fields{"completed_steps": w.steps.Load()})
 				return true
 			}
 			_ = c.close()
@@ -273,7 +307,10 @@ func (w *Worker) stopHeartbeat() {
 	}
 }
 
-func (w *Worker) computeStep(step int, params []float64) ([]float64, error) {
+// computeStep runs the local gradient computation and returns the coded
+// upload plus its timing (start and duration), which the caller stamps
+// into the gradient envelope for master-side straggler attribution.
+func (w *Worker) computeStep(step int, params []float64) ([]float64, time.Time, time.Duration, error) {
 	start := time.Now()
 	local := make([][]float64, len(w.cfg.Partitions))
 	for j, l := range w.cfg.Loaders {
@@ -281,10 +318,11 @@ func (w *Worker) computeStep(step int, params []float64) ([]float64, error) {
 	}
 	coded, err := w.cfg.Encode(local)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: worker %d step %d: %w", w.cfg.ID, step, err)
+		return nil, start, 0, fmt.Errorf("cluster: worker %d step %d: %w", w.cfg.ID, step, err)
 	}
-	w.cfg.Metrics.observeCompute(time.Since(start))
-	return coded, nil
+	dur := time.Since(start)
+	w.cfg.Metrics.observeCompute(dur)
+	return coded, start, dur, nil
 }
 
 // SumEncoder returns the IS-GC encoder: the plain sum of the local

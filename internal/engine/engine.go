@@ -7,6 +7,7 @@ import (
 
 	"isgc/internal/bitset"
 	"isgc/internal/dataset"
+	"isgc/internal/events"
 	"isgc/internal/linalg"
 	"isgc/internal/model"
 	"isgc/internal/simclock"
@@ -88,6 +89,14 @@ type Config struct {
 	// time, decode MIS size, partitions recovered); serve it via the
 	// admin package. Nil costs one branch per step.
 	Metrics *Metrics
+	// Events, when non-nil, receives structured run/step events. Nil
+	// disables event logging.
+	Events *events.Log
+	// Attribution, when non-nil, accumulates per-worker compute/arrival
+	// samples from the simulated clock so the straggler-attribution
+	// report works for in-process experiments exactly as it does for the
+	// TCP cluster. Nil costs one branch per step.
+	Attribution *trace.Attribution
 }
 
 // Result summarizes a completed run.
@@ -112,6 +121,8 @@ func Train(cfg Config) (*Result, error) {
 	}
 	st := cfg.Strategy
 	n := st.N()
+	cfg.Events.Info("engine.run_started", "in-process training started", events.NoStep, events.NoWorker,
+		events.Fields{"scheme": st.Name(), "workers": n, "max_steps": cfg.MaxSteps})
 
 	parts, err := cfg.Data.Partition(n)
 	if err != nil {
@@ -176,6 +187,23 @@ func Train(cfg Config) (*Result, error) {
 		}
 		if err != nil {
 			return nil, fmt.Errorf("engine: step %d: %w", step, err)
+		}
+		if cfg.Attribution != nil {
+			// The simulated clock decomposes exactly: arrival is the
+			// worker's total finish time, compute is its share before
+			// upload and injected delay.
+			for i := 0; i < n; i++ {
+				compute := time.Duration(st.C()) * cfg.ComputePerPartition
+				if cfg.ComputeFactors != nil {
+					compute = time.Duration(float64(compute) * cfg.ComputeFactors[i])
+				}
+				sample := trace.ArrivalSample{Worker: i, Step: step, Compute: compute, Arrival: times[i]}
+				if avail.Contains(i) {
+					cfg.Attribution.ObserveAccepted(sample)
+				} else {
+					cfg.Attribution.ObserveIgnored(sample)
+				}
+			}
 		}
 
 		// 2. Per-partition mean gradients for this step's batches. Thanks
@@ -269,6 +297,9 @@ func Train(cfg Config) (*Result, error) {
 			cfg.Metrics.observeStep(time.Since(wallStart), recovered/st.C(),
 				recovered, float64(recovered)/float64(n))
 		}
+		cfg.Events.Debug("engine.step_completed", "simulated step finished", step, events.NoWorker,
+			events.Fields{"available": avail.Len(), "recovered": recovered,
+				"loss": lastLoss, "elapsed": elapsed.String()})
 		res.Run.Append(trace.StepRecord{
 			Step:              step,
 			Available:         avail.Len(),
@@ -289,6 +320,8 @@ func Train(cfg Config) (*Result, error) {
 		res.StepsToThreshold = cfg.MaxSteps
 	}
 	res.Params = params
+	cfg.Events.Info("engine.run_finished", "in-process training finished", events.NoStep, events.NoWorker,
+		events.Fields{"steps": res.Run.Steps(), "converged": res.Converged})
 	return res, nil
 }
 

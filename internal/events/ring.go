@@ -1,0 +1,77 @@
+package events
+
+import "sync"
+
+// defaultRingSize bounds the in-memory event history when the caller does
+// not choose one: large enough to cover a whole default training run's
+// lifecycle events, small enough to be irrelevant memory-wise.
+const defaultRingSize = 1024
+
+// Ring is a bounded circular buffer of events: appends never block or
+// allocate past the fixed capacity, and a snapshot can be taken while
+// other goroutines keep appending. The admin /debug/events endpoint reads
+// it live during training.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int    // index of the slot the next append writes
+	total uint64 // appends ever, including overwritten ones
+}
+
+// NewRing returns a ring holding at most capacity events (<= 0 selects the
+// default).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = defaultRingSize
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// Append adds e, evicting the oldest entry once the ring is full.
+func (r *Ring) Append(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.total++
+}
+
+// Snapshot returns the buffered events, oldest first. The returned slice
+// is a copy; callers may keep it across further appends.
+func (r *Ring) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		// Not yet wrapped: the buffer is already oldest-first.
+		return append(out, r.buf...)
+	}
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// Len returns how many events are currently buffered.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Cap returns the ring's fixed capacity.
+func (r *Ring) Cap() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return cap(r.buf)
+}
+
+// Total returns how many events were ever appended, including those the
+// ring has since evicted.
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

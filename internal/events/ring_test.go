@@ -1,0 +1,109 @@
+package events
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func mkEvent(i int) Event {
+	return Event{Type: fmt.Sprintf("t%d", i), Step: i, Worker: NoWorker}
+}
+
+func TestRingBelowCapacity(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 5; i++ {
+		r.Append(mkEvent(i))
+	}
+	snap := r.Snapshot()
+	if len(snap) != 5 || r.Len() != 5 || r.Total() != 5 {
+		t.Fatalf("len=%d total=%d snapshot=%d", r.Len(), r.Total(), len(snap))
+	}
+	for i, e := range snap {
+		if e.Step != i {
+			t.Fatalf("snapshot[%d].Step = %d, want %d (oldest first)", i, e.Step, i)
+		}
+	}
+}
+
+// Wraparound: appending past capacity evicts the oldest entries and the
+// snapshot stays oldest-first across the wrap point.
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 11; i++ {
+		r.Append(mkEvent(i))
+	}
+	if r.Len() != 4 || r.Cap() != 4 {
+		t.Fatalf("len=%d cap=%d, want 4/4", r.Len(), r.Cap())
+	}
+	if r.Total() != 11 {
+		t.Fatalf("total=%d, want 11", r.Total())
+	}
+	snap := r.Snapshot()
+	want := []int{7, 8, 9, 10}
+	for i, e := range snap {
+		if e.Step != want[i] {
+			t.Fatalf("snapshot steps = %v, want %v", steps(snap), want)
+		}
+	}
+	// Exactly one more append shifts the window by one.
+	r.Append(mkEvent(11))
+	if got := steps(r.Snapshot()); got[0] != 8 || got[3] != 11 {
+		t.Fatalf("after one more append: %v", got)
+	}
+}
+
+func steps(es []Event) []int {
+	out := make([]int, len(es))
+	for i, e := range es {
+		out[i] = e.Step
+	}
+	return out
+}
+
+func TestRingDefaultCapacity(t *testing.T) {
+	if NewRing(0).Cap() != defaultRingSize || NewRing(-3).Cap() != defaultRingSize {
+		t.Fatal("non-positive capacity must select the default")
+	}
+}
+
+// Concurrent append-while-snapshot: run with -race. Snapshots taken during
+// heavy appending must always be internally consistent (monotone step
+// numbers per producer ordering is not guaranteed across goroutines, but
+// the snapshot must never contain zero-value holes once the ring filled).
+func TestRingConcurrentAppendSnapshot(t *testing.T) {
+	r := NewRing(64)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Append(Event{Type: "concurrent", Step: i, Worker: NoWorker})
+			}
+		}()
+	}
+	go func() { wg.Wait(); close(done) }()
+	for stopped := false; !stopped; {
+		select {
+		case <-done:
+			stopped = true
+		default:
+		}
+		snap := r.Snapshot()
+		if len(snap) > r.Cap() {
+			t.Fatalf("snapshot larger than capacity: %d", len(snap))
+		}
+		if len(snap) == r.Cap() {
+			for _, e := range snap {
+				if e.Type != "concurrent" {
+					t.Fatalf("snapshot contains a hole: %+v", e)
+				}
+			}
+		}
+	}
+	if r.Total() != 4000 {
+		t.Fatalf("total = %d, want 4000", r.Total())
+	}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAttributionExperiment(t *testing.T) {
+	cfg := DefaultAttribution()
+	cfg.Steps = 40
+	rep, tab, err := Attribution(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Workers) != cfg.N {
+		t.Fatalf("workers = %d, want %d", len(rep.Workers), cfg.N)
+	}
+	// Every worker must have delivered or been ignored at least once over
+	// 40 steps, and the fast majority should be chosen more often than the
+	// straggling minority.
+	fastChosen, slowChosen := 0, 0
+	for _, w := range rep.Workers {
+		if w.Chosen+w.Ignored == 0 {
+			t.Fatalf("worker %d never observed", w.Worker)
+		}
+		if w.Worker < cfg.SlowCount {
+			slowChosen += w.Chosen
+		} else {
+			fastChosen += w.Chosen
+		}
+	}
+	if fastChosen <= slowChosen {
+		t.Fatalf("fast workers chosen %d times vs slow %d — attribution inverted", fastChosen, slowChosen)
+	}
+	// Uniform compute: every chosen worker reports the same compute p50,
+	// so lateness is attributed to delivery, not compute.
+	for _, w := range rep.Workers {
+		if w.Chosen > 0 && w.ComputeP50 != time.Duration(cfg.C)*cfg.Compute {
+			t.Fatalf("worker %d compute p50 = %v, want %v", w.Worker, w.ComputeP50, time.Duration(cfg.C)*cfg.Compute)
+		}
+	}
+	if tab.NumRows() != cfg.N {
+		t.Fatalf("table rows = %d, want %d", tab.NumRows(), cfg.N)
+	}
+	if !strings.Contains(tab.String(), "straggler attribution") {
+		t.Fatalf("table caption:\n%s", tab.String())
+	}
+}
+
+func TestAttributionRejectsBadConfig(t *testing.T) {
+	if _, _, err := Attribution(AttributionConfig{}); err == nil {
+		t.Fatal("zero config must be rejected")
+	}
+}
