@@ -57,6 +57,7 @@ type options struct {
 	threshold     float64
 	liveness      time.Duration
 	stepTimeout   time.Duration
+	wire          string        // wire codec: "binary" (default) or "gob"
 	metricsAddr   string        // empty disables the admin endpoint
 	metricsLinger time.Duration // keep the admin endpoint up after the run
 	eventsPath    string        // JSONL event log path ("-" = stderr; empty disables)
@@ -82,6 +83,7 @@ func main() {
 		seed      = flag.Int64("seed", 42, "shared seed (must match workers)")
 		samples   = flag.Int("samples", 240, "synthetic dataset size (must match workers)")
 
+		wire        = flag.String("wire", "binary", "wire codec for the gradient/params hot path: binary or gob")
 		liveness    = flag.Duration("liveness", 15*time.Second, "declare a worker dead after this much silence (negative disables)")
 		stepTimeout = flag.Duration("step-timeout", 0, "bound one step's gather even with live workers (0 disables)")
 
@@ -111,6 +113,7 @@ func main() {
 		lr:            *lr,
 		maxSteps:      *maxSteps,
 		threshold:     *threshold,
+		wire:          *wire,
 		liveness:      *liveness,
 		stepTimeout:   *stepTimeout,
 		metricsAddr:   *metricsAddr,
@@ -182,6 +185,7 @@ func run(opts options) error {
 		MaxSteps:        opts.maxSteps,
 		LossThreshold:   opts.threshold,
 		Seed:            opts.data.Seed,
+		Wire:            opts.wire,
 		LivenessTimeout: opts.liveness,
 		StepTimeout:     opts.stepTimeout,
 		Metrics:         mm,
@@ -214,8 +218,8 @@ func run(opts options) error {
 		fmt.Fprintf(out, "metrics: %s/metrics (healthz, debug/pprof alongside)\n", adm.URL())
 	}
 
-	fmt.Fprintf(out, "master: %s on %s, waiting for %d workers (w=%d per step, deadline=%v, liveness=%v)\n",
-		p, master.Addr(), opts.spec.N, w, opts.deadline, opts.liveness)
+	fmt.Fprintf(out, "master: %s on %s, waiting for %d workers (w=%d per step, deadline=%v, liveness=%v, wire=%s)\n",
+		p, master.Addr(), opts.spec.N, w, opts.deadline, opts.liveness, opts.wire)
 	res, err := master.Run()
 	if opts.timelinePath != "" {
 		// Written even on a failed run: a trace of what happened before the

@@ -42,6 +42,7 @@ func main() {
 		seed    = flag.Int64("seed", 42, "shared seed (must match master)")
 		samples = flag.Int("samples", 240, "synthetic dataset size (must match master)")
 		delay   = flag.Duration("delay", 0, "mean of an exponential straggler delay before each upload (0 = none)")
+		wire    = flag.String("wire", "binary", "wire codec for the gradient/params hot path: binary or gob")
 
 		crashAt      = flag.Int("crash-at", -1, "crash (die permanently) at this step (-1 = never)")
 		dropProb     = flag.Float64("drop-prob", 0, "probability of losing each step's gradient upload")
@@ -64,7 +65,7 @@ func main() {
 	dspec.Samples = *samples
 	dspec.Batch = *batch
 	fault := buildFault(*crashAt, *dropProb, *disconnectAt)
-	if err := run(*addr, *id, spec, dspec, *delay, fault, *reconnect, *heartbeat, *metricsAddr, *eventsPath, *logLevel); err != nil {
+	if err := run(*addr, *id, spec, dspec, *delay, *wire, fault, *reconnect, *heartbeat, *metricsAddr, *eventsPath, *logLevel); err != nil {
 		fmt.Fprintln(os.Stderr, "isgc-worker:", err)
 		os.Exit(1)
 	}
@@ -89,7 +90,7 @@ func buildFault(crashAt int, dropProb float64, disconnectAt int) straggler.Fault
 	return fs
 }
 
-func run(addr string, id int, spec cliconfig.SchemeSpec, dspec cliconfig.DataSpec, delay time.Duration, fault straggler.Fault, reconnect, heartbeat time.Duration, metricsAddr, eventsPath, logLevel string) error {
+func run(addr string, id int, spec cliconfig.SchemeSpec, dspec cliconfig.DataSpec, delay time.Duration, wire string, fault straggler.Fault, reconnect, heartbeat time.Duration, metricsAddr, eventsPath, logLevel string) error {
 	p, err := spec.Build()
 	if err != nil {
 		return err
@@ -135,6 +136,7 @@ func run(addr string, id int, spec cliconfig.SchemeSpec, dspec cliconfig.DataSpe
 		Model:             model.SoftmaxRegression{Features: dspec.Features, Classes: dspec.Classes},
 		Encode:            cluster.SumEncoder(),
 		Delay:             delayModel,
+		Wire:              wire,
 		DelaySeed:         dspec.Seed + int64(id),
 		Fault:             fault,
 		FaultSeed:         dspec.Seed + int64(id),

@@ -50,6 +50,7 @@ import (
 func main() {
 	eventsPath := flag.String("events", "", `write a JSONL structured event log to this path ("-" = stderr)`)
 	timelinePath := flag.String("timeline", "", "write a Chrome trace-event file of the run to this path")
+	wire := flag.String("wire", "binary", "wire codec for the gradient/params hot path: binary or gob")
 	flag.Parse()
 	const (
 		n         = 4
@@ -101,6 +102,7 @@ func main() {
 		MaxSteps:        30,
 		LossThreshold:   0.05,
 		Seed:            seed,
+		Wire:            *wire,
 		LivenessTimeout: 2 * time.Second,
 		Metrics:         mm,
 		Events:          ev,
@@ -109,8 +111,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("master listening on %s (%s, waiting for %d fastest of %d workers)\n",
-		master.Addr(), place, w, n)
+	fmt.Printf("master listening on %s (%s, waiting for %d fastest of %d workers, wire=%s)\n",
+		master.Addr(), place, w, n, *wire)
 
 	// The master also serves live observability: Prometheus metrics,
 	// a JSON liveness snapshot, and pprof. Scrape it while training runs:
@@ -220,6 +222,7 @@ func main() {
 				Model:             mdl,
 				Encode:            cluster.SumEncoder(),
 				Delay:             delay,
+				Wire:              *wire,
 				DelaySeed:         int64(i),
 				Fault:             fault,
 				FaultSeed:         int64(i),

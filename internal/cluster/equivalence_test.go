@@ -1,0 +1,55 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"isgc/internal/trace"
+)
+
+// TestWireCodecEquivalence is the end-to-end equivalence satellite: the
+// codec must change only the bytes on the wire, never the math. Two
+// identically seeded IS-GC runs — one forced onto the legacy gob stream,
+// one on binary frames — must produce bit-identical loss curves, chosen
+// worker sets, and final parameters. With w = n and no injected delays the
+// per-step availability set is always the full fleet, so the scheme's
+// seeded RNG draws the same decode sequence in both runs and any
+// divergence can only come from the transport.
+func TestWireCodecEquivalence(t *testing.T) {
+	wires := []string{WireGob, WireBinary}
+	results := make([]*trace.Run, len(wires))
+	params := make([][]float64, len(wires))
+	for i, wire := range wires {
+		fleet := []string{wire, wire, wire, wire}
+		res, counts := runWireCluster(t, wire, fleet)
+		if counts[wire] != 4 {
+			t.Fatalf("%s run negotiated %v, want 4 × %s", wire, counts, wire)
+		}
+		run := res.Run
+		// Elapsed is wall time and legitimately differs between runs;
+		// everything else must match exactly.
+		for j := range run.Records {
+			run.Records[j].Elapsed = 0
+		}
+		results[i] = &run
+		params[i] = res.Params
+	}
+
+	if !reflect.DeepEqual(results[0].Records, results[1].Records) {
+		for j := range results[0].Records {
+			if !reflect.DeepEqual(results[0].Records[j], results[1].Records[j]) {
+				t.Fatalf("step %d diverged:\n  gob    %+v\n  binary %+v",
+					j, results[0].Records[j], results[1].Records[j])
+			}
+		}
+		t.Fatal("records diverged")
+	}
+	if len(params[0]) == 0 || !reflect.DeepEqual(params[0], params[1]) {
+		t.Fatal("final parameters differ between gob and binary runs")
+	}
+	for j, rec := range results[0].Records {
+		if rec.Available != 4 {
+			t.Fatalf("step %d available = %d; equivalence argument needs the full fleet", j, rec.Available)
+		}
+	}
+}

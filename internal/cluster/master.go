@@ -66,6 +66,11 @@ type MasterConfig struct {
 	// WriteTimeout bounds each outbound send (default 5s; negative
 	// disables).
 	WriteTimeout time.Duration
+	// Wire selects the wire codec policy: WireBinary (or empty, the
+	// default) upgrades every worker that proposes the binary codec in
+	// its hello and keeps gob for the rest; WireGob pins every connection
+	// to gob (the ack then tells upgrading workers to stay on gob).
+	Wire string
 	// Metrics, when non-nil, receives live instrumentation (gather
 	// latency, recovered fraction, liveness, evictions); serve it via the
 	// admin package. One MasterMetrics per master.
@@ -193,6 +198,11 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 	if cfg.WriteTimeout < 0 {
 		cfg.WriteTimeout = 0
 	}
+	wire, err := ParseWire(cfg.Wire)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Wire = wire
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: listen: %w", err)
@@ -343,6 +353,26 @@ func (m *Master) handshake(raw net.Conn, readers *sync.WaitGroup) {
 	_ = raw.SetReadDeadline(time.Time{})
 	id := hello.Worker
 
+	// Codec negotiation, completed before the connection becomes visible
+	// to broadcasts and readers so no message can straddle the switch. A
+	// worker that proposed an upgrade gets a gob hello ack naming the
+	// chosen codec; a pre-negotiation hello (empty Wire) gets no ack and
+	// stays on gob — exactly the legacy exchange.
+	wire := WireGob
+	if hello.Wire != "" {
+		if hello.Wire == WireBinary && m.cfg.Wire != WireGob {
+			wire = WireBinary
+		}
+		if err := c.send(&Envelope{Kind: MsgHello, Worker: id, Wire: wire}); err != nil {
+			_ = c.close()
+			return
+		}
+		if wire == WireBinary {
+			c.upgrade(false) // gradient ownership transfers: no vector reuse
+		}
+	}
+	m.cfg.Metrics.markWire(wire)
+
 	m.mu.Lock()
 	if m.done {
 		m.mu.Unlock()
@@ -376,9 +406,10 @@ func (m *Master) handshake(raw net.Conn, readers *sync.WaitGroup) {
 
 	if gen > 0 {
 		m.cfg.Events.Info("master.worker_rejoined", "worker re-registered mid-run", step, id,
-			events.Fields{"generation": gen})
+			events.Fields{"generation": gen, "wire": wire})
 	} else {
-		m.cfg.Events.Info("master.worker_registered", "worker registered", step, id, nil)
+		m.cfg.Events.Info("master.worker_registered", "worker registered", step, id,
+			events.Fields{"wire": wire})
 	}
 
 	m.pokeLiveness()

@@ -44,6 +44,9 @@ type MasterMetrics struct {
 	AcceptedGradients *metrics.CounterVec
 	// WorkerAlive is 1/0 per worker id.
 	WorkerAlive *metrics.GaugeVec
+	// WireConnections counts accepted registrations per negotiated codec
+	// — the operator's view of which workers still speak legacy gob.
+	WireConnections *metrics.CounterVec
 }
 
 // NewMasterMetrics registers the master's metric families on reg.
@@ -70,6 +73,8 @@ func NewMasterMetrics(reg *metrics.Registry) *MasterMetrics {
 			"Gradients gathered before the per-step cut-off, per worker.", "worker"),
 		WorkerAlive: reg.NewGaugeVec("isgc_master_worker_alive",
 			"Per-worker liveness (1 = alive).", "worker"),
+		WireConnections: reg.NewCounterVec("isgc_master_wire_connections_total",
+			"Accepted registrations per negotiated wire codec.", "codec"),
 	}
 }
 
@@ -120,6 +125,12 @@ func (mm *MasterMetrics) markMalformed() {
 	}
 }
 
+func (mm *MasterMetrics) markWire(codec string) {
+	if mm != nil {
+		mm.WireConnections.With(codec).Inc()
+	}
+}
+
 func (mm *MasterMetrics) markAccepted(worker int) {
 	if mm != nil {
 		mm.AcceptedGradients.With(strconv.Itoa(worker)).Inc()
@@ -164,6 +175,9 @@ type WorkerMetrics struct {
 	DroppedUploads *metrics.Counter
 	// Connected is 1 while the worker holds a registered connection.
 	Connected *metrics.Gauge
+	// WireConnections counts completed registrations per negotiated
+	// codec (a reconnecting worker renegotiates, so rejoins count too).
+	WireConnections *metrics.CounterVec
 }
 
 // NewWorkerMetrics registers the worker's metric families on reg.
@@ -183,6 +197,14 @@ func NewWorkerMetrics(reg *metrics.Registry) *WorkerMetrics {
 			"Uploads lost to injected drop faults."),
 		Connected: reg.NewGauge("isgc_worker_connected",
 			"1 while registered with the master."),
+		WireConnections: reg.NewCounterVec("isgc_worker_wire_connections_total",
+			"Completed registrations per negotiated wire codec.", "codec"),
+	}
+}
+
+func (wm *WorkerMetrics) markWire(codec string) {
+	if wm != nil {
+		wm.WireConnections.With(codec).Inc()
 	}
 }
 

@@ -1,9 +1,17 @@
 // Package cluster is the real distributed runtime: a master and n workers
-// speaking a gob-encoded protocol over TCP (stdlib net only). It plays the
+// speaking a negotiated protocol over TCP (stdlib net only). It plays the
 // role Ray plays in the paper's implementation (Sec. VIII-A): workers train
 // on their partitions' mini-batches, upload coded gradients, and the master
 // gathers the fastest w (the ray.wait(w) equivalent), decodes with the
 // configured strategy, updates the parameters, and broadcasts them.
+//
+// Two codecs share one connection model. Registration always speaks gob —
+// the low-rate control exchange where self-describing encoding is cheap and
+// backward compatibility matters — and the hello exchange negotiates the
+// codec for everything after it: by default both sides upgrade to the
+// compact binary frame format of binary.go for the params/gradient hot
+// path, and a gob-only peer (an old worker, or -wire=gob) simply never
+// proposes the upgrade and keeps the legacy gob stream end to end.
 //
 // Unlike the in-process engine, real workers do not just slow down — they
 // die. The runtime therefore layers fault tolerance on top of the paper's
@@ -19,6 +27,7 @@
 package cluster
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/gob"
 	"fmt"
@@ -47,6 +56,34 @@ const (
 	MsgStop = "stop"
 )
 
+// Wire codec names, as negotiated in the hello exchange and accepted by the
+// -wire CLI flag (and the Wire fields of MasterConfig/WorkerConfig).
+const (
+	// WireGob keeps the legacy gob stream for every message.
+	WireGob = "gob"
+	// WireBinary upgrades the connection to the binary frame codec of
+	// binary.go after the hello exchange. The version suffix is part of
+	// the negotiated name: a future v2 negotiates "binaryv2" and a v1
+	// peer falls back to gob instead of misparsing frames.
+	WireBinary = "binaryv1"
+)
+
+// maxWireNameLen caps the negotiation string a peer may claim in a hello.
+const maxWireNameLen = 64
+
+// ParseWire canonicalizes a -wire flag value ("" and "binary" mean the
+// current binary version; "gob" forces the legacy codec).
+func ParseWire(s string) (string, error) {
+	switch s {
+	case "", "binary", WireBinary:
+		return WireBinary, nil
+	case WireGob:
+		return WireGob, nil
+	default:
+		return "", fmt.Errorf("cluster: unknown wire codec %q (want gob or binary)", s)
+	}
+}
+
 // maxVectorLen caps the Params/Coded length a peer may claim: a malformed
 // or hostile envelope must not be able to commit the receiver to an absurd
 // decode. 2^24 float64s is a 128 MiB vector — far beyond any model this
@@ -74,6 +111,13 @@ type Envelope struct {
 	// ComputeDurNanos is how long the gradient computation took
 	// (Gradient; 0 = not reported).
 	ComputeDurNanos int64
+	// Wire is the codec negotiation field of the hello exchange: on a
+	// worker's MsgHello it names the codec the worker proposes to upgrade
+	// to (empty = stay on gob, which is what pre-negotiation workers
+	// send); on the master's MsgHello ack it names the codec chosen for
+	// the rest of the connection. It rides only in gob messages — binary
+	// frames cannot carry it, by construction.
+	Wire string
 }
 
 // validateEnvelope enforces the structural invariants every well-formed
@@ -104,6 +148,9 @@ func validateEnvelope(e *Envelope) error {
 	}
 	if e.ComputeDurNanos < 0 {
 		return fmt.Errorf("cluster: negative compute duration %d in %s", e.ComputeDurNanos, e.Kind)
+	}
+	if len(e.Wire) > maxWireNameLen {
+		return fmt.Errorf("cluster: wire name length %d exceeds limit %d", len(e.Wire), maxWireNameLen)
 	}
 	return nil
 }
@@ -162,12 +209,36 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// conn wraps a net.Conn with gob codecs. Decode is safe for a single
-// goroutine; Encode is serialized internally so that heartbeat goroutines,
-// broadcasts, and rejoin replies may share one connection.
+// conn wraps a net.Conn with the negotiated codec. Every connection starts
+// in gob mode (the registration exchange); upgrade switches both directions
+// to binary frames at a message boundary, which is safe because gob never
+// reads past the end of a message. recv is safe for a single goroutine;
+// send is serialized internally so that heartbeat goroutines, broadcasts,
+// and rejoin replies may share one connection.
 type conn struct {
 	raw net.Conn
+	// w is the write side (wrapped in the counting layer when metrics are
+	// on), shared by both codecs so sent-bytes always counts framed bytes.
+	w io.Writer
+	// r is the single buffered reader both codecs share. This is load-
+	// bearing for the upgrade: gob.NewDecoder silently wraps any non-
+	// ByteReader in its own bufio.Reader, whose readahead would swallow
+	// the first binary frames if the frame parser read from raw directly.
+	// Handing the decoder a bufio.Reader up front keeps every buffered
+	// byte visible to whichever codec reads next.
+	r   *bufio.Reader
 	dec *gob.Decoder
+	// binary is set by upgrade: all subsequent messages are frames.
+	binary bool
+	// reuseVecs lets recvFrame decode payload vectors into a reusable
+	// per-connection scratch slice. Only safe when the consumer never
+	// retains a received vector past the next recv — true for the worker
+	// (params are consumed within the step), never for the master
+	// (gradient ownership transfers to the gather loop).
+	reuseVecs      bool
+	hdrScratch     [frameHeaderSize]byte
+	payloadScratch []byte
+	vecScratch     []float64
 
 	sendMu sync.Mutex
 	enc    *gob.Encoder
@@ -183,7 +254,19 @@ func newConn(c net.Conn, writeTimeout time.Duration, sent *metrics.Counter) *con
 	if sent != nil {
 		w = &countingWriter{w: c, c: sent}
 	}
-	return &conn{raw: c, enc: gob.NewEncoder(w), dec: gob.NewDecoder(c), writeTimeout: writeTimeout}
+	r := bufio.NewReader(c)
+	return &conn{raw: c, w: w, r: r, enc: gob.NewEncoder(w), dec: gob.NewDecoder(r), writeTimeout: writeTimeout}
+}
+
+// upgrade switches the connection to the binary frame codec for both
+// directions. It must be called at a protocol quiet point — after the hello
+// exchange, before the connection is visible to broadcasts or readers — on
+// both peers of the connection.
+func (c *conn) upgrade(reuseVecs bool) {
+	c.sendMu.Lock()
+	c.binary = true
+	c.reuseVecs = reuseVecs
+	c.sendMu.Unlock()
 }
 
 func (c *conn) send(e *Envelope) error {
@@ -194,7 +277,13 @@ func (c *conn) send(e *Envelope) error {
 			return fmt.Errorf("cluster: send %s: %w", e.Kind, err)
 		}
 	}
-	if err := c.enc.Encode(e); err != nil {
+	var err error
+	if c.binary {
+		err = c.sendFrame(e)
+	} else {
+		err = c.enc.Encode(e)
+	}
+	if err != nil {
 		return fmt.Errorf("cluster: send %s: %w", e.Kind, err)
 	}
 	if c.writeTimeout > 0 {
@@ -204,10 +293,53 @@ func (c *conn) send(e *Envelope) error {
 }
 
 func (c *conn) recv() (*Envelope, error) {
+	if c.binary {
+		return c.recvFrame()
+	}
 	return decodeEnvelope(c.dec)
 }
 
 func (c *conn) close() error { return c.raw.Close() }
+
+// clientHello runs the worker side of the registration exchange on a fresh
+// connection: send the gob hello (carrying the last completed step on a
+// rejoin and, unless the worker is pinned to gob, the proposed codec), and
+// — only when an upgrade was proposed — wait for the master's ack naming
+// the chosen codec and switch to it. A gob-pinned worker sends exactly the
+// pre-negotiation hello and expects no ack, which is what keeps old
+// workers and new masters interoperable in both pairings.
+func clientHello(c *conn, id, step int, wire string) (string, error) {
+	hello := &Envelope{Kind: MsgHello, Worker: id, Step: step}
+	if wire != WireGob {
+		hello.Wire = WireBinary
+	}
+	if err := c.send(hello); err != nil {
+		return "", err
+	}
+	if hello.Wire == "" {
+		return WireGob, nil
+	}
+	_ = c.raw.SetReadDeadline(time.Now().Add(wireAckTimeout))
+	ack, err := c.recv()
+	if err != nil {
+		return "", fmt.Errorf("cluster: wire negotiation: %w", err)
+	}
+	_ = c.raw.SetReadDeadline(time.Time{})
+	if ack.Kind != MsgHello {
+		return "", fmt.Errorf("cluster: wire negotiation: got %s before hello ack", ack.Kind)
+	}
+	if ack.Wire == WireBinary {
+		c.upgrade(true)
+		return WireBinary, nil
+	}
+	return WireGob, nil
+}
+
+// wireAckTimeout bounds the wait for the master's hello ack: a peer that
+// accepted the hello but never answers the negotiation is indistinguishable
+// from a pre-negotiation master, and hanging on it would be worse than the
+// explicit error.
+const wireAckTimeout = 5 * time.Second
 
 // dialWithRetry dials addr, retrying for up to timeout — workers typically
 // start concurrently with the master.

@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"isgc/internal/dataset"
+	"isgc/internal/engine"
+)
+
+// benchDim is the gradient dimension the codec benchmarks use: 2^16
+// float64s (512 KiB of payload), the scale at which the paper's ResNet-18
+// stand-ins make serialization a first-order cost in the gather.
+const benchDim = 1 << 16
+
+func benchGradient() *Envelope {
+	coded := make([]float64, benchDim)
+	for i := range coded {
+		coded[i] = float64(i) * 0.125
+	}
+	return &Envelope{Kind: MsgGradient, Worker: 3, Step: 7, Coded: coded,
+		ComputeStartUnixNano: 1_700_000_000_000_000_000, ComputeDurNanos: 5_000_000}
+}
+
+// BenchmarkWireCodec compares the two negotiated codecs on the hot-path
+// message (a 2^16-dim coded gradient) in the steady state each achieves on
+// a long-lived connection: a persistent gob encoder/decoder pair (type
+// descriptor amortized away), versus binary frames with the pooled send
+// buffer and the receiver's reusable payload/vector scratch.
+func BenchmarkWireCodec(b *testing.B) {
+	e := benchGradient()
+
+	b.Run("gob/encode", func(b *testing.B) {
+		var buf bytes.Buffer
+		enc := gob.NewEncoder(&buf)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := enc.Encode(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(buf.Len()))
+	})
+
+	b.Run("binary/encode", func(b *testing.B) {
+		buf := make([]byte, 0, frameHeaderSize+8*benchDim)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var err error
+		for i := 0; i < b.N; i++ {
+			buf, err = AppendFrame(buf[:0], e)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(len(buf)))
+	})
+
+	b.Run("gob/roundtrip", func(b *testing.B) {
+		var buf bytes.Buffer
+		enc := gob.NewEncoder(&buf)
+		dec := gob.NewDecoder(&buf)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := enc.Encode(e); err != nil {
+				b.Fatal(err)
+			}
+			got, err := decodeEnvelope(dec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(got.Coded) != benchDim {
+				b.Fatal("bad decode")
+			}
+		}
+	})
+
+	b.Run("binary/roundtrip", func(b *testing.B) {
+		frame, err := EncodeFrame(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rd := bytes.NewReader(frame)
+		// A receive-side conn as the worker runs it after the upgrade:
+		// shared bufio reader, reusable scratch, vector reuse on.
+		c := &conn{r: bufio.NewReader(rd), binary: true, reuseVecs: true}
+		sendBuf := make([]byte, 0, len(frame))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sendBuf, err = AppendFrame(sendBuf[:0], e)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rd.Reset(sendBuf)
+			c.r.Reset(rd)
+			got, err := c.recvFrame()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(got.Coded) != benchDim {
+				b.Fatal("bad decode")
+			}
+		}
+	})
+}
+
+// benchModel is a trivially cheap Model with a large parameter vector: the
+// gather benchmark must measure the wire, not softmax arithmetic, so loss
+// and gradient are O(dim) copies with no math worth profiling.
+type benchModel struct{ dim int }
+
+func (m benchModel) Dim() int { return m.dim }
+
+func (m benchModel) InitParams(seed int64) []float64 { return make([]float64, m.dim) }
+
+func (m benchModel) Loss(params []float64, batch []dataset.Sample) float64 { return 1 }
+
+func (m benchModel) Grad(params []float64, batch []dataset.Sample) []float64 {
+	g := make([]float64, m.dim)
+	for i := range g {
+		g[i] = 1e-6
+	}
+	return g
+}
+
+func (m benchModel) String() string { return fmt.Sprintf("bench(dim=%d)", m.dim) }
+
+// BenchmarkGatherLatency is the end-to-end number behind the codec choice:
+// one full training step — params broadcast to 4 workers, 4 coded-gradient
+// uploads, decode, update — over real loopback TCP, per codec, with a
+// 2^16-dim parameter vector. b.N steps run inside one cluster so
+// connection setup and negotiation are amortized away.
+func BenchmarkGatherLatency(b *testing.B) {
+	for _, wire := range []string{WireGob, WireBinary} {
+		wire := wire
+		b.Run(wire, func(b *testing.B) {
+			st, err := engine.NewSyncSGD(4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mdl := benchModel{dim: benchDim}
+			data, _, err := dataset.SyntheticLinear(64, 2, 0.1, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			master, err := NewMaster(MasterConfig{
+				Addr: "127.0.0.1:0", Strategy: st, Model: mdl, Data: data,
+				LearningRate: 0.1, W: 4, MaxSteps: b.N, Seed: 42,
+				AcceptTimeout: 10 * time.Second, Wire: wire,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			parts, err := data.Partition(4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for i := 0; i < 4; i++ {
+				i := i
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					pids := st.Partitions(i)
+					loaders := make([]*dataset.Loader, len(pids))
+					for j, d := range pids {
+						var err error
+						loaders[j], err = dataset.NewLoader(parts[d], 16, 42)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+					}
+					wk, err := NewWorker(WorkerConfig{
+						Addr: master.Addr(), ID: i, Partitions: pids, Loaders: loaders,
+						Model: mdl, Encode: SumEncoder(), Wire: wire,
+					})
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					_, _ = wk.Run()
+				}()
+			}
+			b.ResetTimer()
+			if _, err := master.Run(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			wg.Wait()
+		})
+	}
+}

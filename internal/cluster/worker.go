@@ -59,6 +59,11 @@ type WorkerConfig struct {
 	ReconnectTimeout time.Duration
 	// DialTimeout bounds the initial connection (default 5s).
 	DialTimeout time.Duration
+	// Wire selects the wire codec the worker proposes in its hello:
+	// WireBinary (or empty, the default) upgrades to binary frames when
+	// the master agrees; WireGob pins the connection to the legacy gob
+	// stream and skips the negotiation entirely.
+	Wire string
 	// Metrics, when non-nil, receives live instrumentation (compute time,
 	// upload bytes, reconnects); serve it via the admin package.
 	Metrics *WorkerMetrics
@@ -121,15 +126,22 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 5 * time.Second
 	}
+	wireCfg, err := ParseWire(cfg.Wire)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Wire = wireCfg
 	raw, err := dialWithRetry(cfg.Addr, cfg.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
 	c := newConn(raw, defaultWriteTimeout, cfg.Metrics.sentCounter())
-	if err := c.send(&Envelope{Kind: MsgHello, Worker: cfg.ID}); err != nil {
+	wire, err := clientHello(c, cfg.ID, 0, cfg.Wire)
+	if err != nil {
 		_ = c.close()
 		return nil, err
 	}
+	cfg.Metrics.markWire(wire)
 	w := &Worker{
 		cfg:            cfg,
 		c:              c,
@@ -140,7 +152,7 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	w.setConnected(true)
 	w.startHeartbeat()
 	cfg.Events.Info("worker.connected", "registered with master", events.NoStep, cfg.ID,
-		events.Fields{"addr": cfg.Addr})
+		events.Fields{"addr": cfg.Addr, "wire": wire})
 	cfg.Timeline.SetThreadName(cfg.ID+1, fmt.Sprintf("worker %d", cfg.ID))
 	return w, nil
 }
@@ -248,14 +260,17 @@ func (w *Worker) reconnect() bool {
 		raw, err := net.DialTimeout("tcp", w.cfg.Addr, 500*time.Millisecond)
 		if err == nil {
 			c := newConn(raw, defaultWriteTimeout, w.cfg.Metrics.sentCounter())
-			if c.send(&Envelope{Kind: MsgHello, Worker: w.cfg.ID, Step: int(w.steps.Load())}) == nil {
+			// A rejoin renegotiates the codec from scratch: the fresh
+			// connection starts in gob like any other registration.
+			if wire, err := clientHello(c, w.cfg.ID, int(w.steps.Load()), w.cfg.Wire); err == nil {
+				w.cfg.Metrics.markWire(wire)
 				w.c = c
 				w.reconnects.Add(1)
 				w.cfg.Metrics.markReconnect()
 				w.setConnected(true)
 				w.startHeartbeat()
 				w.cfg.Events.Info("worker.reconnected", "re-registered after connection loss",
-					events.NoStep, w.cfg.ID, events.Fields{"completed_steps": w.steps.Load()})
+					events.NoStep, w.cfg.ID, events.Fields{"completed_steps": w.steps.Load(), "wire": wire})
 				return true
 			}
 			_ = c.close()

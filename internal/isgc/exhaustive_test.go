@@ -1,0 +1,98 @@
+package isgc
+
+import (
+	"testing"
+
+	"isgc/internal/bitset"
+	"isgc/internal/graph"
+	"isgc/internal/placement"
+)
+
+// exhaustiveMaxN bounds the exhaustive sweep: every placement with up to
+// this many workers is checked against every one of its 2^n availability
+// sets. 12 keeps the whole sweep to a few seconds while covering every
+// small-n corner (empty sets, singletons, full availability, and all the
+// wrap-around windows the greedy walks must handle).
+const exhaustiveMaxN = 12
+
+// exhaustivePlacements enumerates every constructor-valid FR, CR, and HR
+// placement with n ≤ exhaustiveMaxN and c ∈ {2, 3}.
+func exhaustivePlacements(t *testing.T) []*placement.Placement {
+	t.Helper()
+	var ps []*placement.Placement
+	for n := 2; n <= exhaustiveMaxN; n++ {
+		for _, c := range []int{2, 3} {
+			if c > n {
+				continue
+			}
+			p, err := placement.CR(n, c)
+			if err != nil {
+				t.Fatalf("CR(%d,%d): %v", n, c, err)
+			}
+			ps = append(ps, p)
+			if n%c == 0 {
+				p, err := placement.FR(n, c)
+				if err != nil {
+					t.Fatalf("FR(%d,%d): %v", n, c, err)
+				}
+				ps = append(ps, p)
+			}
+			// HR: every (c1 ≥ 1, c2, g) split the constructor accepts.
+			// c1 = 0 degenerates to CR (returned as KindCR) and is already
+			// covered above, so only genuine hybrids are kept.
+			for c1 := 1; c1 <= c; c1++ {
+				for g := 1; g <= n; g++ {
+					if n%g != 0 {
+						continue
+					}
+					p, err := placement.HR(n, c1, c-c1, g)
+					if err != nil || p.Kind() != placement.KindHR {
+						continue
+					}
+					ps = append(ps, p)
+				}
+			}
+		}
+	}
+	return ps
+}
+
+// TestExhaustiveDecodeOptimal is the strongest correctness statement the
+// suite makes about the paper's decoders: for every FR/CR/HR placement with
+// n ≤ 12 and c ∈ {2, 3}, and for EVERY subset of available workers, Decode
+// returns a valid independent set of the conflict graph whose size equals
+// the exact independence number α(G[W']) computed by the branch-and-bound
+// oracle, and the recovered partition count is exactly |I|·c (Sec. V-A).
+// The randomized quick tests sample this space; this test closes it.
+func TestExhaustiveDecodeOptimal(t *testing.T) {
+	for _, p := range exhaustivePlacements(t) {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			n, c := p.N(), p.C()
+			s := New(p, 1)
+			g := p.ConflictGraph()
+			for mask := 0; mask < 1<<n; mask++ {
+				avail := bitset.New(n)
+				for v := 0; v < n; v++ {
+					if mask&(1<<v) != 0 {
+						avail.Add(v)
+					}
+				}
+				chosen := s.Decode(avail)
+				if !chosen.SubsetOf(avail) {
+					t.Fatalf("avail=%v: chosen %v not a subset", avail, chosen)
+				}
+				if !g.IsIndependent(chosen) {
+					t.Fatalf("avail=%v: chosen %v is not independent", avail, chosen)
+				}
+				if want := graph.IndependenceNumber(g, avail); chosen.Len() != want {
+					t.Fatalf("avail=%v: |chosen|=%d, want α=%d", avail, chosen.Len(), want)
+				}
+				if rec := s.Recovered(chosen); rec.Len() != chosen.Len()*c {
+					t.Fatalf("avail=%v: recovered %d partitions from %d workers, want %d",
+						avail, rec.Len(), chosen.Len(), chosen.Len()*c)
+				}
+			}
+		})
+	}
+}
