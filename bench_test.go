@@ -15,10 +15,12 @@ import (
 	"time"
 
 	"isgc/internal/bitset"
+	"isgc/internal/dataset"
 	"isgc/internal/experiments"
 	"isgc/internal/gc"
 	"isgc/internal/graph"
 	core "isgc/internal/isgc"
+	"isgc/internal/model"
 	"isgc/internal/placement"
 )
 
@@ -381,6 +383,93 @@ func itoa(n int) string {
 		n /= 10
 	}
 	return "n=" + string(buf[i:])
+}
+
+// --- Gradient-kernel benchmarks --------------------------------------------
+// The compute pipeline's hot path: a dim≈2^16 MLP (128 features, 500
+// hidden units, 4 classes → 66,504 parameters), per-partition batches of
+// 64 samples. Grad is the legacy allocating kernel, GradInto the
+// scratch-pooled one, and the Sharded variants split the batch across the
+// compute pool — the multi-core speedup the PR's acceptance criterion
+// asks for.
+
+func benchMLPWorkload() (model.MLP, []float64, []dataset.Sample) {
+	m := model.MLP{Features: 128, Hidden: 500, Classes: 4}
+	params := m.InitParams(1)
+	rng := rand.New(rand.NewSource(2))
+	batch := make([]dataset.Sample, 64)
+	for i := range batch {
+		x := make([]float64, m.Features)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		batch[i] = dataset.Sample{X: x, Y: float64(rng.Intn(m.Classes))}
+	}
+	return m, params, batch
+}
+
+func BenchmarkMLPGrad(b *testing.B) {
+	m, params, batch := benchMLPWorkload()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Grad(params, batch)
+	}
+}
+
+func BenchmarkMLPGradInto(b *testing.B) {
+	m, params, batch := benchMLPWorkload()
+	dst := make([]float64, m.Dim())
+	m.GradInto(dst, params, batch) // warm the scratch pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.GradInto(dst, params, batch)
+	}
+}
+
+func BenchmarkMLPGradIntoSharded(b *testing.B) {
+	m, params, batch := benchMLPWorkload()
+	for _, par := range []int{2, 4, 0} {
+		pool := model.NewParallelGrad(par)
+		b.Run("par="+itoa(pool.Par())[len("n="):], func(b *testing.B) {
+			dst := make([]float64, m.Dim())
+			pool.GradInto(dst, params, m, batch) // warm the scratch pool
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pool.GradInto(dst, params, m, batch)
+			}
+		})
+		pool.Close()
+	}
+}
+
+// BenchmarkDecodeCached measures the memoized decode path on the same
+// workload as BenchmarkDecodeCR: 64 recurring masks against a 128-entry
+// LRU, i.e. the steady state of a long training run.
+func BenchmarkDecodeCached(b *testing.B) {
+	for _, n := range []int{24, 96, 384} {
+		b.Run(itoa(n), func(b *testing.B) {
+			p, err := placement.CR(n, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := core.New(p, 1)
+			s.EnableDecodeCache(128)
+			rng := rand.New(rand.NewSource(2))
+			avails := make([]*bitset.Set, 64)
+			for i := range avails {
+				avails[i] = randAvailability(rng, n, 0.5)
+				s.Decode(avails[i]) // warm the cache
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Decode(avails[i%len(avails)])
+			}
+		})
+	}
 }
 
 // BenchmarkStragglerSampling measures the per-step cost of the delay

@@ -1,0 +1,161 @@
+// Command isgc-bench turns `go test -bench -benchmem` text into a
+// machine-readable JSON report, so CI can archive performance numbers
+// (grad kernels, decode, wire roundtrip) and diffs between runs are a
+// `jq` expression instead of eyeballing aligned columns.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchmem ./... | isgc-bench -o BENCH_PR5.json
+//
+// The parser understands the standard benchmark line grammar — name,
+// iteration count, then (value, unit) pairs — so custom units reported
+// via b.ReportMetric (e.g. MB/s from b.SetBytes) land in the "metrics"
+// map next to the well-known ns/op, B/op, and allocs/op.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name with the -P GOMAXPROCS suffix stripped
+	// (it is recorded separately so renames don't show up as regressions
+	// when CI core counts change).
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS the benchmark ran with (1 when unsuffixed).
+	Procs int `json:"procs"`
+	// Iterations is b.N for the reported timing.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp, BytesPerOp, AllocsPerOp are the well-known units; the
+	// latter two are -1 when the benchmark did not run with -benchmem.
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds every other (value, unit) pair, e.g. "MB/s".
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the file isgc-bench writes: enough host context to interpret
+// the numbers, then the results in input order.
+type Report struct {
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	Results   []Result `json:"results"`
+}
+
+// parseLine parses one benchmark output line, returning ok=false for
+// non-benchmark lines (the "goos:", "pkg:", PASS, and ok trailers).
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Iterations: iters, BytesPerOp: -1, AllocsPerOp: -1}
+	r.Name, r.Procs = splitProcs(fields[0])
+	// The rest of the line is (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	return r, true
+}
+
+// splitProcs splits "BenchmarkFoo/case-8" into ("BenchmarkFoo/case", 8).
+// The suffix is only GOMAXPROCS when it follows the last path segment,
+// so "Benchmark/n=24" keeps its name intact.
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 || i < strings.LastIndexByte(name, '/') {
+		return name, 1
+	}
+	p, err := strconv.Atoi(name[i+1:])
+	if err != nil || p <= 0 {
+		return name, 1
+	}
+	return name[:i], p
+}
+
+// parse reads benchmark output and collects every result line.
+func parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		if res, ok := parseLine(sc.Text()); ok {
+			out = append(out, res)
+		}
+	}
+	return out, sc.Err()
+}
+
+func run(in io.Reader, out io.Writer) error {
+	results, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines found in input (run with `go test -bench`)")
+	}
+	rep := Report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Results:   results,
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func main() {
+	outPath := flag.String("o", "", "write the JSON report to this file (default stdout)")
+	flag.Parse()
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "isgc-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	// Tee the input through to stderr so the human-readable table still
+	// shows up in CI logs next to the artifact.
+	in := io.TeeReader(os.Stdin, os.Stderr)
+	if err := run(in, out); err != nil {
+		fmt.Fprintln(os.Stderr, "isgc-bench:", err)
+		os.Exit(1)
+	}
+}

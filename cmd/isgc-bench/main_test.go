@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// sample is real `go test -bench -benchmem` output: header noise, plain
+// and sub-benchmark lines, a custom MB/s metric, and the trailers.
+const sample = `goos: linux
+goarch: amd64
+pkg: isgc
+cpu: Intel(R) Xeon(R)
+BenchmarkMLPGrad-8           	     100	  10523456 ns/op	 2661490 B/op	      10 allocs/op
+BenchmarkMLPGradInto-8       	     120	   9381234 ns/op	       0 B/op	       0 allocs/op
+BenchmarkMLPGradIntoSharded/par=4-8  	     130	   2881234 ns/op	       5 B/op	       0 allocs/op
+BenchmarkDecodeCached/n=24   	 5000000	       231 ns/op
+BenchmarkWireCodec/binary/encode-8   	    2000	    651234 ns/op	  855559 MB/s	       0 B/op	       0 allocs/op
+PASS
+ok  	isgc	12.345s
+`
+
+func TestParse(t *testing.T) {
+	results, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("parsed %d results, want 5: %+v", len(results), results)
+	}
+
+	got := results[0]
+	if got.Name != "BenchmarkMLPGrad" || got.Procs != 8 {
+		t.Fatalf("name/procs = %q/%d, want BenchmarkMLPGrad/8", got.Name, got.Procs)
+	}
+	if got.Iterations != 100 || got.NsPerOp != 10523456 || got.BytesPerOp != 2661490 || got.AllocsPerOp != 10 {
+		t.Fatalf("bad values: %+v", got)
+	}
+
+	// Sub-benchmark names keep their path; the -8 suffix is procs.
+	if results[2].Name != "BenchmarkMLPGradIntoSharded/par=4" || results[2].Procs != 8 {
+		t.Fatalf("sub-benchmark parsed as %+v", results[2])
+	}
+
+	// No -P suffix and no -benchmem columns: procs defaults to 1 and the
+	// mem fields are the -1 sentinel, not a fake zero.
+	dec := results[3]
+	if dec.Name != "BenchmarkDecodeCached/n=24" || dec.Procs != 1 {
+		t.Fatalf("unsuffixed benchmark parsed as %+v", dec)
+	}
+	if dec.BytesPerOp != -1 || dec.AllocsPerOp != -1 {
+		t.Fatalf("missing -benchmem columns must stay -1, got %+v", dec)
+	}
+
+	// Custom units land in Metrics.
+	if results[4].Metrics["MB/s"] != 855559 {
+		t.Fatalf("custom metric lost: %+v", results[4])
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	noise := "goos: linux\nPASS\nok  \tisgc\t1.2s\n--- BENCH: BenchmarkX\nBenchmarkBroken abc ns/op\n"
+	results, err := parse(strings.NewReader(noise))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("noise produced results: %+v", results)
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	cases := []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"BenchmarkFoo-8", "BenchmarkFoo", 8},
+		{"BenchmarkFoo", "BenchmarkFoo", 1},
+		{"BenchmarkFoo/n=24", "BenchmarkFoo/n=24", 1},
+		{"BenchmarkFoo/n=24-4", "BenchmarkFoo/n=24", 4},
+		{"BenchmarkFoo/sub-case", "BenchmarkFoo/sub-case", 1},
+	}
+	for _, c := range cases {
+		name, procs := splitProcs(c.in)
+		if name != c.name || procs != c.procs {
+			t.Errorf("splitProcs(%q) = (%q, %d), want (%q, %d)", c.in, name, procs, c.name, c.procs)
+		}
+	}
+}
+
+func TestRunWritesReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(strings.NewReader(sample), &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if rep.GoVersion == "" || rep.NumCPU <= 0 {
+		t.Fatalf("host context missing: %+v", rep)
+	}
+	if len(rep.Results) != 5 {
+		t.Fatalf("report has %d results, want 5", len(rep.Results))
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(strings.NewReader("PASS\n"), &buf); err == nil {
+		t.Fatal("expected an error for input without benchmark lines")
+	}
+}

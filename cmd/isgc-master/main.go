@@ -57,6 +57,8 @@ type options struct {
 	threshold     float64
 	liveness      time.Duration
 	stepTimeout   time.Duration
+	computePar    int           // loss-evaluation pool size (0 = GOMAXPROCS)
+	decodeCache   int           // decode LRU capacity (0 disables memoization)
 	wire          string        // wire codec: "binary" (default) or "gob"
 	metricsAddr   string        // empty disables the admin endpoint
 	metricsLinger time.Duration // keep the admin endpoint up after the run
@@ -84,6 +86,8 @@ func main() {
 		samples   = flag.Int("samples", 240, "synthetic dataset size (must match workers)")
 
 		wire        = flag.String("wire", "binary", "wire codec for the gradient/params hot path: binary or gob")
+		computePar  = flag.Int("compute-par", 0, "loss-evaluation compute shards (0 = auto/GOMAXPROCS, 1 = sequential)")
+		decodeCache = flag.Int("decode-cache", 0, "memoize decode results in an LRU of this many availability masks (0 disables; trades decode fairness for speed)")
 		liveness    = flag.Duration("liveness", 15*time.Second, "declare a worker dead after this much silence (negative disables)")
 		stepTimeout = flag.Duration("step-timeout", 0, "bound one step's gather even with live workers (0 disables)")
 
@@ -116,6 +120,8 @@ func main() {
 		wire:          *wire,
 		liveness:      *liveness,
 		stepTimeout:   *stepTimeout,
+		computePar:    *computePar,
+		decodeCache:   *decodeCache,
 		metricsAddr:   *metricsAddr,
 		metricsLinger: *metricsLinger,
 		eventsPath:    *eventsPath,
@@ -188,6 +194,8 @@ func run(opts options) error {
 		Wire:            opts.wire,
 		LivenessTimeout: opts.liveness,
 		StepTimeout:     opts.stepTimeout,
+		ComputePar:      opts.computePar,
+		DecodeCache:     opts.decodeCache,
 		Metrics:         mm,
 		Events:          ev,
 		Timeline:        tl,

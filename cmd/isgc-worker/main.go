@@ -31,18 +31,19 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7000", "master address")
-		id      = flag.Int("id", 0, "worker id in [0, n)")
-		n       = flag.Int("n", 4, "number of workers / partitions")
-		c       = flag.Int("c", 2, "partitions per worker")
-		scheme  = flag.String("scheme", "cr", "placement scheme: fr, cr, or hr")
-		c1      = flag.Int("c1", 1, "HR upper rows (scheme=hr)")
-		g       = flag.Int("g", 2, "HR group count (scheme=hr)")
-		batch   = flag.Int("batch", 8, "per-partition batch size (must match master)")
-		seed    = flag.Int64("seed", 42, "shared seed (must match master)")
-		samples = flag.Int("samples", 240, "synthetic dataset size (must match master)")
-		delay   = flag.Duration("delay", 0, "mean of an exponential straggler delay before each upload (0 = none)")
-		wire    = flag.String("wire", "binary", "wire codec for the gradient/params hot path: binary or gob")
+		addr       = flag.String("addr", "127.0.0.1:7000", "master address")
+		id         = flag.Int("id", 0, "worker id in [0, n)")
+		n          = flag.Int("n", 4, "number of workers / partitions")
+		c          = flag.Int("c", 2, "partitions per worker")
+		scheme     = flag.String("scheme", "cr", "placement scheme: fr, cr, or hr")
+		c1         = flag.Int("c1", 1, "HR upper rows (scheme=hr)")
+		g          = flag.Int("g", 2, "HR group count (scheme=hr)")
+		batch      = flag.Int("batch", 8, "per-partition batch size (must match master)")
+		seed       = flag.Int64("seed", 42, "shared seed (must match master)")
+		samples    = flag.Int("samples", 240, "synthetic dataset size (must match master)")
+		delay      = flag.Duration("delay", 0, "mean of an exponential straggler delay before each upload (0 = none)")
+		wire       = flag.String("wire", "binary", "wire codec for the gradient/params hot path: binary or gob")
+		computePar = flag.Int("compute-par", 0, "gradient compute shards (0 = auto/GOMAXPROCS, 1 = sequential)")
 
 		crashAt      = flag.Int("crash-at", -1, "crash (die permanently) at this step (-1 = never)")
 		dropProb     = flag.Float64("drop-prob", 0, "probability of losing each step's gradient upload")
@@ -65,7 +66,7 @@ func main() {
 	dspec.Samples = *samples
 	dspec.Batch = *batch
 	fault := buildFault(*crashAt, *dropProb, *disconnectAt)
-	if err := run(*addr, *id, spec, dspec, *delay, *wire, fault, *reconnect, *heartbeat, *metricsAddr, *eventsPath, *logLevel); err != nil {
+	if err := run(*addr, *id, spec, dspec, *delay, *wire, *computePar, fault, *reconnect, *heartbeat, *metricsAddr, *eventsPath, *logLevel); err != nil {
 		fmt.Fprintln(os.Stderr, "isgc-worker:", err)
 		os.Exit(1)
 	}
@@ -90,7 +91,7 @@ func buildFault(crashAt int, dropProb float64, disconnectAt int) straggler.Fault
 	return fs
 }
 
-func run(addr string, id int, spec cliconfig.SchemeSpec, dspec cliconfig.DataSpec, delay time.Duration, wire string, fault straggler.Fault, reconnect, heartbeat time.Duration, metricsAddr, eventsPath, logLevel string) error {
+func run(addr string, id int, spec cliconfig.SchemeSpec, dspec cliconfig.DataSpec, delay time.Duration, wire string, computePar int, fault straggler.Fault, reconnect, heartbeat time.Duration, metricsAddr, eventsPath, logLevel string) error {
 	p, err := spec.Build()
 	if err != nil {
 		return err
@@ -137,6 +138,7 @@ func run(addr string, id int, spec cliconfig.SchemeSpec, dspec cliconfig.DataSpe
 		Encode:            cluster.SumEncoder(),
 		Delay:             delayModel,
 		Wire:              wire,
+		ComputePar:        computePar,
 		DelaySeed:         dspec.Seed + int64(id),
 		Fault:             fault,
 		FaultSeed:         dspec.Seed + int64(id),

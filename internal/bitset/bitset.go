@@ -246,6 +246,23 @@ func (s *Set) Slice() []int {
 	return out
 }
 
+// AppendKey appends a canonical byte encoding of the set to dst and
+// returns the extended slice. Two sets with equal elements produce equal
+// encodings regardless of internal capacity (trailing zero words are
+// trimmed), which makes the result usable as a map key via string(key).
+func (s *Set) AppendKey(dst []byte) []byte {
+	n := len(s.words)
+	for n > 0 && s.words[n-1] == 0 {
+		n--
+	}
+	for _, w := range s.words[:n] {
+		dst = append(dst,
+			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	return dst
+}
+
 // String renders the set as "{a, b, c}".
 func (s *Set) String() string {
 	var b strings.Builder

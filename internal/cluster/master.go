@@ -66,6 +66,18 @@ type MasterConfig struct {
 	// WriteTimeout bounds each outbound send (default 5s; negative
 	// disables).
 	WriteTimeout time.Duration
+	// ComputePar sizes the master's loss-evaluation compute pool: the
+	// full-dataset loss each step is sharded across this many goroutines.
+	// 0 picks GOMAXPROCS, 1 forces the sequential evaluation. Sharding
+	// reassociates the loss mean's floating-point sum, so runs with
+	// different settings may differ in loss bits (never in parameters —
+	// the master's update never touches the pool).
+	ComputePar int
+	// DecodeCache, when positive, memoizes decode results in an LRU of
+	// that many availability masks — strategies that implement
+	// engine.DecodeCacher (IS-GC) only. Hits and misses land on the
+	// isgc_master_decode_cache_* counters.
+	DecodeCache int
 	// Wire selects the wire codec policy: WireBinary (or empty, the
 	// default) upgrades every worker that proposes the binary codec in
 	// its hello and keeps gob for the rest; WireGob pins every connection
@@ -206,6 +218,15 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: listen: %w", err)
+	}
+	if cfg.ComputePar < 0 {
+		return nil, fmt.Errorf("cluster: need ComputePar ≥ 0, got %d", cfg.ComputePar)
+	}
+	if cfg.DecodeCache > 0 {
+		if dc, ok := cfg.Strategy.(engine.DecodeCacher); ok {
+			dc.SetDecodeCacheHooks(cfg.Metrics.decodeCacheHooks())
+			dc.EnableDecodeCache(cfg.DecodeCache)
+		}
 	}
 	m := &Master{cfg: cfg, ln: ln, attribution: trace.NewAttribution(cfg.Strategy.N())}
 	cfg.Metrics.bind(m)
@@ -595,6 +616,11 @@ func (m *Master) trainLoop() (*engine.Result, error) {
 	for i := range all {
 		all[i] = m.cfg.Data.At(i)
 	}
+	// The per-step full-dataset loss is the master's only heavy compute;
+	// shard it across a long-lived pool.
+	pool := model.NewParallelGrad(m.cfg.ComputePar)
+	defer pool.Close()
+	m.cfg.Metrics.setComputeShards(pool.Par())
 
 	res := &engine.Result{}
 	for step := 0; step < m.cfg.MaxSteps; step++ {
@@ -687,7 +713,7 @@ func (m *Master) trainLoop() (*engine.Result, error) {
 		if recovered > 0 {
 			linalg.AXPY(params, -m.cfg.LearningRate/float64(recovered), ghat)
 		}
-		loss := m.cfg.Model.Loss(params, all)
+		loss := pool.Loss(params, m.cfg.Model, all)
 		updateEnd := time.Now()
 		if m.cfg.Timeline != nil {
 			stepArgs := map[string]any{"gathered": avail.Len(), "recovered": recovered, "degraded": degraded}

@@ -47,6 +47,12 @@ type MasterMetrics struct {
 	// WireConnections counts accepted registrations per negotiated codec
 	// — the operator's view of which workers still speak legacy gob.
 	WireConnections *metrics.CounterVec
+	// DecodeCacheHits and DecodeCacheMisses count availability-mask LRU
+	// outcomes (zero unless MasterConfig.DecodeCache is enabled).
+	DecodeCacheHits   *metrics.Counter
+	DecodeCacheMisses *metrics.Counter
+	// ComputeShards is the size of the master's loss-evaluation pool.
+	ComputeShards *metrics.Gauge
 }
 
 // NewMasterMetrics registers the master's metric families on reg.
@@ -75,6 +81,12 @@ func NewMasterMetrics(reg *metrics.Registry) *MasterMetrics {
 			"Per-worker liveness (1 = alive).", "worker"),
 		WireConnections: reg.NewCounterVec("isgc_master_wire_connections_total",
 			"Accepted registrations per negotiated wire codec.", "codec"),
+		DecodeCacheHits: reg.NewCounter("isgc_master_decode_cache_hits_total",
+			"Decode results served from the availability-mask LRU."),
+		DecodeCacheMisses: reg.NewCounter("isgc_master_decode_cache_misses_total",
+			"Decode results computed afresh and inserted into the LRU."),
+		ComputeShards: reg.NewGauge("isgc_master_compute_shards",
+			"Size of the master's loss-evaluation compute pool."),
 	}
 }
 
@@ -178,6 +190,23 @@ type WorkerMetrics struct {
 	// WireConnections counts completed registrations per negotiated
 	// codec (a reconnecting worker renegotiates, so rejoins count too).
 	WireConnections *metrics.CounterVec
+	// ComputeShards is the size of the worker's gradient compute pool.
+	ComputeShards *metrics.Gauge
+}
+
+// decodeCacheHooks returns the hit/miss callbacks for the strategy's
+// decode cache (nils when metrics are disabled).
+func (mm *MasterMetrics) decodeCacheHooks() (onHit, onMiss func()) {
+	if mm == nil {
+		return nil, nil
+	}
+	return mm.DecodeCacheHits.Inc, mm.DecodeCacheMisses.Inc
+}
+
+func (mm *MasterMetrics) setComputeShards(par int) {
+	if mm != nil {
+		mm.ComputeShards.Set(float64(par))
+	}
 }
 
 // NewWorkerMetrics registers the worker's metric families on reg.
@@ -199,6 +228,14 @@ func NewWorkerMetrics(reg *metrics.Registry) *WorkerMetrics {
 			"1 while registered with the master."),
 		WireConnections: reg.NewCounterVec("isgc_worker_wire_connections_total",
 			"Completed registrations per negotiated wire codec.", "codec"),
+		ComputeShards: reg.NewGauge("isgc_worker_compute_shards",
+			"Size of the worker's gradient compute pool."),
+	}
+}
+
+func (wm *WorkerMetrics) setComputeShards(par int) {
+	if wm != nil {
+		wm.ComputeShards.Set(float64(par))
 	}
 }
 

@@ -5,12 +5,14 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 	"time"
 
 	"isgc/internal/dataset"
 	"isgc/internal/engine"
+	"isgc/internal/model"
 )
 
 // benchDim is the gradient dimension the codec benchmarks use: 2^16
@@ -113,6 +115,69 @@ func BenchmarkWireCodec(b *testing.B) {
 	})
 }
 
+// BenchmarkWorkerCompute measures the worker's per-step compute stage on
+// a real dim≈2^16 MLP with c=4 partitions: the legacy allocating path
+// (Grad per partition, sequential, fresh buffers) versus the pooled path
+// computeStep now runs (GradInto into reusable buffers, partitions
+// concurrent on the compute pool, SumEncoder buffer reuse).
+func BenchmarkWorkerCompute(b *testing.B) {
+	m := model.MLP{Features: 128, Hidden: 500, Classes: 4}
+	params := m.InitParams(1)
+	const c = 4
+	rng := rand.New(rand.NewSource(2))
+	batches := make([][]dataset.Sample, c)
+	for j := range batches {
+		batches[j] = make([]dataset.Sample, 16)
+		for i := range batches[j] {
+			x := make([]float64, m.Features)
+			for k := range x {
+				x[k] = rng.NormFloat64()
+			}
+			batches[j][i] = dataset.Sample{X: x, Y: float64(rng.Intn(m.Classes))}
+		}
+	}
+
+	b.Run("legacy-sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			local := make([][]float64, c)
+			for j := range batches {
+				local[j] = m.Grad(params, batches[j])
+			}
+			out := make([]float64, m.Dim())
+			for _, g := range local {
+				for k, x := range g {
+					out[k] += x
+				}
+			}
+		}
+	})
+
+	b.Run("pooled-concurrent", func(b *testing.B) {
+		pool := model.NewParallelGrad(0)
+		defer pool.Close()
+		local := make([][]float64, c)
+		for j := range local {
+			local[j] = make([]float64, m.Dim())
+		}
+		tasks := make([]func(), c)
+		for j := range tasks {
+			j := j
+			tasks[j] = func() { m.GradInto(local[j], params, batches[j]) }
+		}
+		encode := SumEncoder()
+		pool.Run(tasks...) // warm the scratch pool
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pool.Run(tasks...)
+			if _, err := encode(local); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // benchModel is a trivially cheap Model with a large parameter vector: the
 // gather benchmark must measure the wire, not softmax arithmetic, so loss
 // and gradient are O(dim) copies with no math worth profiling.
@@ -126,10 +191,14 @@ func (m benchModel) Loss(params []float64, batch []dataset.Sample) float64 { ret
 
 func (m benchModel) Grad(params []float64, batch []dataset.Sample) []float64 {
 	g := make([]float64, m.dim)
+	m.GradInto(g, params, batch)
+	return g
+}
+
+func (m benchModel) GradInto(g, params []float64, batch []dataset.Sample) {
 	for i := range g {
 		g[i] = 1e-6
 	}
-	return g
 }
 
 func (m benchModel) String() string { return fmt.Sprintf("bench(dim=%d)", m.dim) }

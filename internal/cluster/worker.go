@@ -40,6 +40,14 @@ type WorkerConfig struct {
 	Delay straggler.Model
 	// DelaySeed seeds the delay sampling.
 	DelaySeed int64
+	// ComputePar sizes the worker's gradient compute pool: 0 picks
+	// GOMAXPROCS, 1 forces sequential, >1 is explicit. With several
+	// partitions the pool computes them concurrently (bit-identical to
+	// sequential, so replicas on hosts with different settings still
+	// agree); with a single partition it shards the batch instead, which
+	// reassociates the mean's floating-point sum — safe because a
+	// single-partition placement has no replicas to disagree with.
+	ComputePar int
 	// Fault optionally injects crash/drop/disconnect faults per step
 	// (nil = none) — the deterministic worker-death counterpart of Delay,
 	// used by integration tests and examples to reproduce machine loss.
@@ -83,6 +91,12 @@ type Worker struct {
 	rng    *rand.Rand
 	frng   *rand.Rand
 	stopHB chan struct{}
+
+	// pool and localBuf make computeStep allocation-free: one long-lived
+	// compute pool and one reusable gradient buffer per stored partition.
+	pool     *model.ParallelGrad
+	localBuf [][]float64
+	tasks    []func()
 
 	// faultedThrough is the highest step the fault model has been
 	// consulted for. A rejoining worker is re-handed the in-flight step by
@@ -148,7 +162,14 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		rng:            rand.New(rand.NewSource(cfg.DelaySeed)),
 		frng:           rand.New(rand.NewSource(cfg.FaultSeed)),
 		faultedThrough: -1,
+		pool:           model.NewParallelGrad(cfg.ComputePar),
+		localBuf:       make([][]float64, len(cfg.Partitions)),
+		tasks:          make([]func(), len(cfg.Partitions)),
 	}
+	for j := range w.localBuf {
+		w.localBuf[j] = make([]float64, cfg.Model.Dim())
+	}
+	cfg.Metrics.setComputeShards(w.pool.Par())
 	w.setConnected(true)
 	w.startHeartbeat()
 	cfg.Events.Info("worker.connected", "registered with master", events.NoStep, cfg.ID,
@@ -171,6 +192,7 @@ func (w *Worker) Run() (int, error) {
 		w.stopHeartbeat()
 		_ = w.c.close()
 		w.setConnected(false)
+		w.pool.Close()
 	}()
 	for {
 		e, err := w.c.recv()
@@ -325,13 +347,25 @@ func (w *Worker) stopHeartbeat() {
 // computeStep runs the local gradient computation and returns the coded
 // upload plus its timing (start and duration), which the caller stamps
 // into the gradient envelope for master-side straggler attribution.
+//
+// With several partitions the pool computes them concurrently, each into
+// its own reusable buffer — bit-identical to sequential. With one
+// partition there are no replicas to stay bit-identical with, so the pool
+// shards the batch itself.
 func (w *Worker) computeStep(step int, params []float64) ([]float64, time.Time, time.Duration, error) {
 	start := time.Now()
-	local := make([][]float64, len(w.cfg.Partitions))
-	for j, l := range w.cfg.Loaders {
-		local[j] = w.cfg.Model.Grad(params, l.Samples(step))
+	if len(w.cfg.Partitions) == 1 {
+		w.pool.GradInto(w.localBuf[0], params, w.cfg.Model, w.cfg.Loaders[0].Samples(step))
+	} else {
+		for j := range w.cfg.Loaders {
+			j := j
+			w.tasks[j] = func() {
+				w.cfg.Model.GradInto(w.localBuf[j], params, w.cfg.Loaders[j].Samples(step))
+			}
+		}
+		w.pool.Run(w.tasks...)
 	}
-	coded, err := w.cfg.Encode(local)
+	coded, err := w.cfg.Encode(w.localBuf)
 	if err != nil {
 		return nil, start, 0, fmt.Errorf("cluster: worker %d step %d: %w", w.cfg.ID, step, err)
 	}
@@ -341,13 +375,23 @@ func (w *Worker) computeStep(step int, params []float64) ([]float64, time.Time, 
 }
 
 // SumEncoder returns the IS-GC encoder: the plain sum of the local
-// per-partition gradients.
+// per-partition gradients. The closure owns a reusable output buffer, so
+// steady-state encoding allocates nothing; the returned slice is only
+// valid until the next call. That is safe for WorkerConfig.Encode — the
+// worker sends the upload synchronously before encoding the next step —
+// but means one encoder must not be shared between workers.
 func SumEncoder() func([][]float64) ([]float64, error) {
+	var out []float64
 	return func(local [][]float64) ([]float64, error) {
 		if len(local) == 0 {
 			return nil, fmt.Errorf("cluster: no local gradients")
 		}
-		out := make([]float64, len(local[0]))
+		if len(out) != len(local[0]) {
+			out = make([]float64, len(local[0]))
+		}
+		for k := range out {
+			out[k] = 0
+		}
 		for _, g := range local {
 			if len(g) != len(out) {
 				return nil, fmt.Errorf("cluster: gradient dim mismatch %d vs %d", len(g), len(out))
@@ -361,14 +405,21 @@ func SumEncoder() func([][]float64) ([]float64, error) {
 }
 
 // LinearEncoder returns a fixed-coefficient encoder (classic GC): coeffs is
-// aligned with the worker's partition list.
+// aligned with the worker's partition list. Buffer-reuse contract matches
+// SumEncoder: one encoder per worker, result valid until the next call.
 func LinearEncoder(coeffs []float64) func([][]float64) ([]float64, error) {
 	cs := append([]float64(nil), coeffs...)
+	var out []float64
 	return func(local [][]float64) ([]float64, error) {
 		if len(local) != len(cs) {
 			return nil, fmt.Errorf("cluster: %d gradients for %d coefficients", len(local), len(cs))
 		}
-		out := make([]float64, len(local[0]))
+		if len(out) != len(local[0]) {
+			out = make([]float64, len(local[0]))
+		}
+		for k := range out {
+			out[k] = 0
+		}
 		for j, g := range local {
 			if len(g) != len(out) {
 				return nil, fmt.Errorf("cluster: gradient dim mismatch %d vs %d", len(g), len(out))

@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"isgc/internal/bitset"
@@ -85,6 +84,19 @@ type Config struct {
 	// goroutines. Results are bit-identical to the serial path (each
 	// partition writes its own slot); worth enabling for large models.
 	Parallel bool
+	// ComputePar sets the compute pool size explicitly: 1 forces the
+	// sequential path, >1 uses that many long-lived workers, and 0 defers
+	// to Parallel (true = GOMAXPROCS, false = sequential). Whatever the
+	// value, parallelism stays at partition granularity, so results are
+	// bit-identical to the sequential path.
+	ComputePar int
+	// DecodeCache, when positive, memoizes decode results in an LRU of
+	// that many availability masks (isgc schemes only; see
+	// isgc.Scheme.EnableDecodeCache for the fairness tradeoff). Repeated
+	// masks then skip the decoder's rng draws, so runs with the cache on
+	// may pick different — equally large — independent sets than runs
+	// with it off.
+	DecodeCache int
 	// Metrics, when non-nil, receives live instrumentation (step wall
 	// time, decode MIS size, partitions recovered); serve it via the
 	// admin package. Nil costs one branch per step.
@@ -111,6 +123,30 @@ type Result struct {
 	// StepsToThreshold is the 1-based step count at convergence
 	// (== Run.Steps() when Converged; MaxSteps otherwise).
 	StepsToThreshold int
+}
+
+// DecodeCacher is the optional Strategy capability behind Config.DecodeCache:
+// schemes whose decode is a pure function of the availability mask (IS-GC)
+// expose memoization through it. See isgc.Scheme.EnableDecodeCache.
+type DecodeCacher interface {
+	// EnableDecodeCache turns on an LRU of the given capacity.
+	EnableDecodeCache(capacity int)
+	// SetDecodeCacheHooks registers hit/miss callbacks (either may be nil).
+	SetDecodeCacheHooks(onHit, onMiss func())
+	// DecodeCacheStats returns cumulative hits and misses.
+	DecodeCacheStats() (hits, misses uint64)
+}
+
+// computePar resolves the pool size: ComputePar wins when set, otherwise
+// the legacy Parallel bool picks between GOMAXPROCS and sequential.
+func (cfg *Config) computePar() int {
+	if cfg.ComputePar != 0 {
+		return cfg.ComputePar
+	}
+	if cfg.Parallel {
+		return -1 // NewParallelGrad: auto = GOMAXPROCS
+	}
+	return 1
 }
 
 // Train runs distributed SGD under the configured scheme and returns the
@@ -154,6 +190,28 @@ func Train(cfg Config) (*Result, error) {
 	var velocity []float64 // lazily allocated momentum buffer
 	all := materialize(cfg.Data)
 	res := &Result{}
+
+	// One long-lived compute pool per run; partitions are its unit of
+	// work, so any pool size yields bit-identical results.
+	pool := model.NewParallelGrad(cfg.computePar())
+	defer pool.Close()
+	if cfg.Metrics != nil {
+		cfg.Metrics.ComputeShards.Set(float64(pool.Par()))
+	}
+	if cfg.DecodeCache > 0 {
+		if dc, ok := st.(DecodeCacher); ok {
+			if cfg.Metrics != nil {
+				dc.SetDecodeCacheHooks(cfg.Metrics.DecodeCacheHits.Inc, cfg.Metrics.DecodeCacheMisses.Inc)
+			}
+			dc.EnableDecodeCache(cfg.DecodeCache)
+		}
+	}
+	// Per-partition gradient buffers, reused every step: after the first
+	// step the gradient stage allocates nothing.
+	gradBuf := make([][]float64, n)
+	grads := make([][]float64, n)
+	tasks := make([]func(), 0, n)
+
 	classifier, isClassifier := cfg.Model.(model.Classifier)
 	lastLoss := cfg.Model.Loss(params, all)
 	lastAcc := 0.0
@@ -208,36 +266,31 @@ func Train(cfg Config) (*Result, error) {
 
 		// 2. Per-partition mean gradients for this step's batches. Thanks
 		// to the controlled seeds, a partition's gradient is identical on
-		// every worker replicating it, so we compute each once.
-		grads := make([][]float64, n)
-		needed := make([]bool, n)
+		// every worker replicating it, so we compute each once — each
+		// needed partition into its own reusable buffer, on the pool.
+		// Partition granularity keeps any pool size bit-identical to the
+		// sequential path.
+		for d := range grads {
+			grads[d] = nil
+		}
+		tasks = tasks[:0]
 		avail.Range(func(i int) bool {
 			for _, d := range st.Partitions(i) {
-				needed[d] = true
+				if grads[d] != nil {
+					continue
+				}
+				if gradBuf[d] == nil {
+					gradBuf[d] = make([]float64, cfg.Model.Dim())
+				}
+				grads[d] = gradBuf[d]
+				d := d
+				tasks = append(tasks, func() {
+					cfg.Model.GradInto(gradBuf[d], params, loaders[d].Samples(step))
+				})
 			}
 			return true
 		})
-		if cfg.Parallel {
-			var wg sync.WaitGroup
-			for d := 0; d < n; d++ {
-				if !needed[d] {
-					continue
-				}
-				d := d
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					grads[d] = cfg.Model.Grad(params, loaders[d].Samples(step))
-				}()
-			}
-			wg.Wait()
-		} else {
-			for d := 0; d < n; d++ {
-				if needed[d] {
-					grads[d] = cfg.Model.Grad(params, loaders[d].Samples(step))
-				}
-			}
-		}
+		pool.Run(tasks...)
 
 		// 3. Worker-side encoding for available workers.
 		coded := make([][]float64, n)
@@ -343,6 +396,10 @@ func validate(cfg *Config) error {
 		return fmt.Errorf("engine: need WeightDecay ≥ 0, got %v", cfg.WeightDecay)
 	case cfg.MaxSteps <= 0:
 		return fmt.Errorf("engine: need MaxSteps > 0, got %d", cfg.MaxSteps)
+	case cfg.ComputePar < 0:
+		return fmt.Errorf("engine: need ComputePar ≥ 0, got %d", cfg.ComputePar)
+	case cfg.DecodeCache < 0:
+		return fmt.Errorf("engine: need DecodeCache ≥ 0, got %d", cfg.DecodeCache)
 	}
 	return nil
 }

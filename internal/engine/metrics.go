@@ -24,6 +24,12 @@ type Metrics struct {
 	RecoveredFraction *metrics.Gauge
 	// Steps counts completed steps.
 	Steps *metrics.Counter
+	// ComputeShards is the size of the run's gradient compute pool.
+	ComputeShards *metrics.Gauge
+	// DecodeCacheHits and DecodeCacheMisses count decode memoization
+	// outcomes (always zero unless Config.DecodeCache is enabled).
+	DecodeCacheHits   *metrics.Counter
+	DecodeCacheMisses *metrics.Counter
 }
 
 // NewMetrics registers the engine's metric families on reg.
@@ -41,6 +47,12 @@ func NewMetrics(reg *metrics.Registry) *Metrics {
 			"Fraction of dataset partitions recovered in the last step."),
 		Steps: reg.NewCounter("isgc_engine_steps_total",
 			"Completed training steps."),
+		ComputeShards: reg.NewGauge("isgc_engine_compute_shards",
+			"Size of the gradient compute pool for the current run."),
+		DecodeCacheHits: reg.NewCounter("isgc_engine_decode_cache_hits_total",
+			"Decode results served from the availability-mask LRU."),
+		DecodeCacheMisses: reg.NewCounter("isgc_engine_decode_cache_misses_total",
+			"Decode results computed afresh and inserted into the LRU."),
 	}
 }
 

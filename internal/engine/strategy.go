@@ -200,6 +200,13 @@ func (s *isGC) Partitions(i int) []int { return s.scheme.Placement().Partitions(
 
 func (s *isGC) WaitFor(w int) int { return clampW(w, s.N()) }
 
+// isGC implements DecodeCacher by forwarding to the wrapped scheme: IS-GC
+// decode depends only on the availability mask, so memoization is sound.
+
+func (s *isGC) EnableDecodeCache(capacity int)           { s.scheme.EnableDecodeCache(capacity) }
+func (s *isGC) SetDecodeCacheHooks(onHit, onMiss func()) { s.scheme.SetDecodeCacheHooks(onHit, onMiss) }
+func (s *isGC) DecodeCacheStats() (hits, misses uint64)  { return s.scheme.DecodeCacheStats() }
+
 func (s *isGC) Encode(worker int, grads [][]float64) ([]float64, error) {
 	return s.scheme.Encode(worker, grads)
 }

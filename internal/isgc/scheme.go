@@ -29,6 +29,11 @@ import (
 type Scheme struct {
 	p   *placement.Placement
 	rng *rand.Rand
+
+	// cache, when non-nil, memoizes Decode results per availability mask
+	// (see cache.go for the LRU and the fairness tradeoff).
+	cache      *decodeCache
+	cacheHooks [2]func() // onHit, onMiss — survive cache resets
 }
 
 // New returns an IS-GC scheme over the given placement. The seed fixes the
@@ -53,6 +58,19 @@ func (s *Scheme) Decode(available *bitset.Set) *bitset.Set {
 	if avail.Empty() {
 		return bitset.New(s.p.N())
 	}
+	if s.cache != nil {
+		if e := s.cache.lookup(avail); e != nil {
+			return e.chosen.Clone()
+		}
+		chosen := s.decode(avail)
+		s.cache.store(avail, chosen, s.p.RecoveredPartitions(chosen))
+		return chosen.Clone()
+	}
+	return s.decode(avail)
+}
+
+// decode dispatches to the placement-specific greedy MIS walk.
+func (s *Scheme) decode(avail *bitset.Set) *bitset.Set {
 	switch s.p.Kind() {
 	case placement.KindFR:
 		return s.decodeFR(avail)
@@ -87,12 +105,35 @@ func (s *Scheme) Recovered(chosen *bitset.Set) *bitset.Set {
 	return s.p.RecoveredPartitions(chosen)
 }
 
+// DecodeWithRecovered returns Decode(available) together with the set of
+// partitions the chosen workers recover. With the decode cache enabled
+// both sets come from one memoized entry, so the recovery mapping is not
+// recomputed for repeated masks. The returned sets are the caller's to
+// mutate.
+func (s *Scheme) DecodeWithRecovered(available *bitset.Set) (chosen, recovered *bitset.Set) {
+	avail := s.clampAvailable(available)
+	if avail.Empty() {
+		return bitset.New(s.p.N()), bitset.New(s.p.N())
+	}
+	if s.cache != nil {
+		if e := s.cache.lookup(avail); e != nil {
+			return e.chosen.Clone(), e.recovered.Clone()
+		}
+		c := s.decode(avail)
+		r := s.p.RecoveredPartitions(c)
+		s.cache.store(avail, c, r)
+		return c.Clone(), r.Clone()
+	}
+	chosen = s.decode(avail)
+	return chosen, s.p.RecoveredPartitions(chosen)
+}
+
 // RecoveredFraction returns |Recovered(Decode(available))| / n — the
 // fraction of dataset partitions represented in the recovered gradient.
 // This is the quantity plotted in Fig. 12(a) and Fig. 13(a).
 func (s *Scheme) RecoveredFraction(available *bitset.Set) float64 {
-	chosen := s.Decode(available)
-	return float64(s.Recovered(chosen).Len()) / float64(s.p.N())
+	_, recovered := s.DecodeWithRecovered(available)
+	return float64(recovered.Len()) / float64(s.p.N())
 }
 
 // randomAvailable picks a uniformly random element of avail (non-empty).

@@ -58,6 +58,38 @@ func AXPY(dst []float64, a float64, src []float64) {
 	}
 }
 
+// AXPYInto computes dst = y + a*x element-wise, overwriting dst. dst may
+// alias y (then it degenerates to AXPY) but must not partially overlap x.
+// This is the fused form the compute pipeline uses to combine a scratch
+// gradient into a pooled destination without an intermediate copy.
+func AXPYInto(dst []float64, a float64, x, y []float64) {
+	if len(dst) != len(x) || len(dst) != len(y) {
+		panic(fmt.Sprintf("linalg: AXPYInto length mismatch %d vs %d vs %d", len(dst), len(x), len(y)))
+	}
+	for i := range dst {
+		dst[i] = y[i] + a*x[i]
+	}
+}
+
+// ScaleInto computes dst = a*src element-wise, overwriting dst. dst may
+// alias src (then it degenerates to Scale).
+func ScaleInto(dst []float64, a float64, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("linalg: ScaleInto length mismatch %d vs %d", len(dst), len(src)))
+	}
+	for i, x := range src {
+		dst[i] = a * x
+	}
+}
+
+// ZeroVec sets every element of v to zero, retaining the allocation —
+// the reset half of every pooled-buffer reuse.
+func ZeroVec(v []float64) {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
 // Scale multiplies v by a in place.
 func Scale(v []float64, a float64) {
 	for i := range v {

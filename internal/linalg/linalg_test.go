@@ -50,12 +50,37 @@ func TestVectorOps(t *testing.T) {
 	if len(Zeros(4)) != 4 {
 		t.Fatal("Zeros length")
 	}
+
+	g := []float64{0, 0, 0}
+	AXPYInto(g, 2, b, a)
+	if g[0] != 9 || g[1] != 12 || g[2] != 15 {
+		t.Fatalf("AXPYInto = %v", g)
+	}
+	// Aliasing dst with y degenerates to AXPY.
+	h := CloneVec(a)
+	AXPYInto(h, 2, b, h)
+	if h[0] != 9 || h[1] != 12 || h[2] != 15 {
+		t.Fatalf("aliased AXPYInto = %v", h)
+	}
+
+	s := []float64{7, 7, 7}
+	ScaleInto(s, 3, a)
+	if s[0] != 3 || s[1] != 6 || s[2] != 9 {
+		t.Fatalf("ScaleInto = %v", s)
+	}
+
+	ZeroVec(s)
+	if s[0] != 0 || s[1] != 0 || s[2] != 0 {
+		t.Fatalf("ZeroVec = %v", s)
+	}
 }
 
 func TestVectorOpsPanicOnMismatch(t *testing.T) {
 	for name, fn := range map[string]func(){
 		"AddTo":      func() { AddTo([]float64{1}, []float64{1, 2}) },
 		"AXPY":       func() { AXPY([]float64{1}, 2, []float64{1, 2}) },
+		"AXPYInto":   func() { AXPYInto([]float64{1}, 2, []float64{1, 2}, []float64{1, 2}) },
+		"ScaleInto":  func() { ScaleInto([]float64{1}, 2, []float64{1, 2}) },
 		"Dot":        func() { Dot([]float64{1}, []float64{1, 2}) },
 		"MaxAbsDiff": func() { MaxAbsDiff([]float64{1}, []float64{1, 2}) },
 	} {

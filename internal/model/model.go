@@ -31,8 +31,14 @@ type Model interface {
 	// Loss returns the mean loss of params on the batch.
 	Loss(params []float64, batch []dataset.Sample) float64
 	// Grad returns the mean gradient of the loss on the batch. The result
-	// is freshly allocated.
+	// is freshly allocated; hot paths should prefer GradInto.
 	Grad(params []float64, batch []dataset.Sample) []float64
+	// GradInto computes the mean gradient of the loss on the batch into
+	// dst, which must have length Dim(); dst is zeroed first. The result
+	// is bit-identical to Grad. Implementations draw any internal scratch
+	// from the package buffer pool, so the steady-state path allocates
+	// nothing.
+	GradInto(dst, params []float64, batch []dataset.Sample)
 	// String names the model for logs.
 	String() string
 }
@@ -91,8 +97,16 @@ func (m LinearRegression) Loss(params []float64, batch []dataset.Sample) float64
 // Grad implements Model.
 func (m LinearRegression) Grad(params []float64, batch []dataset.Sample) []float64 {
 	g := make([]float64, m.Dim())
+	m.GradInto(g, params, batch)
+	return g
+}
+
+// GradInto implements Model.
+func (m LinearRegression) GradInto(g, params []float64, batch []dataset.Sample) {
+	checkGradDim(len(g), m.Dim())
+	zeroVec(g)
 	if len(batch) == 0 {
-		return g
+		return
 	}
 	for _, s := range batch {
 		r := dotFeatures(params, s.X) - s.Y
@@ -104,7 +118,6 @@ func (m LinearRegression) Grad(params []float64, batch []dataset.Sample) []float
 	for j := range g {
 		g[j] *= inv
 	}
-	return g
 }
 
 // String implements Model.
@@ -145,8 +158,16 @@ func (m LogisticRegression) Loss(params []float64, batch []dataset.Sample) float
 // Grad implements Model.
 func (m LogisticRegression) Grad(params []float64, batch []dataset.Sample) []float64 {
 	g := make([]float64, m.Dim())
+	m.GradInto(g, params, batch)
+	return g
+}
+
+// GradInto implements Model.
+func (m LogisticRegression) GradInto(g, params []float64, batch []dataset.Sample) {
+	checkGradDim(len(g), m.Dim())
+	zeroVec(g)
 	if len(batch) == 0 {
-		return g
+		return
 	}
 	for _, s := range batch {
 		p := sigmoid(dotFeatures(params, s.X))
@@ -159,7 +180,6 @@ func (m LogisticRegression) Grad(params []float64, batch []dataset.Sample) []flo
 	for j := range g {
 		g[j] *= inv
 	}
-	return g
 }
 
 // Predict implements Classifier: class 1 iff the logit is non-negative.
@@ -189,12 +209,12 @@ func (m SoftmaxRegression) InitParams(seed int64) []float64 {
 	return gaussianInit(m.Dim(), 0.01, seed)
 }
 
-func (m SoftmaxRegression) logits(params []float64, x []float64) []float64 {
-	z := make([]float64, m.Classes)
+// logitsInto fills z (length Classes) with the class logits of x — the
+// scratch-reusing replacement for the old per-sample allocation.
+func (m SoftmaxRegression) logitsInto(z, params []float64, x []float64) {
 	for k := 0; k < m.Classes; k++ {
 		z[k] = dotFeatures(params[k*m.Features:(k+1)*m.Features], x)
 	}
-	return z
 }
 
 // Loss implements Model.
@@ -202,9 +222,12 @@ func (m SoftmaxRegression) Loss(params []float64, batch []dataset.Sample) float6
 	if len(batch) == 0 {
 		return 0
 	}
+	zp := getVec(m.Classes)
+	z := *zp
+	defer putVec(zp)
 	sum := 0.0
 	for _, s := range batch {
-		z := m.logits(params, s.X)
+		m.logitsInto(z, params, s.X)
 		lse := logSumExp(z)
 		sum += lse - z[int(s.Y)]
 	}
@@ -214,15 +237,26 @@ func (m SoftmaxRegression) Loss(params []float64, batch []dataset.Sample) float6
 // Grad implements Model.
 func (m SoftmaxRegression) Grad(params []float64, batch []dataset.Sample) []float64 {
 	g := make([]float64, m.Dim())
+	m.GradInto(g, params, batch)
+	return g
+}
+
+// GradInto implements Model.
+func (m SoftmaxRegression) GradInto(g, params []float64, batch []dataset.Sample) {
+	checkGradDim(len(g), m.Dim())
+	zeroVec(g)
 	if len(batch) == 0 {
-		return g
+		return
 	}
+	zp := getVec(m.Classes)
+	z := *zp
+	defer putVec(zp)
 	for _, s := range batch {
-		z := m.logits(params, s.X)
-		p := softmax(z)
+		m.logitsInto(z, params, s.X)
+		softmaxInPlace(z)
 		y := int(s.Y)
 		for k := 0; k < m.Classes; k++ {
-			diff := p[k]
+			diff := z[k]
 			if k == y {
 				diff -= 1
 			}
@@ -236,12 +270,15 @@ func (m SoftmaxRegression) Grad(params []float64, batch []dataset.Sample) []floa
 	for j := range g {
 		g[j] *= inv
 	}
-	return g
 }
 
 // Predict implements Classifier: the argmax logit.
 func (m SoftmaxRegression) Predict(params []float64, x []float64) int {
-	return argmax(m.logits(params, x))
+	zp := getVec(m.Classes)
+	z := *zp
+	defer putVec(zp)
+	m.logitsInto(z, params, x)
+	return argmax(z)
 }
 
 // String implements Model.
@@ -296,17 +333,17 @@ func (m MLP) slices(params []float64) (w1, b1, w2, b2 []float64) {
 	return w1, b1, w2, b2
 }
 
-func (m MLP) forward(params []float64, x []float64) (h, z []float64) {
+// forwardInto fills h (length Hidden) and z (length Classes) with the
+// hidden activations and output logits of x — the scratch-reusing
+// replacement for the old per-sample allocations.
+func (m MLP) forwardInto(h, z, params []float64, x []float64) {
 	w1, b1, w2, b2 := m.slices(params)
-	h = make([]float64, m.Hidden)
 	for i := 0; i < m.Hidden; i++ {
 		h[i] = math.Tanh(dotFeatures(w1[i*m.Features:(i+1)*m.Features], x) + b1[i])
 	}
-	z = make([]float64, m.Classes)
 	for k := 0; k < m.Classes; k++ {
 		z[k] = dotFeatures(w2[k*m.Hidden:(k+1)*m.Hidden], h) + b2[k]
 	}
-	return h, z
 }
 
 // Loss implements Model.
@@ -314,9 +351,13 @@ func (m MLP) Loss(params []float64, batch []dataset.Sample) float64 {
 	if len(batch) == 0 {
 		return 0
 	}
+	hp, zp := getVec(m.Hidden), getVec(m.Classes)
+	h, z := *hp, *zp
+	defer putVec(hp)
+	defer putVec(zp)
 	sum := 0.0
 	for _, s := range batch {
-		_, z := m.forward(params, s.X)
+		m.forwardInto(h, z, params, s.X)
 		sum += logSumExp(z) - z[int(s.Y)]
 	}
 	return sum / float64(len(batch))
@@ -325,8 +366,16 @@ func (m MLP) Loss(params []float64, batch []dataset.Sample) float64 {
 // Grad implements Model.
 func (m MLP) Grad(params []float64, batch []dataset.Sample) []float64 {
 	g := make([]float64, m.Dim())
+	m.GradInto(g, params, batch)
+	return g
+}
+
+// GradInto implements Model.
+func (m MLP) GradInto(g, params []float64, batch []dataset.Sample) {
+	checkGradDim(len(g), m.Dim())
+	zeroVec(g)
 	if len(batch) == 0 {
-		return g
+		return
 	}
 	w1Len := m.Hidden * m.Features
 	gW1 := g[0:w1Len]
@@ -334,14 +383,20 @@ func (m MLP) Grad(params []float64, batch []dataset.Sample) []float64 {
 	gW2 := g[w1Len+m.Hidden : w1Len+m.Hidden+m.Classes*m.Hidden]
 	gB2 := g[w1Len+m.Hidden+m.Classes*m.Hidden:]
 	_, _, w2, _ := m.slices(params)
+	hp, zp := getVec(m.Hidden), getVec(m.Classes)
+	h, z := *hp, *zp
+	defer putVec(hp)
+	defer putVec(zp)
 	for _, s := range batch {
-		h, z := m.forward(params, s.X)
-		p := softmax(z)
+		m.forwardInto(h, z, params, s.X)
+		// softmaxInPlace turns the logits into probabilities; subtracting
+		// the one-hot target below turns them into dz without another
+		// buffer.
+		softmaxInPlace(z)
+		dz := z
 		y := int(s.Y)
 		// Output layer.
-		dz := make([]float64, m.Classes)
 		for k := 0; k < m.Classes; k++ {
-			dz[k] = p[k]
 			if k == y {
 				dz[k] -= 1
 			}
@@ -369,12 +424,15 @@ func (m MLP) Grad(params []float64, batch []dataset.Sample) []float64 {
 	for j := range g {
 		g[j] *= inv
 	}
-	return g
 }
 
 // Predict implements Classifier: the argmax output logit.
 func (m MLP) Predict(params []float64, x []float64) int {
-	_, z := m.forward(params, x)
+	hp, zp := getVec(m.Hidden), getVec(m.Classes)
+	h, z := *hp, *zp
+	defer putVec(hp)
+	defer putVec(zp)
+	m.forwardInto(h, z, params, x)
 	return argmax(z)
 }
 
@@ -426,23 +484,33 @@ func logSumExp(z []float64) float64 {
 	return m + math.Log(s)
 }
 
-func softmax(z []float64) []float64 {
+// softmaxInPlace overwrites the logits z with their softmax
+// probabilities, using the same max-shifted arithmetic as the old
+// allocating softmax so results are bit-identical.
+func softmaxInPlace(z []float64) {
 	m := z[0]
 	for _, v := range z[1:] {
 		if v > m {
 			m = v
 		}
 	}
-	p := make([]float64, len(z))
 	s := 0.0
 	for i, v := range z {
-		p[i] = math.Exp(v - m)
-		s += p[i]
+		z[i] = math.Exp(v - m)
+		s += z[i]
 	}
-	for i := range p {
-		p[i] /= s
+	for i := range z {
+		z[i] /= s
 	}
-	return p
+}
+
+// checkGradDim guards the GradInto contract: dst must already have the
+// model's full dimension so implementations can slice it without bounds
+// surprises.
+func checkGradDim(got, want int) {
+	if got != want {
+		panic(fmt.Sprintf("model: GradInto dst has length %d, want %d", got, want))
+	}
 }
 
 func argmax(z []float64) int {

@@ -63,6 +63,24 @@ func checkGradAgainstNumerical(t *testing.T, m Model, batch []dataset.Sample, se
 			t.Fatalf("%s: grad[%d] analytic %v vs numeric %v (diff %g)", m, j, analytic[j], numeric[j], diff)
 		}
 	}
+	// GradInto is the same kernel writing into caller scratch: bit-identical.
+	into := make([]float64, m.Dim())
+	m.GradInto(into, params, batch)
+	for j := range analytic {
+		if into[j] != analytic[j] {
+			t.Fatalf("%s: GradInto[%d] = %v, Grad = %v (must be bit-identical)", m, j, into[j], analytic[j])
+		}
+	}
+	// The sharded kernel reassociates FP summation, so it is checked
+	// against the central-differences oracle at the same tolerance.
+	pool := NewParallelGrad(4)
+	defer pool.Close()
+	pool.GradInto(into, params, m, batch)
+	for j := range numeric {
+		if diff := math.Abs(into[j] - numeric[j]); diff > tol {
+			t.Fatalf("%s: sharded grad[%d] %v vs numeric %v (diff %g)", m, j, into[j], numeric[j], diff)
+		}
+	}
 }
 
 func TestLinearRegressionGradMatchesNumerical(t *testing.T) {
@@ -245,7 +263,8 @@ func TestLogSumExpStability(t *testing.T) {
 }
 
 func TestSoftmaxSumsToOne(t *testing.T) {
-	p := softmax([]float64{1, 2, 3, 1000})
+	p := []float64{1, 2, 3, 1000}
+	softmaxInPlace(p)
 	sum := 0.0
 	for _, v := range p {
 		if v < 0 {

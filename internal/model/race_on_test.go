@@ -1,0 +1,7 @@
+//go:build race
+
+package model
+
+// raceEnabled reports that the race detector instruments this build;
+// allocation accounting is not meaningful then.
+const raceEnabled = true
