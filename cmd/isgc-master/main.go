@@ -28,14 +28,19 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"isgc/internal/admin"
 	"isgc/internal/buildinfo"
+	"isgc/internal/checkpoint"
 	"isgc/internal/cliconfig"
 	"isgc/internal/cluster"
 	"isgc/internal/engine"
@@ -43,6 +48,7 @@ import (
 	"isgc/internal/isgc"
 	"isgc/internal/metrics"
 	"isgc/internal/model"
+	"isgc/internal/trace"
 )
 
 // options collects everything run needs; flags fill one in main.
@@ -65,7 +71,15 @@ type options struct {
 	eventsPath    string        // JSONL event log path ("-" = stderr; empty disables)
 	logLevel      string        // minimum event level
 	timelinePath  string        // Chrome trace output path (empty disables)
-	out           io.Writer     // defaults to os.Stdout
+
+	checkpointDir   string        // durable run snapshots + liveness lease (empty disables)
+	checkpointEvery int           // checkpoint period in steps (0 = default)
+	restore         bool          // resume from the newest valid checkpoint
+	standby         bool          // warm standby: wait for the primary's lease to lapse, then restore
+	leaseTTL        time.Duration // primary-liveness lease TTL (0 = default 5s)
+	recordsOut      string        // write the run's records/params as JSON here (empty disables)
+
+	out io.Writer // defaults to os.Stdout
 }
 
 func main() {
@@ -97,7 +111,15 @@ func main() {
 		eventsPath   = flag.String("events", "", "write a JSONL structured event log to this path (\"-\" = stderr)")
 		logLevel     = flag.String("log-level", "info", "minimum event level: debug, info, warn, or error")
 		timelinePath = flag.String("timeline", "", "write a Chrome trace-event file of the run to this path (load in ui.perfetto.dev)")
-		version      = flag.Bool("version", false, "print build information and exit")
+
+		checkpointDir   = flag.String("checkpoint-dir", "", "persist durable run snapshots (and the liveness lease) in this directory (empty disables)")
+		checkpointEvery = flag.Int("checkpoint-every", 10, "checkpoint period in steps")
+		restore         = flag.Bool("restore", false, "resume from the newest valid checkpoint in -checkpoint-dir (cold-starts when the directory is empty)")
+		standby         = flag.Bool("standby", false, "warm standby: wait for the primary's lease in -checkpoint-dir to lapse, then restore and take over")
+		leaseTTL        = flag.Duration("lease-ttl", 5*time.Second, "primary-liveness lease TTL; a standby takes over after the lease is this stale")
+		recordsOut      = flag.String("records-out", "", "write the run's step records and final params as JSON to this path (empty disables)")
+
+		version = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
 	if *version {
@@ -127,6 +149,13 @@ func main() {
 		eventsPath:    *eventsPath,
 		logLevel:      *logLevel,
 		timelinePath:  *timelinePath,
+
+		checkpointDir:   *checkpointDir,
+		checkpointEvery: *checkpointEvery,
+		restore:         *restore,
+		standby:         *standby,
+		leaseTTL:        *leaseTTL,
+		recordsOut:      *recordsOut,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "isgc-master:", err)
@@ -180,6 +209,45 @@ func run(opts options) error {
 	if opts.timelinePath != "" || opts.metricsAddr != "" {
 		tl = events.NewTimeline(0)
 	}
+
+	var store *checkpoint.Store
+	if opts.checkpointDir != "" {
+		store, err = checkpoint.NewStore(opts.checkpointDir, checkpoint.DefaultRetain)
+		if err != nil {
+			return err
+		}
+	}
+
+	// SIGINT/SIGTERM trigger a graceful shutdown: the master winds down at
+	// the next step boundary, writes a final resumable checkpoint, and the
+	// process exits 0 with the fleet left running for a successor.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	stopCh := make(chan struct{})
+	go func() {
+		<-sigCh
+		close(stopCh)
+	}()
+
+	restore := opts.restore
+	if opts.standby {
+		if store == nil {
+			return fmt.Errorf("-standby needs -checkpoint-dir")
+		}
+		fmt.Fprintf(out, "standby: watching %s for the primary's lease to lapse (ttl=%v)\n",
+			opts.checkpointDir, opts.leaseTTL)
+		if err := cluster.WaitForTakeover(store, opts.leaseTTL, stopCh, ev); err != nil {
+			if errors.Is(err, cluster.ErrStandbyStopped) {
+				fmt.Fprintln(out, "standby: stopped before takeover")
+				return nil
+			}
+			return err
+		}
+		fmt.Fprintln(out, "standby: taking over as primary")
+		restore = true
+	}
+
 	master, err := cluster.NewMaster(cluster.MasterConfig{
 		Addr:            opts.addr,
 		Strategy:        st,
@@ -199,10 +267,18 @@ func run(opts options) error {
 		Metrics:         mm,
 		Events:          ev,
 		Timeline:        tl,
+		Checkpoint:      store,
+		CheckpointEvery: opts.checkpointEvery,
+		Restore:         restore,
+		LeaseTTL:        opts.leaseTTL,
 	})
 	if err != nil {
 		return err
 	}
+	go func() {
+		<-stopCh
+		master.Stop()
+	}()
 	if opts.metricsAddr != "" {
 		adm := admin.New(admin.Config{
 			Addr:     opts.metricsAddr,
@@ -241,6 +317,11 @@ func run(opts options) error {
 	if err != nil {
 		return err
 	}
+	if opts.recordsOut != "" {
+		if werr := writeRecords(opts.recordsOut, res); werr != nil {
+			fmt.Fprintf(out, "records-out: %v\n", werr)
+		}
+	}
 	for _, rec := range res.Run.Records {
 		mark := ""
 		if rec.Degraded {
@@ -249,10 +330,39 @@ func run(opts options) error {
 		fmt.Fprintf(out, "step %3d: avail=%d alive=%d recovered=%.2f loss=%.4f elapsed=%v%s\n",
 			rec.Step, rec.Available, rec.Alive, rec.RecoveredFraction, rec.Loss, rec.Elapsed, mark)
 	}
+	if res.Interrupted {
+		fmt.Fprintf(out, "interrupted: %d steps recorded this life; resumable checkpoint in %s (restart with -restore)\n",
+			res.Run.Steps(), opts.checkpointDir)
+		return nil
+	}
 	fmt.Fprintf(out, "latency: %v\n", res.Run.LatencySummary())
 	fmt.Fprint(out, master.AttributionReport().Table().String())
 	fmt.Fprintf(out, "done: steps=%d converged=%v final_loss=%.4f total=%v degraded_steps=%d rejoins=%d malformed=%d\n",
 		res.Run.Steps(), res.Converged, res.Run.FinalLoss(), res.Run.TotalTime(),
 		res.Run.DegradedSteps(), master.Rejoins(), master.MalformedGradients())
 	return nil
+}
+
+// runDump is the -records-out JSON shape: everything a crash-equivalence
+// harness needs to compare two lives of one run.
+type runDump struct {
+	Records     []trace.StepRecord `json:"records"`
+	Params      []float64          `json:"params"`
+	Steps       int                `json:"steps"`
+	Converged   bool               `json:"converged"`
+	Interrupted bool               `json:"interrupted"`
+}
+
+func writeRecords(path string, res *engine.Result) error {
+	b, err := json.Marshal(runDump{
+		Records:     res.Run.Records,
+		Params:      res.Params,
+		Steps:       res.Run.Steps(),
+		Converged:   res.Converged,
+		Interrupted: res.Interrupted,
+	})
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
 }

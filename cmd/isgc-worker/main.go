@@ -17,10 +17,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
 	"time"
 
 	"isgc/internal/admin"
 	"isgc/internal/buildinfo"
+	"isgc/internal/checkpoint"
 	"isgc/internal/cliconfig"
 	"isgc/internal/cluster"
 	"isgc/internal/events"
@@ -54,7 +58,11 @@ func main() {
 
 		eventsPath = flag.String("events", "", "write a JSONL structured event log to this path (\"-\" = stderr)")
 		logLevel   = flag.String("log-level", "info", "minimum event level: debug, info, warn, or error")
-		version    = flag.Bool("version", false, "print build information and exit")
+
+		checkpointDir = flag.String("checkpoint-dir", "", "persist this worker's resumable state under <dir>/worker-<id> on graceful shutdown (empty disables; may be shared with the master's -checkpoint-dir)")
+		restore       = flag.Bool("restore", false, "resume RNG streams and step counter from the checkpoint before registering")
+
+		version = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
 	if *version {
@@ -66,7 +74,7 @@ func main() {
 	dspec.Samples = *samples
 	dspec.Batch = *batch
 	fault := buildFault(*crashAt, *dropProb, *disconnectAt)
-	if err := run(*addr, *id, spec, dspec, *delay, *wire, *computePar, fault, *reconnect, *heartbeat, *metricsAddr, *eventsPath, *logLevel); err != nil {
+	if err := run(*addr, *id, spec, dspec, *delay, *wire, *computePar, fault, *reconnect, *heartbeat, *metricsAddr, *eventsPath, *logLevel, *checkpointDir, *restore); err != nil {
 		fmt.Fprintln(os.Stderr, "isgc-worker:", err)
 		os.Exit(1)
 	}
@@ -91,7 +99,7 @@ func buildFault(crashAt int, dropProb float64, disconnectAt int) straggler.Fault
 	return fs
 }
 
-func run(addr string, id int, spec cliconfig.SchemeSpec, dspec cliconfig.DataSpec, delay time.Duration, wire string, computePar int, fault straggler.Fault, reconnect, heartbeat time.Duration, metricsAddr, eventsPath, logLevel string) error {
+func run(addr string, id int, spec cliconfig.SchemeSpec, dspec cliconfig.DataSpec, delay time.Duration, wire string, computePar int, fault straggler.Fault, reconnect, heartbeat time.Duration, metricsAddr, eventsPath, logLevel, checkpointDir string, restore bool) error {
 	p, err := spec.Build()
 	if err != nil {
 		return err
@@ -129,6 +137,15 @@ func run(addr string, id int, spec cliconfig.SchemeSpec, dspec cliconfig.DataSpe
 		}
 		ev = log
 	}
+	var store *checkpoint.Store
+	if checkpointDir != "" {
+		// Each worker gets its own subdirectory, so one -checkpoint-dir can
+		// be shared by the master and the whole fleet.
+		store, err = checkpoint.NewStore(filepath.Join(checkpointDir, fmt.Sprintf("worker-%d", id)), checkpoint.DefaultRetain)
+		if err != nil {
+			return err
+		}
+	}
 	w, err := cluster.NewWorker(cluster.WorkerConfig{
 		Addr:              addr,
 		ID:                id,
@@ -146,10 +163,22 @@ func run(addr string, id int, spec cliconfig.SchemeSpec, dspec cliconfig.DataSpe
 		ReconnectTimeout:  reconnect,
 		Metrics:           wm,
 		Events:            ev,
+		Checkpoint:        store,
+		Restore:           restore,
 	})
 	if err != nil {
 		return err
 	}
+	// SIGINT/SIGTERM → graceful shutdown: the worker leaves the fleet,
+	// persists its resumable state (when -checkpoint-dir is set), and the
+	// process exits 0.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	go func() {
+		<-sigCh
+		w.Stop()
+	}()
 	if metricsAddr != "" {
 		adm := admin.New(admin.Config{
 			Addr:     metricsAddr,

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"isgc/internal/admin"
+	"isgc/internal/checkpoint"
 	"isgc/internal/cliconfig"
 	"isgc/internal/cluster"
 	"isgc/internal/dataset"
@@ -51,6 +52,8 @@ func main() {
 	eventsPath := flag.String("events", "", `write a JSONL structured event log to this path ("-" = stderr)`)
 	timelinePath := flag.String("timeline", "", "write a Chrome trace-event file of the run to this path")
 	wire := flag.String("wire", "binary", "wire codec for the gradient/params hot path: binary or gob")
+	checkpointDir := flag.String("checkpoint-dir", "", "persist durable run snapshots in this directory (empty disables; restart the example with -restore to resume)")
+	restore := flag.Bool("restore", false, "resume from the newest checkpoint in -checkpoint-dir")
 	flag.Parse()
 	const (
 		n         = 4
@@ -92,6 +95,13 @@ func main() {
 	if *timelinePath != "" {
 		tl = events.NewTimeline(0)
 	}
+	var store *checkpoint.Store
+	if *checkpointDir != "" {
+		store, err = checkpoint.NewStore(*checkpointDir, checkpoint.DefaultRetain)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 	master, err := cluster.NewMaster(cluster.MasterConfig{
 		Addr:            "127.0.0.1:0",
 		Strategy:        strategy,
@@ -107,9 +117,15 @@ func main() {
 		Metrics:         mm,
 		Events:          ev,
 		Timeline:        tl,
+		Checkpoint:      store,
+		CheckpointEvery: 5,
+		Restore:         *restore,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if store != nil {
+		fmt.Printf("checkpointing every 5 steps into %s\n", *checkpointDir)
 	}
 	fmt.Printf("master listening on %s (%s, waiting for %d fastest of %d workers, wire=%s)\n",
 		master.Addr(), place, w, n, *wire)

@@ -1,0 +1,70 @@
+// Primary-liveness lease for warm-standby failover. The acting master
+// holds a LEASE file in the checkpoint directory and renews it
+// periodically; a standby polls and takes over once the lease has not been
+// renewed for a full TTL. The lease is advisory — a filesystem timestamp,
+// not a distributed lock — which matches the deployment model here: one
+// checkpoint directory shared by at most one primary and its standbys.
+
+package checkpoint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// LeaseName is the lease file's name inside a checkpoint directory.
+const LeaseName = "LEASE"
+
+// Lease is the on-disk liveness record.
+type Lease struct {
+	Holder            string        `json:"holder"`
+	RenewedAtUnixNano int64         `json:"renewed_at_unix_nano"`
+	TTL               time.Duration `json:"ttl_nanos"`
+}
+
+// RenewedAt returns the last renewal instant.
+func (l Lease) RenewedAt() time.Time { return time.Unix(0, l.RenewedAtUnixNano) }
+
+// Expired reports whether the lease has lapsed at time now.
+func (l Lease) Expired(now time.Time) bool {
+	return now.Sub(l.RenewedAt()) > l.TTL
+}
+
+// WriteLease atomically (re)writes the lease as held by holder, renewed
+// now. Called by the primary on acquire and on every renewal tick.
+func (s *Store) WriteLease(holder string, ttl time.Duration) error {
+	l := Lease{Holder: holder, RenewedAtUnixNano: time.Now().UnixNano(), TTL: ttl}
+	data, err := json.Marshal(l)
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal lease: %w", err)
+	}
+	return writeFileAtomic(filepath.Join(s.dir, LeaseName), data)
+}
+
+// ReadLease returns the current lease. os.ErrNotExist when no lease file
+// exists (no primary has ever run, or it released cleanly).
+func (s *Store) ReadLease() (Lease, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, LeaseName))
+	if err != nil {
+		return Lease{}, err
+	}
+	var l Lease
+	if err := json.Unmarshal(data, &l); err != nil {
+		return Lease{}, fmt.Errorf("checkpoint: decode lease: %w", err)
+	}
+	return l, nil
+}
+
+// ReleaseLease removes the lease file — the graceful-exit path, letting a
+// standby take over immediately instead of waiting out the TTL.
+func (s *Store) ReleaseLease() error {
+	err := os.Remove(filepath.Join(s.dir, LeaseName))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return nil
+}

@@ -1,13 +1,16 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"isgc/internal/bitset"
+	"isgc/internal/checkpoint"
 	"isgc/internal/dataset"
 	"isgc/internal/engine"
 	"isgc/internal/events"
@@ -94,6 +97,25 @@ type MasterConfig struct {
 	// Timeline, when non-nil, collects per-step and per-worker spans for
 	// Chrome trace export. Nil disables span collection.
 	Timeline *events.Timeline
+	// Checkpoint, when non-nil, persists durable run snapshots (params,
+	// step, decoder RNG position, cursors) every CheckpointEvery steps,
+	// on graceful Stop, and once more — marked Completed — when the run
+	// finishes. The same store carries the primary-liveness lease a warm
+	// standby watches.
+	Checkpoint *checkpoint.Store
+	// CheckpointEvery is the checkpoint period in steps (default 10 when
+	// Checkpoint is set).
+	CheckpointEvery int
+	// Restore resumes from Checkpoint's newest valid snapshot when one
+	// exists; a fresh directory cold-starts. The resumed run's records
+	// and final params are bit-identical to an uninterrupted run from the
+	// checkpoint boundary on, provided the fleet and config match (see
+	// DESIGN.md "Durability" for the exact conditions).
+	Restore bool
+	// LeaseTTL is the primary-liveness lease's time-to-live (default 5s).
+	// The master renews every TTL/3; a standby takes over when the lease
+	// lapses for a full TTL or is released on graceful exit.
+	LeaseTTL time.Duration
 }
 
 // workerState is the master's per-worker liveness view. gen increments on
@@ -126,6 +148,21 @@ type Master struct {
 	grads  chan arrival
 	wakeup chan struct{} // liveness-changed signal for the gather loop
 	quit   chan struct{} // closed when Run finishes; unblocks readers
+
+	// stop is closed by Stop(): the gather loop winds down at the next
+	// step boundary, writes a final resumable checkpoint, and Run returns
+	// with Result.Interrupted — without telling the fleet to exit, so a
+	// successor master can adopt the same workers.
+	stop     chan struct{}
+	stopOnce sync.Once
+	// generation counts master lives for this run: 0 on a cold start, +1
+	// per restore or failover. Guarded by mu.
+	generation int
+	runID      string
+	// lastCkptStep/lastCkptUnixNano feed the /healthz last-checkpoint
+	// fields and the last-checkpoint-step gauge (-1/0 = none yet).
+	lastCkptStep     atomic.Int64
+	lastCkptUnixNano atomic.Int64
 
 	// accepted[i] counts the steps in which worker i's gradient was
 	// gathered before the cut-off — the per-worker availability view an
@@ -210,6 +247,12 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 	if cfg.WriteTimeout < 0 {
 		cfg.WriteTimeout = 0
 	}
+	if cfg.Checkpoint != nil && cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 10
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 5 * time.Second
+	}
 	wire, err := ParseWire(cfg.Wire)
 	if err != nil {
 		return nil, err
@@ -228,10 +271,36 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 			dc.EnableDecodeCache(cfg.DecodeCache)
 		}
 	}
-	m := &Master{cfg: cfg, ln: ln, attribution: trace.NewAttribution(cfg.Strategy.N())}
+	m := &Master{cfg: cfg, ln: ln, attribution: trace.NewAttribution(cfg.Strategy.N()),
+		stop: make(chan struct{})}
+	m.lastCkptStep.Store(-1)
+	m.runID = fmt.Sprintf("run-%d", time.Now().UnixNano())
+	if cfg.Checkpoint != nil {
+		cfg.Checkpoint.SetSkipHook(func(file string, reason error) {
+			m.cfg.Metrics.markRestoreSkipped()
+			m.cfg.Events.Warn("master.checkpoint_restore_skipped", "corrupt checkpoint skipped during restore",
+				events.NoStep, events.NoWorker, events.Fields{"file": file, "reason": reason.Error()})
+		})
+	}
 	cfg.Metrics.bind(m)
 	return m, nil
 }
+
+// Stop requests a graceful shutdown: the training loop winds down at the
+// next step boundary (or mid-gather, abandoning the in-flight step), writes
+// a final resumable checkpoint when one is configured, and Run returns with
+// Result.Interrupted set. The fleet is NOT told to exit — workers keep
+// their reconnect loops alive so a restarted or standby master can adopt
+// them. Safe to call from any goroutine, any number of times, including
+// before Run.
+func (m *Master) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+}
+
+// errInterrupted is the gather loops' sentinel for "Stop() was called":
+// the training loop converts it into a checkpoint + clean return rather
+// than an error.
+var errInterrupted = errors.New("cluster: run interrupted")
 
 // Health returns a point-in-time snapshot of the master's liveness view —
 // the /healthz payload. Safe to call from any goroutine at any time
@@ -243,10 +312,17 @@ func (m *Master) Health() MasterHealth {
 	h := MasterHealth{
 		Running:            m.running && !m.done,
 		Step:               m.curStep,
+		Generation:         m.generation,
 		DegradedSteps:      m.degraded,
 		Rejoins:            m.rejoins,
 		MalformedGradients: m.malformed.Load(),
+		LastCheckpointStep: int(m.lastCkptStep.Load()),
 		Workers:            make([]WorkerHealthView, len(m.workers)),
+	}
+	if at := m.lastCkptUnixNano.Load(); at > 0 {
+		h.LastCheckpointAgeSeconds = now.Sub(time.Unix(0, at)).Seconds()
+	} else {
+		h.LastCheckpointAgeSeconds = -1
 	}
 	for i, ws := range m.workers {
 		v := WorkerHealthView{ID: i, LastSeenAgeSeconds: -1, Generation: -1}
@@ -318,32 +394,85 @@ func (m *Master) Run() (*engine.Result, error) {
 	if m.cfg.LivenessTimeout > 0 {
 		go m.monitorLiveness()
 	}
+	leaseDone := make(chan struct{})
+	if m.cfg.Checkpoint != nil {
+		go func() {
+			defer close(leaseDone)
+			m.renewLease()
+		}()
+	} else {
+		close(leaseDone)
+	}
 
 	var res *engine.Result
 	err := m.awaitFleet(n)
 	if err == nil {
 		res, err = m.trainLoop()
 	}
-	if err != nil {
+	interrupted := res != nil && res.Interrupted
+	switch {
+	case err != nil:
 		m.cfg.Events.Error("master.run_finished", "training failed", events.NoStep, events.NoWorker,
 			events.Fields{"error": err.Error()})
-	} else {
+	case interrupted:
+		m.cfg.Events.Info("master.interrupted", "run stopped gracefully; fleet left running", events.NoStep,
+			events.NoWorker, events.Fields{"steps": res.Run.Steps()})
+	default:
 		m.cfg.Events.Info("master.run_finished", "training finished", events.NoStep, events.NoWorker,
 			events.Fields{"steps": res.Run.Steps(), "converged": res.Converged})
 	}
 
 	// Shutdown order matters: refuse further registrations, say goodbye,
-	// stop accepting, then close every connection so readers drain.
+	// stop accepting, then close every connection so readers drain. An
+	// interrupted master says no goodbye — the workers' reconnect loops
+	// keep the fleet alive for a successor master.
 	m.mu.Lock()
 	m.done = true
 	m.mu.Unlock()
-	m.broadcast(&Envelope{Kind: MsgStop})
+	if !interrupted {
+		m.broadcast(&Envelope{Kind: MsgStop})
+	}
 	close(m.quit)
+	<-leaseDone
+	if m.cfg.Checkpoint != nil {
+		// Released only on graceful exit: a standby may take over
+		// immediately instead of waiting out the TTL. A crashed master
+		// never reaches this line, which is the point of the lease.
+		if lerr := m.cfg.Checkpoint.ReleaseLease(); lerr != nil {
+			m.cfg.Events.Warn("master.lease_release_failed", "could not remove lease file",
+				events.NoStep, events.NoWorker, events.Fields{"error": lerr.Error()})
+		}
+	}
 	m.ln.Close()
 	<-acceptDone
 	m.closeAll()
 	readers.Wait()
 	return res, err
+}
+
+// renewLease marks this master as the live primary in the checkpoint
+// directory until Run shuts down. Renewal failures are logged, not fatal —
+// a wedged disk should not kill training, though it may trigger a standby.
+func (m *Master) renewLease() {
+	ttl := m.cfg.LeaseTTL
+	holder := fmt.Sprintf("pid%d@%s", os.Getpid(), m.Addr())
+	write := func() {
+		if err := m.cfg.Checkpoint.WriteLease(holder, ttl); err != nil {
+			m.cfg.Events.Warn("master.lease_renew_failed", "could not renew liveness lease",
+				events.NoStep, events.NoWorker, events.Fields{"error": err.Error()})
+		}
+	}
+	write()
+	t := time.NewTicker(ttl / 3)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.quit:
+			return
+		case <-t.C:
+			write()
+		}
+	}
 }
 
 // acceptLoop serves registrations (initial and rejoin) until the listener
@@ -384,7 +513,12 @@ func (m *Master) handshake(raw net.Conn, readers *sync.WaitGroup) {
 		if hello.Wire == WireBinary && m.cfg.Wire != WireGob {
 			wire = WireBinary
 		}
-		if err := c.send(&Envelope{Kind: MsgHello, Worker: id, Wire: wire}); err != nil {
+		m.mu.Lock()
+		masterGen := m.generation
+		m.mu.Unlock()
+		// The ack carries the master's run generation so a resuming worker
+		// learns it is talking to a restored (or failed-over) master.
+		if err := c.send(&Envelope{Kind: MsgHello, Worker: id, Wire: wire, Gen: masterGen}); err != nil {
 			_ = c.close()
 			return
 		}
@@ -623,7 +757,68 @@ func (m *Master) trainLoop() (*engine.Result, error) {
 	m.cfg.Metrics.setComputeShards(pool.Par())
 
 	res := &engine.Result{}
-	for step := 0; step < m.cfg.MaxSteps; step++ {
+	startStep := 0
+	if m.cfg.Restore && m.cfg.Checkpoint != nil {
+		var cst checkpoint.State
+		info, err := m.cfg.Checkpoint.Latest(&cst)
+		switch {
+		case errors.Is(err, checkpoint.ErrNoCheckpoint):
+			// Fresh directory: cold start.
+		case err != nil:
+			return res, fmt.Errorf("cluster: restore: %w", err)
+		default:
+			if cst.Scheme != st.Name() || cst.N != n || cst.Seed != m.cfg.Seed {
+				return res, fmt.Errorf("cluster: checkpoint %s is for scheme=%q n=%d seed=%d, config says scheme=%q n=%d seed=%d",
+					info.File, cst.Scheme, cst.N, cst.Seed, st.Name(), n, m.cfg.Seed)
+			}
+			params = checkpoint.BytesToFloat64s(cst.Params)
+			startStep = cst.Step
+			if rs, ok := st.(engine.RandStateful); ok {
+				rs.RestoreRandState(cst.DecoderSeed, cst.DecoderDraws)
+			}
+			m.mu.Lock()
+			m.generation = cst.Generation + 1
+			if cst.RunID != "" {
+				m.runID = cst.RunID
+			}
+			gen := m.generation
+			m.mu.Unlock()
+			m.lastCkptStep.Store(int64(cst.Step))
+			m.lastCkptUnixNano.Store(cst.SavedAtUnixNano)
+			m.cfg.Events.Info("master.checkpoint_restored", "resumed from durable checkpoint", cst.Step,
+				events.NoWorker, events.Fields{"file": info.File, "generation": gen, "completed": cst.Completed})
+			if cst.Completed {
+				res.Params = params
+				res.Converged = cst.Step < m.cfg.MaxSteps
+				if res.Converged {
+					res.StepsToThreshold = cst.Step
+				} else {
+					res.StepsToThreshold = m.cfg.MaxSteps
+				}
+				return res, nil
+			}
+		}
+	}
+	saveCheckpoint := func(nextStep, records int, completed bool) {
+		m.writeCheckpoint(params, nextStep, records, completed)
+	}
+
+	interrupted := func(step, records int) {
+		res.Interrupted = true
+		if m.cfg.Checkpoint != nil {
+			saveCheckpoint(step, records, false)
+		}
+	}
+	for step := startStep; step < m.cfg.MaxSteps; step++ {
+		select {
+		case <-m.stop:
+			// Stop before broadcasting a new step: params are exactly the
+			// post-step-(step-1) state, so the checkpoint resumes at step.
+			interrupted(step, res.Run.Steps())
+			res.Params = params
+			return res, nil
+		default:
+		}
 		m.mu.Lock()
 		m.running = true
 		m.curStep = step
@@ -690,6 +885,13 @@ func (m *Master) trainLoop() (*engine.Result, error) {
 		} else {
 			degraded, gatherErr = m.gatherFastest(step, n, waitFor, flexible, avail, accept)
 		}
+		if errors.Is(gatherErr, errInterrupted) {
+			// Stopped mid-gather: params are still the pre-update state of
+			// this step, so the checkpoint replays step in the next life.
+			interrupted(step, res.Run.Steps())
+			res.Params = params
+			return res, nil
+		}
 		if gatherErr != nil {
 			return res, gatherErr
 		}
@@ -747,12 +949,60 @@ func (m *Master) trainLoop() (*engine.Result, error) {
 			res.StepsToThreshold = step + 1
 			break
 		}
+		if m.cfg.Checkpoint != nil && (step+1)%m.cfg.CheckpointEvery == 0 && step+1 < m.cfg.MaxSteps {
+			saveCheckpoint(step+1, res.Run.Steps(), false)
+		}
 	}
 	if !res.Converged {
 		res.StepsToThreshold = m.cfg.MaxSteps
 	}
 	res.Params = params
+	if m.cfg.Checkpoint != nil {
+		saveCheckpoint(startStep+res.Run.Steps(), res.Run.Steps(), true)
+	}
 	return res, nil
+}
+
+// writeCheckpoint persists one durable snapshot. Failures are counted and
+// logged but do not stop training — losing durability is better than
+// losing the run.
+func (m *Master) writeCheckpoint(params []float64, nextStep, records int, completed bool) {
+	st := m.cfg.Strategy
+	m.mu.Lock()
+	gen := m.generation
+	runID := m.runID
+	m.mu.Unlock()
+	cst := checkpoint.State{
+		Version:         checkpoint.Version,
+		RunID:           runID,
+		Generation:      gen,
+		Scheme:          st.Name(),
+		N:               st.N(),
+		C:               st.C(),
+		Seed:            m.cfg.Seed,
+		W:               m.cfg.W,
+		Step:            nextStep,
+		Params:          checkpoint.Float64sToBytes(params),
+		EventCursor:     m.cfg.Events.Total(),
+		RecordCursor:    records,
+		Completed:       completed,
+		SavedAtUnixNano: time.Now().UnixNano(),
+	}
+	if rs, ok := st.(engine.RandStateful); ok {
+		cst.DecoderSeed, cst.DecoderDraws = rs.RandState()
+	}
+	info, err := m.cfg.Checkpoint.Save(nextStep, &cst)
+	if err != nil {
+		m.cfg.Metrics.markCheckpointError()
+		m.cfg.Events.Error("master.checkpoint_error", "checkpoint write failed", nextStep,
+			events.NoWorker, events.Fields{"error": err.Error()})
+		return
+	}
+	m.lastCkptStep.Store(int64(nextStep))
+	m.lastCkptUnixNano.Store(time.Now().UnixNano())
+	m.cfg.Metrics.markCheckpointWrite(info.Size, nextStep)
+	m.cfg.Events.Info("master.checkpoint_written", "durable checkpoint saved", nextStep,
+		events.NoWorker, events.Fields{"file": info.File, "bytes": info.Size, "completed": completed})
 }
 
 // gatherFastest implements the fastest-w gather with graceful degradation:
@@ -788,6 +1038,8 @@ func (m *Master) gatherFastest(step, n, waitFor int, flexible bool, avail *bitse
 			accept(a)
 		case <-m.wakeup:
 			// Liveness changed: recompute the target on the next pass.
+		case <-m.stop:
+			return false, errInterrupted
 		case <-timeout:
 			// Alive workers exist but the gradients are not coming (lossy
 			// links, drop faults): proceed degraded rather than stall.
@@ -817,6 +1069,8 @@ gather:
 		case a := <-m.grads:
 			accept(a)
 		case <-m.wakeup:
+		case <-m.stop:
+			return errInterrupted
 		case <-timer.C:
 			break gather
 		}
@@ -838,6 +1092,8 @@ gather:
 		case a := <-m.grads:
 			accept(a)
 		case <-m.wakeup:
+		case <-m.stop:
+			return errInterrupted
 		case <-timeout:
 			return fmt.Errorf("cluster: step %d: no gradient within step timeout %v", step, m.cfg.StepTimeout)
 		}

@@ -53,6 +53,17 @@ type MasterMetrics struct {
 	DecodeCacheMisses *metrics.Counter
 	// ComputeShards is the size of the master's loss-evaluation pool.
 	ComputeShards *metrics.Gauge
+	// CheckpointWrites/CheckpointBytes/CheckpointErrors count durable
+	// checkpoint activity; RestoreSkipped counts corrupt files skipped
+	// during restore (a nonzero value means the directory has torn or
+	// bit-rotted checkpoints).
+	CheckpointWrites *metrics.Counter
+	CheckpointBytes  *metrics.Counter
+	CheckpointErrors *metrics.Counter
+	RestoreSkipped   *metrics.Counter
+	// LastCheckpointStep is the step of the newest durable checkpoint
+	// (-1 until the first write).
+	LastCheckpointStep *metrics.Gauge
 }
 
 // NewMasterMetrics registers the master's metric families on reg.
@@ -87,6 +98,16 @@ func NewMasterMetrics(reg *metrics.Registry) *MasterMetrics {
 			"Decode results computed afresh and inserted into the LRU."),
 		ComputeShards: reg.NewGauge("isgc_master_compute_shards",
 			"Size of the master's loss-evaluation compute pool."),
+		CheckpointWrites: reg.NewCounter("isgc_master_checkpoint_writes_total",
+			"Durable checkpoints written."),
+		CheckpointBytes: reg.NewCounter("isgc_master_checkpoint_bytes_total",
+			"Bytes written as durable checkpoints."),
+		CheckpointErrors: reg.NewCounter("isgc_master_checkpoint_errors_total",
+			"Checkpoint writes that failed."),
+		RestoreSkipped: reg.NewCounter("isgc_master_checkpoint_restore_skipped_total",
+			"Corrupt or unreadable checkpoint files skipped during restore."),
+		LastCheckpointStep: reg.NewGauge("isgc_master_last_checkpoint_step",
+			"Step of the newest durable checkpoint (-1 before the first)."),
 	}
 }
 
@@ -116,6 +137,26 @@ func (mm *MasterMetrics) observeStep(elapsed time.Duration, frac float64, degrad
 	mm.RecoveredFraction.Set(frac)
 	if degraded {
 		mm.DegradedSteps.Inc()
+	}
+}
+
+func (mm *MasterMetrics) markCheckpointWrite(bytes int64, step int) {
+	if mm != nil {
+		mm.CheckpointWrites.Inc()
+		mm.CheckpointBytes.Add(uint64(bytes))
+		mm.LastCheckpointStep.Set(float64(step))
+	}
+}
+
+func (mm *MasterMetrics) markCheckpointError() {
+	if mm != nil {
+		mm.CheckpointErrors.Inc()
+	}
+}
+
+func (mm *MasterMetrics) markRestoreSkipped() {
+	if mm != nil {
+		mm.RestoreSkipped.Inc()
 	}
 }
 
@@ -312,13 +353,20 @@ type WorkerHealthView struct {
 // MasterHealth is the master's /healthz payload: per-worker liveness plus
 // the degraded-step summary.
 type MasterHealth struct {
-	Running            bool               `json:"running"`
-	Step               int                `json:"step"`
-	AliveWorkers       int                `json:"alive_workers"`
-	DegradedSteps      int                `json:"degraded_steps"`
-	Rejoins            int                `json:"rejoins"`
-	MalformedGradients int64              `json:"malformed_gradients"`
-	Workers            []WorkerHealthView `json:"workers"`
+	Running            bool  `json:"running"`
+	Step               int   `json:"step"`
+	AliveWorkers       int   `json:"alive_workers"`
+	DegradedSteps      int   `json:"degraded_steps"`
+	Rejoins            int   `json:"rejoins"`
+	MalformedGradients int64 `json:"malformed_gradients"`
+	// Generation counts this master's lives for the run: 0 cold start,
+	// +1 per checkpoint restore or standby failover.
+	Generation int `json:"generation"`
+	// LastCheckpointStep is the step of the newest durable checkpoint
+	// (-1 before any); LastCheckpointAgeSeconds its age (-1 before any).
+	LastCheckpointStep       int                `json:"last_checkpoint_step"`
+	LastCheckpointAgeSeconds float64            `json:"last_checkpoint_age_seconds"`
+	Workers                  []WorkerHealthView `json:"workers"`
 }
 
 // WorkerHealth is the worker's /healthz payload.

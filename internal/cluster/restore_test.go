@@ -1,0 +1,368 @@
+package cluster
+
+import (
+	"math/rand"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"isgc/internal/checkpoint"
+	"isgc/internal/dataset"
+	"isgc/internal/engine"
+	"isgc/internal/isgc"
+	"isgc/internal/model"
+	"isgc/internal/placement"
+	"isgc/internal/straggler"
+	"isgc/internal/trace"
+)
+
+// freshISGC builds a new IS-GC strategy instance (its own decoder RNG) so
+// each master life starts from a clean object, exactly like a restarted
+// process.
+func freshISGC(t *testing.T, n, c int, seed int64) engine.Strategy {
+	t.Helper()
+	p, err := placement.CR(n, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := engine.NewISGC(isgc.New(p, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// startFleet launches the full worker fleet against addr and returns its
+// WaitGroup. With a positive reconnect budget the fleet survives master
+// restarts — the failover path the durable tests exercise.
+func startFleet(t *testing.T, st engine.Strategy, data *dataset.Dataset, mdl model.Model,
+	addr string, reconnect time.Duration, delay straggler.Model) *sync.WaitGroup {
+	t.Helper()
+	n := st.N()
+	parts, err := data.Partition(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pids := st.Partitions(i)
+			loaders := make([]*dataset.Loader, len(pids))
+			for j, d := range pids {
+				var err error
+				loaders[j], err = dataset.NewLoader(parts[d], 16, 42+int64(d)*7919)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			wk, err := NewWorker(WorkerConfig{
+				Addr: addr, ID: i, Partitions: pids, Loaders: loaders,
+				Model: mdl, Encode: SumEncoder(), Delay: delay, DelaySeed: int64(i) + 1,
+				ReconnectTimeout: reconnect,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := wk.Run(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	return &wg
+}
+
+// fixedDelay pins every upload behind a constant pause, giving the
+// durable-run tests a hard lower bound on step duration: a Stop or a
+// standby observation window then provably lands mid-run instead of racing
+// a microsecond-per-step fleet to the finish line. Delays only stretch
+// wall clock — the deterministic record fields are unaffected.
+type fixedDelay struct{ d time.Duration }
+
+func (f fixedDelay) Sample(*rand.Rand) time.Duration { return f.d }
+func (f fixedDelay) String() string                  { return "fixed(" + f.d.String() + ")" }
+
+// freeLoopbackAddr grabs a free port and releases it, so a master can be
+// started on a known address a fleet can follow across restarts.
+func freeLoopbackAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// waitForStep polls the master's health snapshot until the broadcast step
+// reaches target.
+func waitForStep(t *testing.T, m *Master, target int) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		h := m.Health()
+		if h.Running && h.Step >= target {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("master never reached step %d (at %d)", target, h.Step)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// zeroElapsed strips the wall-clock field records legitimately disagree on
+// between runs, leaving only the deterministic content.
+func zeroElapsed(recs []trace.StepRecord) []trace.StepRecord {
+	out := append([]trace.StepRecord(nil), recs...)
+	for i := range out {
+		out[i].Elapsed = 0
+	}
+	return out
+}
+
+// TestClusterCheckpointRestoreEquivalence is the tentpole acceptance check
+// at the cluster layer: a master stopped mid-run and restarted with Restore
+// on the same address — against the same still-running fleet — produces
+// step records and final params bit-identical to an uninterrupted run from
+// the checkpoint boundary on.
+func TestClusterCheckpointRestoreEquivalence(t *testing.T) {
+	mdl := model.SoftmaxRegression{Features: 6, Classes: 3}
+	data := testData(t)
+	base := func(st engine.Strategy, addr string) MasterConfig {
+		return MasterConfig{
+			Addr: addr, Strategy: st, Model: mdl, Data: data,
+			LearningRate: 0.3, W: 4, MaxSteps: 20, Seed: 42,
+			// Sequential loss eval: the sharded sum is pool-size dependent
+			// in its float bits, and this test compares bits.
+			ComputePar: 1,
+		}
+	}
+
+	// Uninterrupted reference run.
+	refMaster, err := NewMaster(base(freshISGC(t, 4, 2, 7), "127.0.0.1:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refFleet := startFleet(t, refMaster.cfg.Strategy, data, mdl, refMaster.Addr(), 0, nil)
+	ref, err := refMaster.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refFleet.Wait()
+
+	// First life: fixed port, checkpoints on, stopped after step 8.
+	addr := freeLoopbackAddr(t)
+	dir := t.TempDir()
+	store1, err := checkpoint.NewStore(dir, checkpoint.DefaultRetain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg1 := base(freshISGC(t, 4, 2, 7), addr)
+	cfg1.Checkpoint = store1
+	cfg1.CheckpointEvery = 5
+	cfg1.LeaseTTL = time.Second
+	m1, err := NewMaster(cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := startFleet(t, cfg1.Strategy, data, mdl, addr, 30*time.Second, fixedDelay{8 * time.Millisecond})
+	res1Ch := make(chan *engine.Result, 1)
+	go func() {
+		res, err := m1.Run()
+		if err != nil {
+			t.Error(err)
+		}
+		res1Ch <- res
+	}()
+	waitForStep(t, m1, 8)
+	m1.Stop()
+	res1 := <-res1Ch
+	if res1 == nil || !res1.Interrupted {
+		t.Fatalf("first life did not report an interrupted run: %+v", res1)
+	}
+	if res1.Run.Steps() == 0 || res1.Run.Steps() >= 20 {
+		t.Fatalf("first life recorded %d steps; the stop must land mid-run", res1.Run.Steps())
+	}
+
+	// Second life: a fresh master restores on the same address; the fleet's
+	// reconnect loops find it and the run completes.
+	store2, err := checkpoint.NewStore(dir, checkpoint.DefaultRetain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := base(freshISGC(t, 4, 2, 7), addr)
+	cfg2.Checkpoint = store2
+	cfg2.CheckpointEvery = 5
+	cfg2.Restore = true
+	m2, err := NewMaster(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := m2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet.Wait()
+
+	if gen := m2.Health().Generation; gen != 1 {
+		t.Fatalf("restored master generation = %d, want 1", gen)
+	}
+	combined := append(zeroElapsed(res1.Run.Records), zeroElapsed(res2.Run.Records)...)
+	refRecs := zeroElapsed(ref.Run.Records)
+	if len(combined) != len(refRecs) {
+		t.Fatalf("two lives recorded %d steps, reference %d", len(combined), len(refRecs))
+	}
+	for i := range combined {
+		if !reflect.DeepEqual(combined[i], refRecs[i]) {
+			t.Fatalf("record %d diverged across the restart:\n lives %+v\n   ref %+v", i, combined[i], refRecs[i])
+		}
+	}
+	if !reflect.DeepEqual(res2.Params, ref.Params) {
+		t.Fatal("final params are not bit-identical after kill/restore")
+	}
+}
+
+// TestWorkerStopPersistsAndResumes covers the worker half of durability: a
+// gracefully stopped worker persists its RNG positions and step counter,
+// and a restarted worker restores them and rejoins the same run.
+func TestWorkerStopPersistsAndResumes(t *testing.T) {
+	mdl := model.SoftmaxRegression{Features: 6, Classes: 3}
+	data := testData(t)
+	st := freshISGC(t, 4, 2, 9)
+	master, err := NewMaster(MasterConfig{
+		Addr: "127.0.0.1:0", Strategy: st, Model: mdl, Data: data,
+		LearningRate: 0.3, W: 4, MaxSteps: 60, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := data.Partition(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkLoaders := func(pids []int) []*dataset.Loader {
+		loaders := make([]*dataset.Loader, len(pids))
+		for j, d := range pids {
+			var err error
+			loaders[j], err = dataset.NewLoader(parts[d], 16, 42+int64(d)*7919)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return loaders
+	}
+	cfgFor := func(i int) WorkerConfig {
+		pids := st.Partitions(i)
+		return WorkerConfig{
+			Addr: master.Addr(), ID: i, Partitions: pids, Loaders: mkLoaders(pids),
+			Model: mdl, Encode: SumEncoder(),
+			Delay: straggler.Exponential{Mean: 3 * time.Millisecond}, DelaySeed: int64(i) + 1,
+			ReconnectTimeout: 10 * time.Second,
+		}
+	}
+
+	dir := t.TempDir()
+	store, err := checkpoint.NewStore(dir, checkpoint.DefaultRetain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The master must be running before workers register: the hello ack is
+	// served by Run's accept loop, not the listener alone.
+	resCh := make(chan *engine.Result, 1)
+	go func() {
+		res, err := master.Run()
+		if err != nil {
+			t.Error(err)
+		}
+		resCh <- res
+	}()
+	var wg sync.WaitGroup
+	workers := make([]*Worker, 4)
+	for i := 0; i < 4; i++ {
+		cfg := cfgFor(i)
+		if i == 2 {
+			cfg.Checkpoint = store
+		}
+		workers[i], err = NewWorker(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := workers[i].Run(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+
+	// Let worker 2 serve a few steps, then stop it gracefully.
+	deadline := time.Now().Add(30 * time.Second)
+	for workers[2].Health().StepsServed < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker 2 never served 3 steps")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	workers[2].Stop()
+
+	var ws checkpoint.WorkerState
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		if _, err := store.Latest(&ws); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stopped worker never persisted its state")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if ws.ID != 2 || ws.Steps < 3 {
+		t.Fatalf("worker state = %+v, want ID 2 with ≥3 steps", ws)
+	}
+	if ws.DelayDraws == 0 {
+		t.Fatalf("worker state did not capture the delay RNG position: %+v", ws)
+	}
+
+	// Restart worker 2 from the checkpoint: it must resume its counters and
+	// rejoin the still-running master.
+	store2, err := checkpoint.NewStore(dir, checkpoint.DefaultRetain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfgFor(2)
+	cfg2.Checkpoint = store2
+	cfg2.Restore = true
+	w2b, err := NewWorker(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w2b.Health().StepsServed; got != ws.Steps {
+		t.Fatalf("restored worker starts at %d steps, checkpoint says %d", got, ws.Steps)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := w2b.Run(); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	res := <-resCh
+	wg.Wait()
+	if res == nil || res.Run.Steps() != 60 {
+		t.Fatalf("master did not finish the run: %+v", res)
+	}
+	if got := w2b.Health().StepsServed; got <= ws.Steps {
+		t.Fatalf("restored worker served no further steps (%d)", got)
+	}
+}

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"isgc/internal/checkpoint"
+	"isgc/internal/events"
+)
+
+// ErrStandbyStopped reports that WaitForTakeover returned because its stop
+// channel closed, not because the primary died.
+var ErrStandbyStopped = errors.New("cluster: standby stopped before takeover")
+
+// WaitForTakeover blocks until the primary master's liveness lease in the
+// checkpoint directory lapses, then returns nil: the caller should restore
+// from the same store and run as the new primary (the workers' reconnect
+// loops redial the shared address until the successor starts listening).
+//
+// The lease protocol distinguishes two hand-offs:
+//
+//   - Graceful exit: the primary removes the lease on its way out, so the
+//     standby takes over as soon as the next poll notices — no TTL wait.
+//   - Crash: the lease file survives but stops being renewed; the standby
+//     waits until it is a full TTL stale before declaring the primary dead.
+//
+// A standby started before the primary simply waits: takeover requires
+// having observed the primary's lease at least once, or a checkpoint in the
+// store — otherwise an empty directory would make a mis-started standby
+// cold-start a run of its own.
+//
+// ttl should match the primary's LeaseTTL; when a lease is present its own
+// recorded TTL wins, so a mismatch only affects polling cadence. Closing
+// stop aborts the wait with ErrStandbyStopped.
+func WaitForTakeover(store *checkpoint.Store, ttl time.Duration, stop <-chan struct{}, ev *events.Log) error {
+	if store == nil {
+		return fmt.Errorf("cluster: standby needs a checkpoint store")
+	}
+	if ttl <= 0 {
+		ttl = 5 * time.Second
+	}
+	interval := ttl / 4
+	if interval < 50*time.Millisecond {
+		interval = 50 * time.Millisecond
+	}
+	ev.Info("standby.watching", "standing by for primary lease lapse", events.NoStep, events.NoWorker,
+		events.Fields{"ttl": ttl.String(), "poll": interval.String()})
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	sawLease := false
+	var badSince time.Time
+	for {
+		lease, err := store.ReadLease()
+		switch {
+		case err == nil:
+			sawLease = true
+			badSince = time.Time{}
+			if lease.Expired(time.Now()) {
+				ev.Warn("master.failover", "primary lease expired; standby taking over", events.NoStep,
+					events.NoWorker, events.Fields{"reason": "lease_expired", "holder": lease.Holder,
+						"stale": time.Since(lease.RenewedAt()).String()})
+				return nil
+			}
+		case errors.Is(err, os.ErrNotExist):
+			// No lease. Either the primary released it (graceful exit), it
+			// crashed and a previous takeover cleaned up, or it has not
+			// started yet. Only the first two justify taking over.
+			badSince = time.Time{}
+			if sawLease || hasCheckpoint(store) {
+				ev.Info("master.failover", "primary lease released; standby taking over", events.NoStep,
+					events.NoWorker, events.Fields{"reason": "lease_released"})
+				return nil
+			}
+		default:
+			// An unreadable (corrupted) lease file: not proof of death by
+			// itself, but a primary that stays unreadable for a full TTL is
+			// not renewing — treat it like an expired lease.
+			if badSince.IsZero() {
+				badSince = time.Now()
+				ev.Warn("standby.lease_unreadable", "could not read primary lease", events.NoStep,
+					events.NoWorker, events.Fields{"error": err.Error()})
+			}
+			if time.Since(badSince) > ttl && (sawLease || hasCheckpoint(store)) {
+				ev.Warn("master.failover", "primary lease unreadable for a full TTL; standby taking over",
+					events.NoStep, events.NoWorker, events.Fields{"reason": "lease_unreadable"})
+				return nil
+			}
+		}
+		select {
+		case <-stop:
+			return ErrStandbyStopped
+		case <-t.C:
+		}
+	}
+}
+
+// hasCheckpoint reports whether the store holds at least one checkpoint
+// file (valid or not — existence is enough evidence that a primary ran).
+func hasCheckpoint(store *checkpoint.Store) bool {
+	steps, err := store.List()
+	return err == nil && len(steps) > 0
+}

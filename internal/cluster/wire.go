@@ -118,6 +118,12 @@ type Envelope struct {
 	// the rest of the connection. It rides only in gob messages — binary
 	// frames cannot carry it, by construction.
 	Wire string
+	// Gen is the master's run generation on a MsgHello ack: 0 for a
+	// first-life master, +1 per checkpoint restore or standby failover. A
+	// worker that sees the generation change knows its master was reborn
+	// from a durable checkpoint. Rides only in gob hello messages, like
+	// Wire.
+	Gen int
 }
 
 // validateEnvelope enforces the structural invariants every well-formed
@@ -151,6 +157,9 @@ func validateEnvelope(e *Envelope) error {
 	}
 	if len(e.Wire) > maxWireNameLen {
 		return fmt.Errorf("cluster: wire name length %d exceeds limit %d", len(e.Wire), maxWireNameLen)
+	}
+	if e.Gen < 0 {
+		return fmt.Errorf("cluster: negative generation %d in %s", e.Gen, e.Kind)
 	}
 	return nil
 }

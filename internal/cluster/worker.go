@@ -1,15 +1,19 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"isgc/internal/checkpoint"
 	"isgc/internal/dataset"
 	"isgc/internal/events"
 	"isgc/internal/model"
+	"isgc/internal/randsrc"
 	"isgc/internal/straggler"
 )
 
@@ -67,6 +71,14 @@ type WorkerConfig struct {
 	ReconnectTimeout time.Duration
 	// DialTimeout bounds the initial connection (default 5s).
 	DialTimeout time.Duration
+	// Checkpoint, when non-nil, is where Stop persists the worker's
+	// resumable state (RNG stream positions, step counter). Give each
+	// worker its own store directory — a WorkerState names a single ID.
+	Checkpoint *checkpoint.Store
+	// Restore loads the latest WorkerState from Checkpoint before
+	// registering, so delay/fault sampling resumes bit-identically and the
+	// hello reports the pre-restart step count.
+	Restore bool
 	// Wire selects the wire codec the worker proposes in its hello:
 	// WireBinary (or empty, the default) upgrades to binary frames when
 	// the master agrees; WireGob pins the connection to the legacy gob
@@ -86,11 +98,21 @@ type WorkerConfig struct {
 // Worker trains on its partitions and uploads coded gradients until the
 // master says stop.
 type Worker struct {
-	cfg    WorkerConfig
+	cfg WorkerConfig
+	// connMu guards the w.c pointer itself: reconnect (Run's goroutine)
+	// replaces it while Stop (signal-handler goroutine) reads it to close.
+	connMu sync.Mutex
 	c      *conn
-	rng    *rand.Rand
-	frng   *rand.Rand
-	stopHB chan struct{}
+	// delaySrc/faultSrc are the counting sources behind rng/frng, kept so
+	// Stop can serialize the stream positions and a restored worker can
+	// land on the very next delay/fault draw.
+	delaySrc *randsrc.Source
+	faultSrc *randsrc.Source
+	rng      *rand.Rand
+	frng     *rand.Rand
+	stopHB   chan struct{}
+	stopping atomic.Bool
+	stopOnce sync.Once
 
 	// pool and localBuf make computeStep allocation-free: one long-lived
 	// compute pool and one reusable gradient buffer per stored partition.
@@ -145,12 +167,35 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		return nil, err
 	}
 	cfg.Wire = wireCfg
+
+	// Load any resumable state before registering, so the hello reports the
+	// restored step count and the master's rejoin path skips completed work.
+	var resumed *checkpoint.WorkerState
+	if cfg.Restore && cfg.Checkpoint != nil {
+		var st checkpoint.WorkerState
+		switch _, err := cfg.Checkpoint.Latest(&st); {
+		case err == nil:
+			if st.ID != cfg.ID {
+				return nil, fmt.Errorf("cluster: worker %d: checkpoint belongs to worker %d", cfg.ID, st.ID)
+			}
+			resumed = &st
+		case errors.Is(err, checkpoint.ErrNoCheckpoint):
+			// Nothing saved yet — a cold start with -restore is fine.
+		default:
+			return nil, fmt.Errorf("cluster: worker %d: restore: %w", cfg.ID, err)
+		}
+	}
+	startSteps := 0
+	if resumed != nil {
+		startSteps = int(resumed.Steps)
+	}
+
 	raw, err := dialWithRetry(cfg.Addr, cfg.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
 	c := newConn(raw, defaultWriteTimeout, cfg.Metrics.sentCounter())
-	wire, err := clientHello(c, cfg.ID, 0, cfg.Wire)
+	wire, err := clientHello(c, cfg.ID, startSteps, cfg.Wire)
 	if err != nil {
 		_ = c.close()
 		return nil, err
@@ -159,13 +204,23 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	w := &Worker{
 		cfg:            cfg,
 		c:              c,
-		rng:            rand.New(rand.NewSource(cfg.DelaySeed)),
-		frng:           rand.New(rand.NewSource(cfg.FaultSeed)),
+		delaySrc:       randsrc.New(cfg.DelaySeed),
+		faultSrc:       randsrc.New(cfg.FaultSeed),
 		faultedThrough: -1,
 		pool:           model.NewParallelGrad(cfg.ComputePar),
 		localBuf:       make([][]float64, len(cfg.Partitions)),
 		tasks:          make([]func(), len(cfg.Partitions)),
 	}
+	if resumed != nil {
+		// Reposition the streams under the checkpointed seeds (which win
+		// over the configured ones — the run's streams must continue).
+		w.delaySrc.Restore(resumed.DelaySeed, resumed.DelayDraws)
+		w.faultSrc.Restore(resumed.FaultSeed, resumed.FaultDraws)
+		w.faultedThrough = resumed.FaultedThrough
+		w.steps.Store(resumed.Steps)
+	}
+	w.rng = w.delaySrc.Rand()
+	w.frng = w.faultSrc.Rand()
 	for j := range w.localBuf {
 		w.localBuf[j] = make([]float64, cfg.Model.Dim())
 	}
@@ -174,8 +229,53 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	w.startHeartbeat()
 	cfg.Events.Info("worker.connected", "registered with master", events.NoStep, cfg.ID,
 		events.Fields{"addr": cfg.Addr, "wire": wire})
+	if resumed != nil {
+		cfg.Events.Info("worker.restored", "resumed from checkpoint", events.NoStep, cfg.ID,
+			events.Fields{"steps": resumed.Steps, "delay_draws": resumed.DelayDraws, "fault_draws": resumed.FaultDraws})
+	}
 	cfg.Timeline.SetThreadName(cfg.ID+1, fmt.Sprintf("worker %d", cfg.ID))
 	return w, nil
+}
+
+// Stop makes the worker leave the fleet gracefully: reconnection is
+// suppressed, the blocked recv is unstuck by closing the connection, and —
+// when a checkpoint store is configured — Run persists the worker's RNG
+// positions and progress on its way out. Safe to call from a signal-handler
+// goroutine; idempotent.
+func (w *Worker) Stop() {
+	w.stopOnce.Do(func() {
+		w.stopping.Store(true)
+		w.connMu.Lock()
+		c := w.c
+		w.connMu.Unlock()
+		_ = c.close()
+	})
+}
+
+// saveState persists the worker's resumable position. Failures are logged,
+// never fatal: a worker that cannot checkpoint still exits cleanly.
+func (w *Worker) saveState() {
+	if w.cfg.Checkpoint == nil {
+		return
+	}
+	ds, dd := w.delaySrc.State()
+	fs, fd := w.faultSrc.State()
+	st := checkpoint.WorkerState{
+		Version:        checkpoint.Version,
+		ID:             w.cfg.ID,
+		Steps:          w.steps.Load(),
+		DelaySeed:      ds,
+		DelayDraws:     dd,
+		FaultSeed:      fs,
+		FaultDraws:     fd,
+		FaultedThrough: w.faultedThrough,
+	}
+	if _, err := w.cfg.Checkpoint.Save(int(st.Steps), st); err != nil {
+		w.cfg.Events.Warn("worker.checkpoint_error", err.Error(), events.NoStep, w.cfg.ID, nil)
+		return
+	}
+	w.cfg.Events.Info("worker.checkpoint_written", "resumable state persisted", events.NoStep, w.cfg.ID,
+		events.Fields{"steps": st.Steps, "delay_draws": dd, "fault_draws": fd})
 }
 
 // setConnected keeps the atomic state and the gauge in lockstep.
@@ -193,12 +293,17 @@ func (w *Worker) Run() (int, error) {
 		_ = w.c.close()
 		w.setConnected(false)
 		w.pool.Close()
+		if w.stopping.Load() {
+			// Graceful shutdown: leave a resumable snapshot behind.
+			w.saveState()
+		}
 	}()
 	for {
 		e, err := w.c.recv()
 		if err != nil {
-			// Connection torn down by the master after MsgStop raced us,
-			// or a genuine failure; try to rejoin, else we are done.
+			// Stop() closed the connection under us, the master tore it
+			// down after MsgStop raced us, or a genuine failure; try to
+			// rejoin, else we are done.
 			if w.reconnect() {
 				continue
 			}
@@ -269,7 +374,7 @@ func (w *Worker) Run() (int, error) {
 // with the last completed step. It reports whether the worker is connected
 // again; false when reconnection is disabled or the budget ran out.
 func (w *Worker) reconnect() bool {
-	if w.cfg.ReconnectTimeout <= 0 {
+	if w.stopping.Load() || w.cfg.ReconnectTimeout <= 0 {
 		return false
 	}
 	w.stopHeartbeat()
@@ -286,7 +391,17 @@ func (w *Worker) reconnect() bool {
 			// connection starts in gob like any other registration.
 			if wire, err := clientHello(c, w.cfg.ID, int(w.steps.Load()), w.cfg.Wire); err == nil {
 				w.cfg.Metrics.markWire(wire)
+				w.connMu.Lock()
 				w.c = c
+				stopped := w.stopping.Load()
+				w.connMu.Unlock()
+				if stopped {
+					// Stop raced the redial: it closed the old conn just
+					// before we swapped in the new one. Tear the fresh
+					// connection down too and bow out.
+					_ = c.close()
+					return false
+				}
 				w.reconnects.Add(1)
 				w.cfg.Metrics.markReconnect()
 				w.setConnected(true)

@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"isgc/internal/bitset"
+	"isgc/internal/checkpoint"
 	"isgc/internal/dataset"
 	"isgc/internal/events"
 	"isgc/internal/linalg"
@@ -109,6 +111,23 @@ type Config struct {
 	// report works for in-process experiments exactly as it does for the
 	// TCP cluster. Nil costs one branch per step.
 	Attribution *trace.Attribution
+	// Checkpoint, when non-nil, persists a durable snapshot every
+	// CheckpointEvery steps plus a final one marked Completed. Restore
+	// resumes from the newest valid snapshot; the resumed run's records
+	// and final params are bit-identical to an uninterrupted run from the
+	// checkpoint boundary on (DecodeCache off — see DESIGN.md
+	// "Durability").
+	Checkpoint *checkpoint.Store
+	// CheckpointEvery is the period in steps (0 = final checkpoint only).
+	CheckpointEvery int
+	// Restore resumes from Checkpoint's newest valid snapshot when one
+	// exists; a fresh directory cold-starts.
+	Restore bool
+	// Interrupt, when non-nil, is polled at every step boundary: returning
+	// true stops the run there, writes a final (non-Completed) checkpoint
+	// when Checkpoint is set, and returns with Result.Interrupted. This is
+	// the graceful-shutdown hook the CLIs wire to SIGTERM/SIGINT.
+	Interrupt func(step int) bool
 }
 
 // Result summarizes a completed run.
@@ -123,6 +142,20 @@ type Result struct {
 	// StepsToThreshold is the 1-based step count at convergence
 	// (== Run.Steps() when Converged; MaxSteps otherwise).
 	StepsToThreshold int
+	// Interrupted reports the run stopped early via Config.Interrupt; the
+	// final checkpoint (if any) is resumable, not Completed.
+	Interrupted bool
+}
+
+// RandStateful is the optional Strategy capability behind checkpointing:
+// schemes whose decode draws from a seeded RNG (IS-GC's fairness
+// tie-breaks) expose the stream position so a checkpoint can capture it
+// and a restore can land on the exact next draw.
+type RandStateful interface {
+	// RandState returns the RNG's (seed, draws-so-far) position.
+	RandState() (seed int64, draws uint64)
+	// RestoreRandState repositions the RNG.
+	RestoreRandState(seed int64, draws uint64)
 }
 
 // DecodeCacher is the optional Strategy capability behind Config.DecodeCache:
@@ -220,7 +253,81 @@ func Train(cfg Config) (*Result, error) {
 	}
 	rigid := st.WaitFor(1) == st.WaitFor(n) // Sync-SGD / classic GC
 
-	for step := 0; step < cfg.MaxSteps; step++ {
+	// Checkpoint/restore: startStep > 0 means this run resumes a durable
+	// snapshot; steps [0, startStep) already happened in a previous life
+	// and res.Run covers [startStep, end) only.
+	startStep := 0
+	alreadyComplete := false
+	saveCheckpoint := func(nextStep int, completed bool) error {
+		cst := checkpoint.State{
+			Version:         checkpoint.Version,
+			Scheme:          st.Name(),
+			N:               n,
+			C:               st.C(),
+			Seed:            cfg.Seed,
+			W:               cfg.W,
+			Step:            nextStep,
+			Params:          checkpoint.Float64sToBytes(params),
+			LastLoss:        lastLoss,
+			LastAccuracy:    lastAcc,
+			EventCursor:     cfg.Events.Total(),
+			RecordCursor:    res.Run.Steps(),
+			Completed:       completed,
+			SavedAtUnixNano: time.Now().UnixNano(),
+		}
+		if velocity != nil {
+			cst.Velocity = checkpoint.Float64sToBytes(velocity)
+		}
+		if rs, ok := st.(RandStateful); ok {
+			cst.DecoderSeed, cst.DecoderDraws = rs.RandState()
+		}
+		if cfg.Profile != nil {
+			cst.ProfileActive = true
+			cst.ProfileSeed, cst.ProfileDraws = cfg.Profile.RandState()
+		}
+		_, err := cfg.Checkpoint.Save(nextStep, &cst)
+		return err
+	}
+	if cfg.Restore && cfg.Checkpoint != nil {
+		var cst checkpoint.State
+		info, err := cfg.Checkpoint.Latest(&cst)
+		switch {
+		case errors.Is(err, checkpoint.ErrNoCheckpoint):
+			// Fresh directory: cold start.
+		case err != nil:
+			return nil, fmt.Errorf("engine: restore: %w", err)
+		default:
+			if cst.Scheme != st.Name() || cst.N != n || cst.Seed != cfg.Seed {
+				return nil, fmt.Errorf("engine: checkpoint %s is for scheme=%q n=%d seed=%d, config says scheme=%q n=%d seed=%d",
+					info.File, cst.Scheme, cst.N, cst.Seed, st.Name(), n, cfg.Seed)
+			}
+			params = checkpoint.BytesToFloat64s(cst.Params)
+			if len(cst.Velocity) > 0 {
+				velocity = checkpoint.BytesToFloat64s(cst.Velocity)
+			}
+			startStep = cst.Step
+			lastLoss = cst.LastLoss
+			lastAcc = cst.LastAccuracy
+			if rs, ok := st.(RandStateful); ok {
+				rs.RestoreRandState(cst.DecoderSeed, cst.DecoderDraws)
+			}
+			if cst.ProfileActive && cfg.Profile != nil {
+				cfg.Profile.RestoreRandState(cst.ProfileSeed, cst.ProfileDraws)
+			}
+			if cst.Completed {
+				startStep = cfg.MaxSteps // nothing left to replay
+				alreadyComplete = true
+				res.Converged = cst.Step < cfg.MaxSteps
+				if res.Converged {
+					res.StepsToThreshold = cst.Step
+				}
+			}
+			cfg.Events.Info("engine.restored", "resumed from checkpoint", cst.Step, events.NoWorker,
+				events.Fields{"file": info.File, "completed": cst.Completed})
+		}
+	}
+
+	for step := startStep; step < cfg.MaxSteps; step++ {
 		var wallStart time.Time
 		if cfg.Metrics != nil {
 			wallStart = time.Now()
@@ -368,11 +475,33 @@ func Train(cfg Config) (*Result, error) {
 			res.StepsToThreshold = step + 1
 			break
 		}
+		if cfg.Interrupt != nil && cfg.Interrupt(step) {
+			res.Interrupted = true
+			if cfg.Checkpoint != nil {
+				if err := saveCheckpoint(step+1, false); err != nil {
+					return nil, fmt.Errorf("engine: interrupt checkpoint: %w", err)
+				}
+			}
+			cfg.Events.Info("engine.interrupted", "run stopped at step boundary", step, events.NoWorker, nil)
+			break
+		}
+		if cfg.Checkpoint != nil && cfg.CheckpointEvery > 0 && (step+1)%cfg.CheckpointEvery == 0 && step+1 < cfg.MaxSteps {
+			if err := saveCheckpoint(step+1, false); err != nil {
+				return nil, fmt.Errorf("engine: step %d: %w", step, err)
+			}
+			cfg.Events.Debug("engine.checkpoint_written", "periodic checkpoint saved", step, events.NoWorker, nil)
+		}
 	}
 	if !res.Converged {
 		res.StepsToThreshold = cfg.MaxSteps
 	}
 	res.Params = params
+	if cfg.Checkpoint != nil && !alreadyComplete && !res.Interrupted {
+		end := startStep + res.Run.Steps()
+		if err := saveCheckpoint(end, true); err != nil {
+			return nil, fmt.Errorf("engine: final checkpoint: %w", err)
+		}
+	}
 	cfg.Events.Info("engine.run_finished", "in-process training finished", events.NoStep, events.NoWorker,
 		events.Fields{"steps": res.Run.Steps(), "converged": res.Converged})
 	return res, nil

@@ -207,6 +207,12 @@ func (s *isGC) EnableDecodeCache(capacity int)           { s.scheme.EnableDecode
 func (s *isGC) SetDecodeCacheHooks(onHit, onMiss func()) { s.scheme.SetDecodeCacheHooks(onHit, onMiss) }
 func (s *isGC) DecodeCacheStats() (hits, misses uint64)  { return s.scheme.DecodeCacheStats() }
 
+// isGC implements RandStateful so checkpoints capture the decoder's
+// tie-break stream position and restores are bit-exact.
+
+func (s *isGC) RandState() (seed int64, draws uint64)     { return s.scheme.RandState() }
+func (s *isGC) RestoreRandState(seed int64, draws uint64) { s.scheme.RestoreRandState(seed, draws) }
+
 func (s *isGC) Encode(worker int, grads [][]float64) ([]float64, error) {
 	return s.scheme.Encode(worker, grads)
 }

@@ -18,6 +18,7 @@ import (
 
 	"isgc/internal/bitset"
 	"isgc/internal/placement"
+	"isgc/internal/randsrc"
 )
 
 // Scheme couples a placement with its IS-GC decoder and a seeded RNG used
@@ -27,7 +28,11 @@ import (
 // A Scheme is not safe for concurrent use; give each master goroutine its
 // own Scheme (they can share the underlying Placement, which is immutable).
 type Scheme struct {
-	p   *placement.Placement
+	p *placement.Placement
+	// src backs rng and makes the decode stream checkpointable: capturing
+	// (seed, draws) and restoring it lands a resumed master on exactly the
+	// tie-break the crashed one would have drawn next.
+	src *randsrc.Source
 	rng *rand.Rand
 
 	// cache, when non-nil, memoizes Decode results per availability mask
@@ -39,8 +44,18 @@ type Scheme struct {
 // New returns an IS-GC scheme over the given placement. The seed fixes the
 // randomized tie-breaking, making decode sequences reproducible.
 func New(p *placement.Placement, seed int64) *Scheme {
-	return &Scheme{p: p, rng: rand.New(rand.NewSource(seed))}
+	src := randsrc.New(seed)
+	return &Scheme{p: p, src: src, rng: src.Rand()}
 }
+
+// RandState returns the decoder RNG's serializable position (seed and
+// draws so far) — what a checkpoint stores so restore is bit-exact.
+func (s *Scheme) RandState() (seed int64, draws uint64) { return s.src.State() }
+
+// RestoreRandState repositions the decoder RNG to a checkpointed state.
+// With the decode cache enabled the draw sequence additionally depends on
+// cache hits, which are not checkpointed — see DESIGN.md "Durability".
+func (s *Scheme) RestoreRandState(seed int64, draws uint64) { s.src.Restore(seed, draws) }
 
 // Placement returns the underlying placement.
 func (s *Scheme) Placement() *placement.Placement { return s.p }

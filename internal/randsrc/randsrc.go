@@ -1,0 +1,73 @@
+// Package randsrc makes math/rand streams checkpointable. The standard
+// library's rand.Source hides its internal state, so a process that wants
+// to resume a run bit-identically after a crash cannot serialize "where
+// the RNG is". Source solves this by owning the (seed, draw count) pair:
+// it delegates to the stdlib generator but counts every value produced,
+// and restoring is re-seeding plus replaying that many draws.
+//
+// Replay is exact because both Int63 and Uint64 consume exactly one value
+// from the underlying additive-lagged-Fibonacci stream, so the position is
+// fully described by the number of calls. Replay cost is linear in the
+// draw count (a few ns per draw) — negligible against the training steps
+// that produced the draws.
+//
+// Every consumer of randomness on the durable path (the IS-GC decoder's
+// fairness draws, straggler profiles, worker delay/fault sampling) builds
+// its *rand.Rand on a Source so a checkpoint can capture the position and
+// a restore can land on the very next value the crashed process would have
+// drawn.
+package randsrc
+
+import "math/rand"
+
+// Source is a rand.Source64 with a serializable position: the seed it was
+// created with and the number of values drawn since. Not safe for
+// concurrent use (neither is the rand.Rand that wraps it).
+type Source struct {
+	seed  int64
+	draws uint64
+	src   rand.Source64
+}
+
+// New returns a Source seeded with seed, positioned at draw 0.
+func New(seed int64) *Source {
+	return &Source{seed: seed, src: rand.NewSource(seed).(rand.Source64)}
+}
+
+// Int63 implements rand.Source.
+func (s *Source) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+// Uint64 implements rand.Source64.
+func (s *Source) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+// Seed implements rand.Source: it re-seeds and resets the position.
+func (s *Source) Seed(seed int64) {
+	s.seed = seed
+	s.draws = 0
+	s.src.Seed(seed)
+}
+
+// State returns the seed and the number of values drawn so far — the
+// serializable stream position.
+func (s *Source) State() (seed int64, draws uint64) { return s.seed, s.draws }
+
+// Restore repositions the source to (seed, draws): re-seed, then burn
+// draws values. After Restore the next value equals the (draws+1)-th value
+// of a fresh seed-seeded source.
+func (s *Source) Restore(seed int64, draws uint64) {
+	s.Seed(seed)
+	for i := uint64(0); i < draws; i++ {
+		s.src.Uint64()
+	}
+	s.draws = draws
+}
+
+// Rand returns a *rand.Rand drawing from s. Helper for the common
+// construction; callers keep s to capture and restore its state.
+func (s *Source) Rand() *rand.Rand { return rand.New(s) }

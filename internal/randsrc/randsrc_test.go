@@ -1,0 +1,76 @@
+package randsrc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRestoreExact pins the core durability property: a source restored to
+// (seed, draws) produces exactly the stream a fresh source produces after
+// draws values — for every consumption pattern rand.Rand uses (single
+// values, variable-draw rejection sampling, ziggurat tails).
+func TestRestoreExact(t *testing.T) {
+	ref := New(7)
+	refRand := ref.Rand()
+	// Mixed consumption: Intn uses rejection sampling (variable draws),
+	// NormFloat64/ExpFloat64 use ziggurat fallback loops.
+	for i := 0; i < 1000; i++ {
+		refRand.Intn(17)
+		refRand.NormFloat64()
+		refRand.ExpFloat64()
+	}
+	seed, draws := ref.State()
+	if seed != 7 || draws == 0 {
+		t.Fatalf("State() = (%d, %d), want seed 7 and nonzero draws", seed, draws)
+	}
+
+	restored := New(99) // wrong seed on purpose; Restore must fix it
+	restored.Restore(seed, draws)
+	resRand := restored.Rand()
+	for i := 0; i < 1000; i++ {
+		if a, b := refRand.Int63(), resRand.Int63(); a != b {
+			t.Fatalf("draw %d diverged after restore: %d vs %d", i, a, b)
+		}
+		if a, b := refRand.ExpFloat64(), resRand.ExpFloat64(); a != b {
+			t.Fatalf("exp draw %d diverged after restore: %v vs %v", i, a, b)
+		}
+	}
+}
+
+// TestMatchesStdlib asserts the counting wrapper is transparent: the
+// values are exactly those of a plain rand.NewSource stream.
+func TestMatchesStdlib(t *testing.T) {
+	s := New(42)
+	plain := rand.New(rand.NewSource(42))
+	wrapped := s.Rand()
+	for i := 0; i < 256; i++ {
+		if a, b := plain.Uint64(), wrapped.Uint64(); a != b {
+			t.Fatalf("value %d: wrapper %d != stdlib %d", i, b, a)
+		}
+	}
+	if _, draws := s.State(); draws != 256 {
+		t.Fatalf("draws = %d, want 256 (one per Uint64)", draws)
+	}
+}
+
+// TestSeedResets asserts Seed zeroes the position.
+func TestSeedResets(t *testing.T) {
+	s := New(1)
+	s.Rand().Intn(1000)
+	s.Seed(2)
+	if seed, draws := s.State(); seed != 2 || draws != 0 {
+		t.Fatalf("after Seed: (%d, %d), want (2, 0)", seed, draws)
+	}
+}
+
+// TestRestoreZeroDraws is the fresh-start edge: restoring to position 0
+// equals a new source.
+func TestRestoreZeroDraws(t *testing.T) {
+	a, b := New(5), New(6)
+	b.Restore(5, 0)
+	for i := 0; i < 64; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("value %d: %d != %d", i, x, y)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package straggler
+
+import (
+	"testing"
+	"time"
+)
+
+// TestProfileRandStateRoundTrip asserts that restoring a profile's RNG
+// position reproduces the continuing profile's delay stream exactly.
+func TestProfileRandStateRoundTrip(t *testing.T) {
+	ref := NewProfile(8, Exponential{Mean: 10 * time.Millisecond}, 13)
+	for i := 0; i < 100; i++ {
+		ref.SampleAll()
+	}
+	seed, draws := ref.RandState()
+
+	resumed := NewProfile(8, Exponential{Mean: 10 * time.Millisecond}, 99)
+	resumed.RestoreRandState(seed, draws)
+
+	for i := 0; i < 100; i++ {
+		a, b := ref.SampleAll(), resumed.SampleAll()
+		for w := range a {
+			if a[w] != b[w] {
+				t.Fatalf("step %d worker %d diverged: %v vs %v", i, w, a[w], b[w])
+			}
+		}
+	}
+}

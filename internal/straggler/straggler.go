@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"isgc/internal/randsrc"
 )
 
 // Model produces a random delay sample for one worker in one step.
@@ -140,7 +142,15 @@ func (s Scaled) String() string { return fmt.Sprintf("scaled(%.2f×%s)", s.Facto
 // the simulator or engine. It is not safe for concurrent use.
 type Profile struct {
 	models []Model
-	rng    *rand.Rand
+	// src backs rng so a checkpoint can capture the delay stream's exact
+	// position (seed + draws) and restore it bit-identically.
+	src *randsrc.Source
+	rng *rand.Rand
+}
+
+func newProfile(models []Model, seed int64) *Profile {
+	src := randsrc.New(seed)
+	return &Profile{models: models, src: src, rng: src.Rand()}
 }
 
 // NewProfile builds a profile where all n workers share the same model.
@@ -149,14 +159,14 @@ func NewProfile(n int, m Model, seed int64) *Profile {
 	for i := range models {
 		models[i] = m
 	}
-	return &Profile{models: models, rng: rand.New(rand.NewSource(seed))}
+	return newProfile(models, seed)
 }
 
 // NewProfileFromModels builds a profile with per-worker models.
 func NewProfileFromModels(models []Model, seed int64) *Profile {
 	out := make([]Model, len(models))
 	copy(out, models)
-	return &Profile{models: out, rng: rand.New(rand.NewSource(seed))}
+	return newProfile(out, seed)
 }
 
 // PartialProfile reproduces the paper's Fig. 11 setup: the first slowCount
@@ -170,7 +180,7 @@ func PartialProfile(n, slowCount int, slow Model, seed int64) *Profile {
 			models[i] = None{}
 		}
 	}
-	return &Profile{models: models, rng: rand.New(rand.NewSource(seed))}
+	return newProfile(models, seed)
 }
 
 // WithEnduringStraggler returns a copy of the profile where worker idx is
@@ -182,8 +192,14 @@ func (p *Profile) WithEnduringStraggler(idx int, factor float64, seed int64) *Pr
 	if idx >= 0 && idx < len(models) {
 		models[idx] = Scaled{Inner: models[idx], Factor: factor}
 	}
-	return &Profile{models: models, rng: rand.New(rand.NewSource(seed))}
+	return newProfile(models, seed)
 }
+
+// RandState returns the delay RNG's serializable position.
+func (p *Profile) RandState() (seed int64, draws uint64) { return p.src.State() }
+
+// RestoreRandState repositions the delay RNG to a checkpointed state.
+func (p *Profile) RestoreRandState(seed int64, draws uint64) { p.src.Restore(seed, draws) }
 
 // N returns the number of workers in the profile.
 func (p *Profile) N() int { return len(p.models) }
