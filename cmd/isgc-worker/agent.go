@@ -1,0 +1,49 @@
+// Fleet-agent mode: instead of serving one master with flag-derived
+// partitions, the process registers with a control plane's fleet listener
+// and serves whatever worker assignments the scheduler pushes — including
+// re-assignments with a new worker id after a live re-placement.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"isgc/internal/cliconfig"
+	"isgc/internal/controlplane"
+)
+
+func runAgent(fleetAddr, name, eventsPath, logLevel string) error {
+	if name == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "agent"
+		}
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	log, closer, err := cliconfig.OpenEventLog(eventsPath, logLevel)
+	if err != nil {
+		return err
+	}
+	if closer != nil {
+		defer closer.Close()
+	}
+	agent, err := controlplane.NewAgent(controlplane.AgentConfig{
+		FleetAddr: fleetAddr,
+		Name:      name,
+		Events:    log,
+	})
+	if err != nil {
+		return err
+	}
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	go func() {
+		<-sigCh
+		agent.Stop()
+	}()
+	fmt.Printf("agent %s: joining fleet %s\n", name, fleetAddr)
+	return agent.Run()
+}

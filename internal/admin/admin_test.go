@@ -401,3 +401,32 @@ func ExampleServer() {
 	// # TYPE example_total counter
 	// example_total 2
 }
+
+// TestExtraRoutes covers Config.Extra: the handlers are mounted into the
+// mux and the index page advertises them.
+func TestExtraRoutes(t *testing.T) {
+	s := New(Config{Extra: map[string]http.Handler{
+		"/jobs": http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprint(w, "jobs here")
+		}),
+		"/fleet": http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprint(w, "fleet here")
+		}),
+	}})
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/jobs", nil))
+	if rec.Code != http.StatusOK || rec.Body.String() != "jobs here" {
+		t.Fatalf("GET /jobs = %d %q", rec.Code, rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	body := rec.Body.String()
+	for _, want := range []string{"extra endpoints:", "/fleet", "/jobs"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("index page does not list %q:\n%s", want, body)
+		}
+	}
+	if strings.Index(body, "/fleet") > strings.Index(body, "/jobs") {
+		t.Fatal("extra endpoints are not sorted on the index page")
+	}
+}

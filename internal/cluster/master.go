@@ -116,6 +116,41 @@ type MasterConfig struct {
 	// The master renews every TTL/3; a standby takes over when the lease
 	// lapses for a full TTL or is released on graceful exit.
 	LeaseTTL time.Duration
+	// Warm, when non-nil, starts the run from in-memory state instead of
+	// step 0 or a durable checkpoint — the control plane's live
+	// re-placement handoff: a quiesced job's params and next step move
+	// straight into a successor master (possibly with a different
+	// placement) without touching disk. Mutually exclusive with Restore.
+	Warm *WarmState
+	// OnPermanentEviction, when non-nil, is invoked (from a monitor
+	// goroutine, never under the master's lock) once per worker
+	// generation when a dead worker has stayed dead for PermanentAfter —
+	// i.e. it missed every heartbeat for a full liveness timeout and then
+	// failed to rejoin for PermanentAfter more. This is the control
+	// plane's re-placement trigger; a mere hiccup that rejoins in time
+	// never fires it.
+	OnPermanentEviction func(worker, gen int)
+	// PermanentAfter is how long a worker may stay dead (no rejoin)
+	// before OnPermanentEviction fires. Defaults to 2× LivenessTimeout
+	// when the hook is set.
+	PermanentAfter time.Duration
+}
+
+// WarmState is the in-memory resume point a control plane hands a
+// successor master during live re-placement. It is checkpoint-equivalent:
+// a run resumed warm is bit-identical to one resumed from a durable
+// checkpoint holding the same params and step (see the warm-handoff
+// equivalence test).
+type WarmState struct {
+	// Params is the post-update parameter vector the previous master
+	// generation stopped on (copied by NewMaster; the caller keeps
+	// ownership).
+	Params []float64
+	// StartStep is the next step to broadcast.
+	StartStep int
+	// Generation is this master life's generation number (the previous
+	// life's + 1), surfaced in hello acks and /healthz.
+	Generation int
 }
 
 // workerState is the master's per-worker liveness view. gen increments on
@@ -126,6 +161,14 @@ type workerState struct {
 	alive    bool
 	lastSeen time.Time
 	gen      int
+	// deadSince stamps the moment alive flipped false; the permanent-
+	// eviction monitor measures the no-rejoin window from it.
+	deadSince time.Time
+	// permFired latches OnPermanentEviction for this generation, so the
+	// hook fires exactly once per death no matter how often the monitor
+	// ticks. A rejoin installs a fresh workerState (new generation), which
+	// re-arms the hook naturally.
+	permFired bool
 }
 
 // Master orchestrates distributed training over TCP and survives worker
@@ -253,6 +296,19 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 	if cfg.LeaseTTL <= 0 {
 		cfg.LeaseTTL = 5 * time.Second
 	}
+	if cfg.Warm != nil && cfg.Restore {
+		return nil, fmt.Errorf("cluster: Warm and Restore are mutually exclusive")
+	}
+	if cfg.Warm != nil && cfg.Warm.StartStep >= cfg.MaxSteps {
+		return nil, fmt.Errorf("cluster: warm start step %d is past MaxSteps %d", cfg.Warm.StartStep, cfg.MaxSteps)
+	}
+	if cfg.OnPermanentEviction != nil && cfg.PermanentAfter <= 0 {
+		if cfg.LivenessTimeout > 0 {
+			cfg.PermanentAfter = 2 * cfg.LivenessTimeout
+		} else {
+			cfg.PermanentAfter = 30 * time.Second
+		}
+	}
 	wire, err := ParseWire(cfg.Wire)
 	if err != nil {
 		return nil, err
@@ -275,6 +331,9 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 		stop: make(chan struct{})}
 	m.lastCkptStep.Store(-1)
 	m.runID = fmt.Sprintf("run-%d", time.Now().UnixNano())
+	if cfg.Warm != nil {
+		m.generation = cfg.Warm.Generation
+	}
 	if cfg.Checkpoint != nil {
 		cfg.Checkpoint.SetSkipHook(func(file string, reason error) {
 			m.cfg.Metrics.markRestoreSkipped()
@@ -394,6 +453,9 @@ func (m *Master) Run() (*engine.Result, error) {
 	if m.cfg.LivenessTimeout > 0 {
 		go m.monitorLiveness()
 	}
+	if m.cfg.OnPermanentEviction != nil {
+		go m.monitorPermanentEvictions()
+	}
 	leaseDone := make(chan struct{})
 	if m.cfg.Checkpoint != nil {
 		go func() {
@@ -503,6 +565,19 @@ func (m *Master) handshake(raw net.Conn, readers *sync.WaitGroup) {
 	_ = raw.SetReadDeadline(time.Time{})
 	id := hello.Worker
 
+	// Terminal reject before any codec negotiation, so the reply is always
+	// a plain gob message the worker can parse: a done master will never
+	// run another step, and the worker must stop burning its redial budget
+	// (fleet workers return to the control plane's pool on this signal).
+	m.mu.Lock()
+	if m.done {
+		m.mu.Unlock()
+		_ = c.send(&Envelope{Kind: MsgJobGone})
+		_ = c.close()
+		return
+	}
+	m.mu.Unlock()
+
 	// Codec negotiation, completed before the connection becomes visible
 	// to broadcasts and readers so no message can straddle the switch. A
 	// worker that proposed an upgrade gets a gob hello ack naming the
@@ -531,6 +606,10 @@ func (m *Master) handshake(raw net.Conn, readers *sync.WaitGroup) {
 	m.mu.Lock()
 	if m.done {
 		m.mu.Unlock()
+		// Terminal reject: this master will never run another step, so a
+		// reconnecting worker must stop burning its redial budget. Sent
+		// best-effort in gob (the connection never upgraded).
+		_ = c.send(&Envelope{Kind: MsgJobGone})
 		_ = c.close()
 		return
 	}
@@ -615,6 +694,7 @@ func (m *Master) readFrom(id, gen int, c *conn, readers *sync.WaitGroup) {
 	current := ws != nil && ws.gen == gen
 	if current {
 		ws.alive = false
+		ws.deadSince = time.Now()
 	}
 	step := events.NoStep
 	if m.running {
@@ -689,6 +769,56 @@ func (m *Master) monitorLiveness() {
 	}
 }
 
+// monitorPermanentEvictions watches for workers that died and then failed
+// to rejoin for PermanentAfter — the signal that a worker is gone for good
+// (machine loss) rather than hiccuping (network blip, master failover).
+// Each death fires OnPermanentEviction exactly once per worker generation:
+// the permFired latch sits on the workerState a rejoin replaces, so a
+// reborn worker re-arms the hook while repeated monitor ticks on the same
+// corpse do not re-fire it.
+func (m *Master) monitorPermanentEvictions() {
+	interval := m.cfg.PermanentAfter / 4
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.quit:
+			return
+		case <-t.C:
+			type death struct{ id, gen int }
+			var fired []death
+			now := time.Now()
+			m.mu.Lock()
+			if m.done {
+				m.mu.Unlock()
+				return
+			}
+			step := events.NoStep
+			if m.running {
+				step = m.curStep
+			}
+			for id, ws := range m.workers {
+				if ws != nil && !ws.alive && !ws.permFired && !ws.deadSince.IsZero() &&
+					now.Sub(ws.deadSince) > m.cfg.PermanentAfter {
+					ws.permFired = true
+					fired = append(fired, death{id: id, gen: ws.gen})
+				}
+			}
+			m.mu.Unlock()
+			for _, d := range fired {
+				m.cfg.Metrics.markPermanentEviction()
+				m.cfg.Events.Warn("master.worker_permanently_evicted",
+					"worker stayed dead past the permanent-eviction window", step, d.id,
+					events.Fields{"generation": d.gen, "window": m.cfg.PermanentAfter.String()})
+				m.cfg.OnPermanentEviction(d.id, d.gen)
+			}
+		}
+	}
+}
+
 // awaitFleet blocks until all n workers are registered and alive, or the
 // accept timeout expires.
 func (m *Master) awaitFleet(n int) error {
@@ -758,6 +888,18 @@ func (m *Master) trainLoop() (*engine.Result, error) {
 
 	res := &engine.Result{}
 	startStep := 0
+	if m.cfg.Warm != nil {
+		// Live re-placement handoff: resume from the in-memory state the
+		// previous master generation quiesced on. Checkpoint-equivalent —
+		// same params, same next step — just without the disk round trip.
+		if len(m.cfg.Warm.Params) != dim {
+			return res, fmt.Errorf("cluster: warm params dim %d, model dim %d", len(m.cfg.Warm.Params), dim)
+		}
+		params = append([]float64(nil), m.cfg.Warm.Params...)
+		startStep = m.cfg.Warm.StartStep
+		m.cfg.Events.Info("master.warm_resumed", "resumed from in-memory handoff state", startStep,
+			events.NoWorker, events.Fields{"generation": m.cfg.Warm.Generation})
+	}
 	if m.cfg.Restore && m.cfg.Checkpoint != nil {
 		var cst checkpoint.State
 		info, err := m.cfg.Checkpoint.Latest(&cst)

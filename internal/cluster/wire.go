@@ -30,6 +30,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -38,6 +39,12 @@ import (
 
 	"isgc/internal/metrics"
 )
+
+// ErrJobGone is the terminal registration error: the peer answered a hello
+// with MsgJobGone, meaning the job this worker was serving no longer exists
+// anywhere behind that address. Reconnection is pointless — callers must
+// stop redialing and (in fleet mode) return the worker to the pool.
+var ErrJobGone = errors.New("cluster: job gone")
 
 // Message kinds exchanged between master and workers.
 const (
@@ -54,6 +61,13 @@ const (
 	MsgHeartbeat = "heartbeat"
 	// MsgStop tells workers to shut down cleanly.
 	MsgStop = "stop"
+	// MsgJobGone is a terminal registration reject: the master (or a
+	// control-plane tombstone standing in for one) no longer runs the job
+	// this worker belongs to. A worker that receives it stops its
+	// reconnect loop immediately instead of burning the redial budget —
+	// fleet workers return to the control plane's pool. Rides only in gob
+	// messages (the registration phase), like the hello exchange.
+	MsgJobGone = "job_gone"
 )
 
 // Wire codec names, as negotiated in the hello exchange and accepted by the
@@ -133,7 +147,7 @@ type Envelope struct {
 // knows the cluster shape.
 func validateEnvelope(e *Envelope) error {
 	switch e.Kind {
-	case MsgHello, MsgStep, MsgGradient, MsgHeartbeat, MsgStop:
+	case MsgHello, MsgStep, MsgGradient, MsgHeartbeat, MsgStop, MsgJobGone:
 	default:
 		return fmt.Errorf("cluster: unknown message kind %q", e.Kind)
 	}
@@ -334,6 +348,9 @@ func clientHello(c *conn, id, step int, wire string) (string, error) {
 		return "", fmt.Errorf("cluster: wire negotiation: %w", err)
 	}
 	_ = c.raw.SetReadDeadline(time.Time{})
+	if ack.Kind == MsgJobGone {
+		return "", ErrJobGone
+	}
 	if ack.Kind != MsgHello {
 		return "", fmt.Errorf("cluster: wire negotiation: got %s before hello ack", ack.Kind)
 	}

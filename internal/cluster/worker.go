@@ -132,7 +132,17 @@ type Worker struct {
 	steps      atomic.Int64
 	reconnects atomic.Int64
 	connected  atomic.Bool
+	// jobGone latches a MsgJobGone terminal reject: the job this worker
+	// was serving no longer exists, so reconnection stopped early. Fleet
+	// agents read it via JobGone() to return the worker to the pool.
+	jobGone atomic.Bool
 }
+
+// JobGone reports whether the worker's run ended on a MsgJobGone terminal
+// reject — the master (or its tombstone) said the job no longer exists.
+// Valid after Run returns; a fleet agent uses it to return to the pool
+// instead of treating the exit as a completed run.
+func (w *Worker) JobGone() bool { return w.jobGone.Load() }
 
 // Health returns a point-in-time snapshot for the worker's /healthz
 // payload. Safe to call from any goroutine.
@@ -312,6 +322,14 @@ func (w *Worker) Run() (int, error) {
 		switch e.Kind {
 		case MsgStop:
 			return int(w.steps.Load()), nil
+		case MsgJobGone:
+			// Terminal reject from a done master (a gob-pinned worker gets
+			// it as a regular message rather than a hello-ack): the job is
+			// gone for good, so leave without redialing.
+			w.jobGone.Store(true)
+			w.cfg.Events.Info("worker.job_gone", "master rejected registration: job no longer exists",
+				events.NoStep, w.cfg.ID, nil)
+			return int(w.steps.Load()), nil
 		case MsgStep:
 			action := straggler.FaultNone
 			if w.cfg.Fault != nil && e.Step > w.faultedThrough {
@@ -383,13 +401,29 @@ func (w *Worker) reconnect() bool {
 	deadline := time.Now().Add(w.cfg.ReconnectTimeout)
 	backoff := 25 * time.Millisecond
 	for {
+		if w.stopping.Load() {
+			// Stop() arrived mid-backoff: a fleet agent re-assigning this
+			// worker must not wait out the rest of the redial budget.
+			return false
+		}
 		w.cfg.Metrics.markReconnectAttempt()
 		raw, err := net.DialTimeout("tcp", w.cfg.Addr, 500*time.Millisecond)
 		if err == nil {
 			c := newConn(raw, defaultWriteTimeout, w.cfg.Metrics.sentCounter())
 			// A rejoin renegotiates the codec from scratch: the fresh
 			// connection starts in gob like any other registration.
-			if wire, err := clientHello(c, w.cfg.ID, int(w.steps.Load()), w.cfg.Wire); err == nil {
+			wire, helloErr := clientHello(c, w.cfg.ID, int(w.steps.Load()), w.cfg.Wire)
+			if errors.Is(helloErr, ErrJobGone) {
+				// Terminal reject: whoever answers this address says the job
+				// no longer exists. Burning the rest of the redial budget
+				// cannot change that — bow out and report it.
+				_ = c.close()
+				w.jobGone.Store(true)
+				w.cfg.Events.Info("worker.job_gone", "redial rejected: job no longer exists",
+					events.NoStep, w.cfg.ID, nil)
+				return false
+			}
+			if helloErr == nil {
 				w.cfg.Metrics.markWire(wire)
 				w.connMu.Lock()
 				w.c = c

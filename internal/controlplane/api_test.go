@@ -1,0 +1,112 @@
+package controlplane
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestJobsAPI covers the HTTP surface: submit, list, get, kill, drain,
+// fleet, and the error paths (bad spec, unknown id, double kill).
+func TestJobsAPI(t *testing.T) {
+	p, _ := startPlane(t, Config{}, 1) // one agent: submitted jobs stay pending
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	post := func(path, body string) (*http.Response, map[string]any) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		return resp, out
+	}
+
+	// Bad spec: scheme that cannot build.
+	resp, out := post("/jobs", `{"scheme":{"scheme":"fr","n":4,"c":3}}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad spec returned %d (%v), want 400", resp.StatusCode, out)
+	}
+	// Malformed JSON.
+	resp, _ = post("/jobs", `{not json`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body returned %d, want 400", resp.StatusCode)
+	}
+
+	// Valid submission.
+	resp, out = post("/jobs", `{"name":"via-api","scheme":{"scheme":"cr","n":3,"c":2},"max_steps":10}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit returned %d (%v), want 201", resp.StatusCode, out)
+	}
+	id, _ := out["id"].(string)
+	if id == "" {
+		t.Fatalf("submit returned no id: %v", out)
+	}
+
+	// List and get agree.
+	var list struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	getJSON(t, srv.URL+"/jobs", &list)
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != id || list.Jobs[0].Name != "via-api" {
+		t.Fatalf("GET /jobs = %+v", list.Jobs)
+	}
+	var one JobStatus
+	getJSON(t, srv.URL+"/jobs/"+id, &one)
+	if one.ID != id || one.State != JobPending || one.MaxSteps != 10 {
+		t.Fatalf("GET /jobs/%s = %+v", id, one)
+	}
+
+	// Unknown id is 404.
+	if resp, err := http.Get(srv.URL + "/jobs/job-999"); err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job returned %v %v, want 404", resp.StatusCode, err)
+	}
+
+	// Fleet snapshot.
+	var fleet struct {
+		Agents []AgentView `json:"agents"`
+	}
+	getJSON(t, srv.URL+"/fleet", &fleet)
+	if len(fleet.Agents) != 1 || !fleet.Agents[0].Alive {
+		t.Fatalf("GET /fleet = %+v", fleet.Agents)
+	}
+
+	// Kill via DELETE; a second kill conflicts.
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/jobs/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE returned %v %v, want 200", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+	resp, err = http.DefaultClient.Do(req.Clone(req.Context()))
+	if err != nil || resp.StatusCode != http.StatusConflict {
+		t.Fatalf("second DELETE returned %v %v, want 409", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+
+	// Drain of a terminal job conflicts too.
+	resp, _ = post("/jobs/"+id+"/drain", "")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("drain of killed job returned %d, want 409", resp.StatusCode)
+	}
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s returned %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}

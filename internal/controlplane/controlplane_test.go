@@ -1,0 +1,333 @@
+package controlplane
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"isgc/internal/cliconfig"
+	"isgc/internal/trace"
+)
+
+// startPlane boots a plane with nAgents fleet agents (named w-0..w-N,
+// which sorts into a deterministic admission order) and registers cleanup.
+func startPlane(t *testing.T, cfg Config, nAgents int) (*Plane, map[string]*Agent) {
+	t.Helper()
+	if cfg.FleetAddr == "" {
+		cfg.FleetAddr = "127.0.0.1:0"
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Stop)
+	agents := make(map[string]*Agent, nAgents)
+	var wg sync.WaitGroup
+	for i := 0; i < nAgents; i++ {
+		name := fmt.Sprintf("w-%d", i)
+		a, err := NewAgent(AgentConfig{FleetAddr: p.FleetAddr(), Name: name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents[name] = a
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = a.Run() // killed agents exit with an error by design
+		}()
+	}
+	t.Cleanup(func() {
+		for _, a := range agents {
+			a.Stop()
+		}
+		wg.Wait()
+	})
+	// All agents registered before any submission, so admission order (and
+	// with it the worker-id ↔ agent mapping) is deterministic.
+	waitForIdle(t, p, nAgents)
+	return p, agents
+}
+
+// waitForIdle polls until the fleet has at least n alive idle agents.
+func waitForIdle(t *testing.T, p *Plane, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		idle := 0
+		for _, a := range p.FleetSnapshot() {
+			if a.Alive && a.JobID == "" {
+				idle++
+			}
+		}
+		if idle >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never reached %d idle agents (have %d)", n, idle)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// waitForState polls until the job reaches the wanted state.
+func waitForState(t *testing.T, p *Plane, id string, want JobState) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st, ok := p.Job(id)
+		if ok && st.State == want {
+			return st
+		}
+		if ok && st.State.terminal() && st.State != want {
+			t.Fatalf("job %s ended %s (error %q), want %s", id, st.State, st.Error, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never reached %s (at %s)", id, want, st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// waitForStep polls until the job's live step reaches target.
+func waitForStep(t *testing.T, p *Plane, id string, target int) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st, _ := p.Job(id)
+		if st.Step >= target && st.State == JobRunning {
+			return
+		}
+		if st.State.terminal() {
+			t.Fatalf("job %s ended %s before reaching step %d", id, st.State, target)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never reached step %d (at %d, state %s)", id, target, st.Step, st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// zeroElapsed strips the wall-clock field records legitimately disagree on
+// between runs.
+func zeroElapsed(recs []trace.StepRecord) []trace.StepRecord {
+	out := append([]trace.StepRecord(nil), recs...)
+	for i := range out {
+		out[i].Elapsed = 0
+	}
+	return out
+}
+
+// soloBaseline runs spec alone on its own plane and returns its records
+// and final params — the comparison target for the isolation tests.
+func soloBaseline(t *testing.T, spec JobSpec) (trace.Run, []float64) {
+	t.Helper()
+	p, _ := startPlane(t, Config{}, spec.Scheme.N)
+	id, err := p.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, p, id, JobCompleted)
+	run, params, ok := p.JobResult(id)
+	if !ok {
+		t.Fatalf("no result for %s", id)
+	}
+	return run, params
+}
+
+// steadySpec is the deterministic job the isolation tests bit-compare: no
+// delays, sequential loss eval, full gather.
+func steadySpec() JobSpec {
+	return JobSpec{
+		Name:       "steady",
+		Scheme:     cliconfig.SchemeSpec{Scheme: "cr", N: 3, C: 2},
+		Data:       cliconfig.DefaultData(42),
+		MaxSteps:   40,
+		ComputePar: 1,
+	}
+}
+
+// elasticSpec is the job the fault drills disturb: generation-0 delays
+// keep it running long enough for a permanent eviction to land mid-run,
+// and tight liveness windows make the eviction fast.
+func elasticSpec() JobSpec {
+	spec := JobSpec{
+		Name:            "elastic",
+		Scheme:          cliconfig.SchemeSpec{Scheme: "cr", N: 3, C: 2},
+		Data:            cliconfig.DefaultData(7),
+		MaxSteps:        60,
+		ComputePar:      1,
+		LivenessTimeout: 200 * time.Millisecond,
+		PermanentAfter:  400 * time.Millisecond,
+	}
+	for i := 0; i < 3; i++ {
+		spec.Faults = append(spec.Faults, WorkerFault{Worker: i, CrashAtStep: -1, Delay: 20 * time.Millisecond})
+	}
+	return spec
+}
+
+func TestFleetAgentLifecycle(t *testing.T) {
+	p, agents := startPlane(t, Config{}, 3)
+	snap := p.FleetSnapshot()
+	if len(snap) != 3 {
+		t.Fatalf("fleet snapshot has %d agents, want 3", len(snap))
+	}
+	for _, a := range snap {
+		if !a.Alive || a.JobID != "" {
+			t.Fatalf("agent %s should be alive and idle: %+v", a.Name, a)
+		}
+	}
+	// A stopped agent leaves the pool.
+	agents["w-1"].Stop()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		alive := 0
+		for _, a := range p.FleetSnapshot() {
+			if a.Alive {
+				alive++
+			}
+		}
+		if alive == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("fleet never noticed the stopped agent")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestSingleJobCompletes(t *testing.T) {
+	p, _ := startPlane(t, Config{}, 3)
+	id, err := p.Submit(steadySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitForState(t, p, id, JobCompleted)
+	if st.Step != 40 || st.Generation != 0 || st.Replacements != 0 {
+		t.Fatalf("unexpected final status: %+v", st)
+	}
+	run, params, _ := p.JobResult(id)
+	if run.Steps() != 40 {
+		t.Fatalf("job recorded %d steps, want 40", run.Steps())
+	}
+	if len(params) == 0 {
+		t.Fatal("job returned no final params")
+	}
+	// The pool is whole again after completion.
+	waitForIdle(t, p, 3)
+}
+
+// TestJobQueuesUntilFleetFits covers admission: a job wider than the pool
+// waits in pending, and is admitted as soon as enough agents join.
+func TestJobQueuesUntilFleetFits(t *testing.T) {
+	p, _ := startPlane(t, Config{}, 2)
+	spec := steadySpec() // wants 3 workers
+	id, err := p.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if st, _ := p.Job(id); st.State != JobPending {
+		t.Fatalf("job with too-small fleet is %s, want pending", st.State)
+	}
+	// The third agent arrives; the job must admit and complete.
+	a, err := NewAgent(AgentConfig{FleetAddr: p.FleetAddr(), Name: "w-late"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); _ = a.Run() }()
+	t.Cleanup(func() { a.Stop(); <-done })
+	waitForState(t, p, id, JobCompleted)
+}
+
+// TestMultiJobIsolationWithCrash is the isolation satellite: two jobs with
+// different data share one fleet, one worker of the second job crashes
+// permanently mid-run (triggering a live re-placement), and the first
+// job's records and params stay bit-identical to a solo run of the same
+// spec on a quiet plane.
+func TestMultiJobIsolationWithCrash(t *testing.T) {
+	soloRun, soloParams := soloBaseline(t, steadySpec())
+
+	p, _ := startPlane(t, Config{}, 6)
+	idA, err := p.Submit(steadySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed := elasticSpec()
+	crashed.Faults[2].CrashAtStep = 5
+	idB, err := p.Submit(crashed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stA := waitForState(t, p, idA, JobCompleted)
+	stB := waitForState(t, p, idB, JobCompleted)
+	if stB.Replacements == 0 || stB.Generation == 0 {
+		t.Fatalf("crashed job never re-placed: %+v", stB)
+	}
+	if stA.Replacements != 0 || stA.Generation != 0 {
+		t.Fatalf("steady job was disturbed by the other job's crash: %+v", stA)
+	}
+
+	runA, paramsA, _ := p.JobResult(idA)
+	if !reflect.DeepEqual(zeroElapsed(runA.Records), zeroElapsed(soloRun.Records)) {
+		t.Fatal("steady job's records diverged from its solo baseline")
+	}
+	if !reflect.DeepEqual(paramsA, soloParams) {
+		t.Fatal("steady job's final params diverged from its solo baseline")
+	}
+	runB, _, _ := p.JobResult(idB)
+	if runB.Steps() != 60 {
+		t.Fatalf("re-placed job recorded %d steps, want 60 across generations", runB.Steps())
+	}
+}
+
+// TestDrainReturnsAgentsToPool covers the drain path: the job quiesces at
+// a step boundary, ends terminal-drained, and its agents go back to idle.
+func TestDrainReturnsAgentsToPool(t *testing.T) {
+	p, _ := startPlane(t, Config{}, 3)
+	id, err := p.Submit(elasticSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForStep(t, p, id, 5)
+	if err := p.Drain(id); err != nil {
+		t.Fatal(err)
+	}
+	st := waitForState(t, p, id, JobDrained)
+	if st.Step >= 60 {
+		t.Fatalf("drain landed at step %d; it must quiesce mid-run", st.Step)
+	}
+	waitForIdle(t, p, 3)
+	// A second job reuses the drained job's agents.
+	id2, err := p.Submit(steadySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, p, id2, JobCompleted)
+}
+
+// TestKillPendingJob covers the trivial terminate path: a pending job is
+// killed without ever touching the fleet.
+func TestKillPendingJob(t *testing.T) {
+	p, _ := startPlane(t, Config{}, 1) // too small for the spec: stays pending
+	id, err := p.Submit(steadySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Kill(id); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := p.Job(id); st.State != JobKilled {
+		t.Fatalf("killed pending job is %s", st.State)
+	}
+	if err := p.Kill(id); err == nil {
+		t.Fatal("killing a terminal job must error")
+	}
+}

@@ -1,0 +1,363 @@
+package controlplane
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"isgc/internal/events"
+)
+
+// defaultAgentTimeout declares an agent dead after this much silence; the
+// agents ping every defaultPingInterval, so a handful of missed pings is a
+// dead process or a cut link, not a hiccup.
+const (
+	defaultAgentTimeout = 5 * time.Second
+	defaultPingInterval = 500 * time.Millisecond
+)
+
+// fleetAgent is the server-side view of one registered agent.
+type fleetAgent struct {
+	name     string
+	c        *fconn
+	alive    bool
+	lastSeen time.Time
+	// jobID/workerID track the agent's current assignment ("" = idle). An
+	// assignment sticks until the agent reports done or dies — the
+	// scheduler never guesses at an agent's state.
+	jobID    string
+	workerID int
+	// gen increments per (re-)registration so a stale reader cannot mark a
+	// reborn agent's fresh connection dead.
+	gen int
+}
+
+// AgentView is the /fleet snapshot of one agent.
+type AgentView struct {
+	Name               string  `json:"name"`
+	Alive              bool    `json:"alive"`
+	JobID              string  `json:"job,omitempty"`
+	WorkerID           int     `json:"worker"`
+	LastSeenAgeSeconds float64 `json:"last_seen_age_seconds"`
+}
+
+// fleet is the control plane's membership service: agents dial in, stay
+// registered via pings, receive assignments, and report completions. It
+// owns no job state — the scheduler drives it through Idle/Assign/Release
+// and listens on the two callbacks.
+type fleet struct {
+	ln      net.Listener
+	timeout time.Duration
+	events  *events.Log
+	metrics *PlaneMetrics
+
+	// onDone fires (outside the fleet lock) when an agent reports an
+	// assignment ended; onChange fires when the pool changes shape (agent
+	// registered, died, or went idle) so the scheduler can retry admission.
+	onDone   func(agent, jobID, status, errMsg string)
+	onChange func()
+
+	mu     sync.Mutex
+	agents map[string]*fleetAgent
+	closed bool
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newFleet(timeout time.Duration, ev *events.Log, pm *PlaneMetrics) *fleet {
+	if timeout <= 0 {
+		timeout = defaultAgentTimeout
+	}
+	return &fleet{
+		timeout: timeout,
+		events:  ev,
+		metrics: pm,
+		agents:  make(map[string]*fleetAgent),
+		quit:    make(chan struct{}),
+	}
+}
+
+// start binds the listener and serves registrations until close.
+func (f *fleet) start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("controlplane: fleet listen: %w", err)
+	}
+	f.ln = ln
+	f.wg.Add(2)
+	go f.acceptLoop()
+	go f.monitor()
+	return nil
+}
+
+func (f *fleet) addr() string { return f.ln.Addr().String() }
+
+// close tells every agent to exit, closes all connections, and stops the
+// loops.
+func (f *fleet) close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	conns := make([]*fconn, 0, len(f.agents))
+	for _, a := range f.agents {
+		if a.alive {
+			conns = append(conns, a.c)
+		}
+	}
+	f.mu.Unlock()
+	close(f.quit)
+	for _, c := range conns {
+		_ = c.send(&fleetMsg{Kind: fleetStop})
+		c.close()
+	}
+	if f.ln != nil {
+		_ = f.ln.Close()
+	}
+	f.wg.Wait()
+}
+
+func (f *fleet) acceptLoop() {
+	defer f.wg.Done()
+	for {
+		raw, err := f.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		f.register(raw)
+	}
+}
+
+// register validates the hello and installs (or replaces) the agent.
+func (f *fleet) register(raw net.Conn) {
+	c := newFconn(raw)
+	_ = raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+	hello, err := c.recv()
+	if err != nil || hello.Kind != fleetHello {
+		c.close()
+		return
+	}
+	_ = raw.SetReadDeadline(time.Time{})
+	name := hello.Name
+
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		c.close()
+		return
+	}
+	prev := f.agents[name]
+	gen := 0
+	if prev != nil {
+		gen = prev.gen + 1
+		if prev.alive {
+			// Same name re-registering over a live connection: the old
+			// process is gone or split-brained; the newcomer wins.
+			prev.c.close()
+		}
+	}
+	f.agents[name] = &fleetAgent{name: name, c: c, alive: true, lastSeen: time.Now(), gen: gen}
+	f.mu.Unlock()
+
+	f.events.Info("plane.agent_registered", "fleet agent registered", events.NoStep, events.NoWorker,
+		events.Fields{"agent": name, "generation": gen})
+	f.updateGauges()
+	if f.onChange != nil {
+		f.onChange()
+	}
+	f.wg.Add(1)
+	go f.readFrom(name, gen, c)
+}
+
+// readFrom pumps one agent connection until it breaks; pings refresh
+// liveness, dones return the agent to the pool.
+func (f *fleet) readFrom(name string, gen int, c *fconn) {
+	defer f.wg.Done()
+	for {
+		m, err := c.recv()
+		if err != nil {
+			break
+		}
+		f.mu.Lock()
+		a := f.agents[name]
+		if a == nil || a.gen != gen {
+			f.mu.Unlock()
+			return // superseded by a re-registration
+		}
+		a.lastSeen = time.Now()
+		var done *fleetMsg
+		if m.Kind == fleetDone {
+			a.jobID, a.workerID = "", 0
+			done = m
+		}
+		f.mu.Unlock()
+		if done != nil {
+			f.events.Info("plane.agent_done", "agent finished its assignment", events.NoStep,
+				events.NoWorker, events.Fields{"agent": name, "job": done.JobID, "status": done.Status})
+			f.updateGauges()
+			if f.onDone != nil {
+				f.onDone(name, done.JobID, done.Status, done.Error)
+			}
+			if f.onChange != nil {
+				f.onChange()
+			}
+		}
+	}
+	f.mu.Lock()
+	a := f.agents[name]
+	current := a != nil && a.gen == gen
+	closed := f.closed
+	if current {
+		a.alive = false
+	}
+	f.mu.Unlock()
+	if current {
+		c.close()
+		if !closed {
+			f.events.Warn("plane.agent_lost", "fleet agent connection lost", events.NoStep,
+				events.NoWorker, events.Fields{"agent": name, "generation": gen})
+			f.updateGauges()
+			if f.onChange != nil {
+				f.onChange()
+			}
+		}
+	}
+}
+
+// monitor closes connections of agents that stopped pinging; the reader
+// then marks them dead — the same single-eviction-path discipline the
+// cluster master uses.
+func (f *fleet) monitor() {
+	defer f.wg.Done()
+	interval := f.timeout / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.quit:
+			return
+		case <-t.C:
+			now := time.Now()
+			var victims []*fconn
+			f.mu.Lock()
+			for _, a := range f.agents {
+				if a.alive && now.Sub(a.lastSeen) > f.timeout {
+					victims = append(victims, a.c)
+				}
+			}
+			f.mu.Unlock()
+			for _, c := range victims {
+				c.close()
+			}
+		}
+	}
+}
+
+// idle returns the names of alive, unassigned agents, sorted — the sort
+// makes admission's worker-id ↔ agent mapping deterministic, which the
+// bit-equivalence tests rely on.
+func (f *fleet) idle() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []string
+	for name, a := range f.agents {
+		if a.alive && a.jobID == "" {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// aliveAgent reports whether the named agent is currently alive.
+func (f *fleet) aliveAgent(name string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	a := f.agents[name]
+	return a != nil && a.alive
+}
+
+// assign pushes an assignment to a live agent and records the binding. A
+// busy agent may be re-assigned (re-placement hands survivors their new
+// worker id directly); the agent stops its old worker first.
+func (f *fleet) assign(name string, as *Assignment) error {
+	f.mu.Lock()
+	a := f.agents[name]
+	if a == nil || !a.alive {
+		f.mu.Unlock()
+		return fmt.Errorf("controlplane: agent %q is not alive", name)
+	}
+	a.jobID, a.workerID = as.JobID, as.WorkerID
+	c := a.c
+	f.mu.Unlock()
+	f.updateGauges()
+	if err := c.send(&fleetMsg{Kind: fleetAssign, Assign: as}); err != nil {
+		c.close() // the reader marks it dead
+		return fmt.Errorf("controlplane: assign to %q: %w", name, err)
+	}
+	return nil
+}
+
+// release asks an agent to stop its worker for the given job and return to
+// the pool. Job-scoped end to end: the fleet only sends it while the agent
+// is still bound to that job, and the agent ignores a release for a job it
+// no longer runs — so a late release can never kill a successor
+// assignment. Best-effort: a dead agent is already out of the pool.
+func (f *fleet) release(name, jobID string) {
+	f.mu.Lock()
+	a := f.agents[name]
+	var c *fconn
+	if a != nil && a.alive && a.jobID == jobID {
+		c = a.c
+	}
+	f.mu.Unlock()
+	if c != nil {
+		if err := c.send(&fleetMsg{Kind: fleetRelease, JobID: jobID}); err != nil {
+			c.close()
+		}
+	}
+}
+
+// snapshot returns the /fleet view, sorted by name.
+func (f *fleet) snapshot() []AgentView {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	now := time.Now()
+	out := make([]AgentView, 0, len(f.agents))
+	for _, a := range f.agents {
+		out = append(out, AgentView{
+			Name: a.name, Alive: a.alive, JobID: a.jobID, WorkerID: a.workerID,
+			LastSeenAgeSeconds: now.Sub(a.lastSeen).Seconds(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// updateGauges refreshes the fleet-size gauges after any membership or
+// assignment change.
+func (f *fleet) updateGauges() {
+	if f.metrics == nil {
+		return
+	}
+	f.mu.Lock()
+	alive, idle := 0, 0
+	for _, a := range f.agents {
+		if a.alive {
+			alive++
+			if a.jobID == "" {
+				idle++
+			}
+		}
+	}
+	f.mu.Unlock()
+	f.metrics.setFleet(alive, idle)
+}

@@ -1,0 +1,129 @@
+package controlplane
+
+import (
+	"isgc/internal/metrics"
+)
+
+// PlaneMetrics is the control plane's instrument set: job lifecycle
+// counters, fleet-size gauges, per-job progress vecs, and the two
+// latencies the scheduler is judged on — admission (submit → running) and
+// re-placement (permanent eviction → resumed). All fields are nil-safe via
+// the mark*/set* helpers, matching the cluster package's discipline.
+type PlaneMetrics struct {
+	reg *metrics.Registry
+
+	// JobsSubmitted .. JobsDrained count lifecycle transitions.
+	JobsSubmitted *metrics.Counter
+	JobsCompleted *metrics.Counter
+	JobsFailed    *metrics.Counter
+	JobsKilled    *metrics.Counter
+	JobsDrained   *metrics.Counter
+	// JobsActive is the number of non-terminal jobs.
+	JobsActive *metrics.Gauge
+	// FleetAgents/FleetIdle are the pool-size gauges.
+	FleetAgents *metrics.Gauge
+	FleetIdle   *metrics.Gauge
+	// Replacements counts completed live re-placements, total and per job.
+	Replacements    *metrics.Counter
+	JobReplacements *metrics.CounterVec
+	// JobSteps is each job's last observed step, labeled by job id.
+	JobSteps *metrics.GaugeVec
+	// JobWorkers is each job's current placement size, labeled by job id.
+	JobWorkers *metrics.GaugeVec
+	// AdmissionLatency measures submit → first step broadcastable
+	// (assignments pushed); ReplacementLatency measures permanent-eviction
+	// trigger → successor master assigned.
+	AdmissionLatency   *metrics.Histogram
+	ReplacementLatency *metrics.Histogram
+}
+
+// NewPlaneMetrics registers the control-plane families on reg. One
+// PlaneMetrics per plane. A nil registry yields a nil *PlaneMetrics, which
+// every helper accepts — the unmetered plane costs one branch per call.
+func NewPlaneMetrics(reg *metrics.Registry) *PlaneMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &PlaneMetrics{
+		reg:           reg,
+		JobsSubmitted: reg.NewCounter("isgc_plane_jobs_submitted_total", "Jobs accepted by the scheduler."),
+		JobsCompleted: reg.NewCounter("isgc_plane_jobs_completed_total", "Jobs that ran to completion."),
+		JobsFailed:    reg.NewCounter("isgc_plane_jobs_failed_total", "Jobs that failed."),
+		JobsKilled:    reg.NewCounter("isgc_plane_jobs_killed_total", "Jobs killed by an operator."),
+		JobsDrained:   reg.NewCounter("isgc_plane_jobs_drained_total", "Jobs drained by an operator."),
+		JobsActive:    reg.NewGauge("isgc_plane_jobs_active", "Non-terminal jobs (pending, running, replacing)."),
+		FleetAgents:   reg.NewGauge("isgc_plane_fleet_agents", "Registered, alive fleet agents."),
+		FleetIdle:     reg.NewGauge("isgc_plane_fleet_idle", "Alive agents with no assignment."),
+		Replacements:  reg.NewCounter("isgc_plane_replacements_total", "Completed live re-placements."),
+		JobReplacements: reg.NewCounterVec("isgc_plane_job_replacements_total",
+			"Completed live re-placements per job.", "job"),
+		JobSteps:   reg.NewGaugeVec("isgc_plane_job_steps", "Last observed step per job.", "job"),
+		JobWorkers: reg.NewGaugeVec("isgc_plane_job_workers", "Current placement size per job.", "job"),
+		AdmissionLatency: reg.NewHistogram("isgc_plane_admission_seconds",
+			"Latency from job submission to its assignments being pushed.", metrics.DefBuckets),
+		ReplacementLatency: reg.NewHistogram("isgc_plane_replacement_seconds",
+			"Latency from permanent-eviction trigger to the successor master's assignments.", metrics.DefBuckets),
+	}
+}
+
+func (pm *PlaneMetrics) markSubmitted() {
+	if pm != nil {
+		pm.JobsSubmitted.Inc()
+	}
+}
+
+// markTerminal records a job's terminal transition.
+func (pm *PlaneMetrics) markTerminal(state JobState) {
+	if pm == nil {
+		return
+	}
+	switch state {
+	case JobCompleted:
+		pm.JobsCompleted.Inc()
+	case JobFailed:
+		pm.JobsFailed.Inc()
+	case JobKilled:
+		pm.JobsKilled.Inc()
+	case JobDrained:
+		pm.JobsDrained.Inc()
+	}
+}
+
+func (pm *PlaneMetrics) setActive(n int) {
+	if pm != nil {
+		pm.JobsActive.Set(float64(n))
+	}
+}
+
+func (pm *PlaneMetrics) setFleet(alive, idle int) {
+	if pm != nil {
+		pm.FleetAgents.Set(float64(alive))
+		pm.FleetIdle.Set(float64(idle))
+	}
+}
+
+func (pm *PlaneMetrics) markReplacement(jobID string) {
+	if pm != nil {
+		pm.Replacements.Inc()
+		pm.JobReplacements.With(jobID).Inc()
+	}
+}
+
+func (pm *PlaneMetrics) setJobProgress(jobID string, step, workers int) {
+	if pm != nil {
+		pm.JobSteps.With(jobID).Set(float64(step))
+		pm.JobWorkers.With(jobID).Set(float64(workers))
+	}
+}
+
+func (pm *PlaneMetrics) observeAdmission(seconds float64) {
+	if pm != nil {
+		pm.AdmissionLatency.Observe(seconds)
+	}
+}
+
+func (pm *PlaneMetrics) observeReplacement(seconds float64) {
+	if pm != nil {
+		pm.ReplacementLatency.Observe(seconds)
+	}
+}

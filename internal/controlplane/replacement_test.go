@@ -1,0 +1,134 @@
+package controlplane
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+)
+
+// TestLiveReplacementDrill is the PR's acceptance drill: two concurrent
+// jobs on a six-agent fleet, one of the second job's agents is killed
+// abruptly (no farewell on any connection), the plane re-derives that
+// job's placement live, both jobs complete, the unaffected job is
+// bit-identical to its solo baseline, and GET /jobs reflects the
+// worker ↔ agent assignments throughout.
+func TestLiveReplacementDrill(t *testing.T) {
+	soloRun, soloParams := soloBaseline(t, steadySpec())
+
+	p, agents := startPlane(t, Config{}, 6)
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	getJobs := func() []JobStatus {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/jobs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out struct {
+			Jobs []JobStatus `json:"jobs"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Jobs
+	}
+
+	idA, err := p.Submit(steadySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idB, err := p.Submit(elasticSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Let B make progress, then read its assignment over the API and kill
+	// one of its agents abruptly.
+	waitForStep(t, p, idB, 5)
+	var victim string
+	var preWorkers int
+	for _, j := range getJobs() {
+		if j.ID != idB {
+			continue
+		}
+		preWorkers = len(j.Workers)
+		if preWorkers > 0 {
+			victim = j.Workers[preWorkers-1].Agent
+		}
+	}
+	if victim == "" || preWorkers != 3 {
+		t.Fatalf("GET /jobs did not expose job %s's 3 assignments (got %d)", idB, preWorkers)
+	}
+	agents[victim].Kill()
+
+	stB := waitForState(t, p, idB, JobCompleted)
+	stA := waitForState(t, p, idA, JobCompleted)
+	if stB.Replacements == 0 || stB.Generation == 0 {
+		t.Fatalf("killed agent never triggered a re-placement: %+v", stB)
+	}
+	if stB.Step != 60 {
+		t.Fatalf("re-placed job finished at step %d, want 60", stB.Step)
+	}
+
+	// The unaffected job matches its solo baseline bit for bit.
+	if stA.Replacements != 0 {
+		t.Fatalf("unaffected job was re-placed: %+v", stA)
+	}
+	runA, paramsA, _ := p.JobResult(idA)
+	if !reflect.DeepEqual(zeroElapsed(runA.Records), zeroElapsed(soloRun.Records)) {
+		t.Fatal("unaffected job's records diverged from its solo baseline")
+	}
+	if !reflect.DeepEqual(paramsA, soloParams) {
+		t.Fatal("unaffected job's final params diverged from its solo baseline")
+	}
+
+	// The final API view: both jobs terminal, B's successor assignment no
+	// longer includes the killed agent.
+	for _, j := range getJobs() {
+		switch j.ID {
+		case idA, idB:
+			if j.State != JobCompleted {
+				t.Fatalf("GET /jobs shows %s as %s after completion", j.ID, j.State)
+			}
+		}
+		if j.ID == idB {
+			for _, w := range j.Workers {
+				if w.Agent == victim {
+					t.Fatalf("killed agent %s still appears in %s's assignment", victim, idB)
+				}
+			}
+		}
+	}
+}
+
+// TestReplacementShrinksWhenPoolIsTight: with no idle agents to backfill,
+// the re-derived placement shrinks to the survivors and the job still
+// completes.
+func TestReplacementShrinksWhenPoolIsTight(t *testing.T) {
+	p, agents := startPlane(t, Config{}, 3) // exactly the job's width, no spares
+	id, err := p.Submit(elasticSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForStep(t, p, id, 5)
+	st, _ := p.Job(id)
+	if len(st.Workers) != 3 {
+		t.Fatalf("job has %d workers, want 3", len(st.Workers))
+	}
+	agents[st.Workers[2].Agent].Kill()
+
+	final := waitForState(t, p, id, JobCompleted)
+	if final.Replacements == 0 {
+		t.Fatalf("kill never triggered a re-placement: %+v", final)
+	}
+	if final.N != 2 {
+		t.Fatalf("successor placement n=%d, want 2 (survivors only)", final.N)
+	}
+	if final.Step != 60 {
+		t.Fatalf("job finished at step %d, want 60", final.Step)
+	}
+}

@@ -1,0 +1,152 @@
+package controlplane
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPlaneStateCheckpointRestore covers the scheduler's own durability: a
+// plane stopped mid-run persists its job table and each job's run
+// checkpoint; a second plane over the same state dir re-admits the job and
+// completes it from where the first left off.
+func TestPlaneStateCheckpointRestore(t *testing.T) {
+	dir := t.TempDir()
+
+	spec := elasticSpec() // slow enough to stop mid-run
+	spec.CheckpointEvery = 5
+
+	p1, err := New(Config{FleetAddr: "127.0.0.1:0", StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	agents1 := startAgents(t, p1, 3)
+	waitForIdle(t, p1, 3)
+	id, err := p1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForStep(t, p1, id, 8)
+	p1.Stop() // quiesce at a step boundary, checkpoint everything
+	stopAgents(agents1)
+
+	midStatus := mustJob(t, p1, id)
+	if midStatus.State.terminal() {
+		t.Fatalf("shutdown must leave the job resumable, got %s", midStatus.State)
+	}
+
+	// Second plane life: restore over the same state dir with a fresh
+	// fleet; the job re-admits and runs to completion.
+	p2, err := New(Config{FleetAddr: "127.0.0.1:0", StateDir: dir, Restore: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Stop()
+	restored := mustJob(t, p2, id)
+	if restored.State != JobPending {
+		t.Fatalf("restored job is %s, want pending", restored.State)
+	}
+	agents2 := startAgents(t, p2, 3)
+	defer stopAgents(agents2)
+	st := waitForState(t, p2, id, JobCompleted)
+	if st.Step != spec.MaxSteps {
+		t.Fatalf("resumed job finished at step %d, want %d", st.Step, spec.MaxSteps)
+	}
+	run, _, _ := p2.JobResult(id)
+	if n := run.Steps(); n == 0 || n >= spec.MaxSteps {
+		t.Fatalf("second life recorded %d steps; the restore must resume mid-run, not restart", n)
+	}
+	if first := run.Records[0].Step; first == 0 {
+		t.Fatal("second life started at step 0; it must resume from the checkpoint")
+	}
+
+	// New submissions on the restored plane continue the id sequence
+	// instead of colliding with the restored job.
+	id2, err := p2.Submit(steadySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 == id {
+		t.Fatalf("restored plane reissued job id %s", id2)
+	}
+	waitForState(t, p2, id2, JobCompleted)
+}
+
+// TestRestoredTerminalJobsAreRecords: terminal jobs come back queryable
+// but are never re-admitted.
+func TestRestoredTerminalJobsAreRecords(t *testing.T) {
+	dir := t.TempDir()
+	p1, err := New(Config{FleetAddr: "127.0.0.1:0", StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	agents := startAgents(t, p1, 3)
+	waitForIdle(t, p1, 3)
+	id, err := p1.Submit(steadySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, p1, id, JobCompleted)
+	p1.Stop()
+	stopAgents(agents)
+
+	p2, err := New(Config{FleetAddr: "127.0.0.1:0", StateDir: dir, Restore: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Stop()
+	st := mustJob(t, p2, id)
+	if st.State != JobCompleted {
+		t.Fatalf("restored completed job is %s", st.State)
+	}
+	// No fleet attached: give the admission loop a moment to (wrongly) try
+	// to run it, then confirm it is still a record.
+	time.Sleep(100 * time.Millisecond)
+	if st := mustJob(t, p2, id); st.State != JobCompleted {
+		t.Fatalf("restored completed job was re-admitted into %s", st.State)
+	}
+}
+
+// startAgents/stopAgents are the non-Cleanup variants for tests that cycle
+// multiple plane lives in one test body.
+func startAgents(t *testing.T, p *Plane, n int) []*Agent {
+	t.Helper()
+	agents := make([]*Agent, n)
+	for i := range agents {
+		a, err := NewAgent(AgentConfig{FleetAddr: p.FleetAddr(), Name: agentName(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents[i] = a
+		go func() { _ = a.Run() }()
+	}
+	return agents
+}
+
+func stopAgents(agents []*Agent) {
+	for _, a := range agents {
+		a.Stop()
+	}
+}
+
+func agentName(i int) string { return string(rune('a'+i)) + "-agent" }
+
+func mustJob(t *testing.T, p *Plane, id string) JobStatus {
+	t.Helper()
+	st, ok := p.Job(id)
+	if !ok {
+		t.Fatalf("job %s is unknown", id)
+	}
+	return st
+}
