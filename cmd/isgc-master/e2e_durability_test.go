@@ -177,7 +177,10 @@ func TestE2EKillAndRestore(t *testing.T) {
 		entries, _ := os.ReadDir(ckptDir)
 		found := false
 		for _, e := range entries {
-			if strings.HasPrefix(e.Name(), "ckpt-") {
+			// Only a fully renamed checkpoint counts: Save writes through a
+			// "ckpt-*.json.tmp-*" temp file in the same dir, and killing the
+			// master while that is still mid-write leaves nothing to restore.
+			if strings.HasPrefix(e.Name(), "ckpt-") && !strings.Contains(e.Name(), ".tmp") {
 				found = true
 			}
 		}

@@ -44,6 +44,7 @@ type Agent struct {
 	curJob     string          // current assignment's job id
 	curDone    chan struct{}   // closed when the current run goroutine exits
 	curStopped bool            // this run was stopped by the agent (release/supersede)
+	lastEpoch  int             // epoch of the newest assignment, echoed in dones
 
 	stopping atomic.Bool
 	stopOnce sync.Once
@@ -110,14 +111,14 @@ func (a *Agent) Run() error {
 			// A release for a job this agent no longer runs is stale —
 			// ignoring it is what makes release job-scoped end to end.
 			a.mu.Lock()
-			cur, busy := a.curJob, a.curDone != nil
+			cur, busy, epoch := a.curJob, a.curDone != nil, a.lastEpoch
 			a.mu.Unlock()
 			switch {
 			case busy && (m.JobID == "" || m.JobID == cur):
 				a.stopCurrent()
 			case !busy && m.JobID == "":
 				// Idle, unscoped release: ack so the pool view converges.
-				_ = c.send(&fleetMsg{Kind: fleetDone, Status: StatusStopped})
+				_ = c.send(&fleetMsg{Kind: fleetDone, Status: StatusStopped, Epoch: epoch})
 			}
 		case fleetAssign:
 			a.stopCurrent()
@@ -166,14 +167,18 @@ func (a *Agent) stopCurrent() bool {
 // startAssignment builds the worker for one assignment and runs it in the
 // background; the run goroutine owns the fleetDone report.
 func (a *Agent) startAssignment(c *fconn, as *Assignment) {
+	a.mu.Lock()
+	a.lastEpoch = as.Epoch
+	a.mu.Unlock()
 	a.cfg.Events.Info("agent.assigned", "received assignment", events.NoStep, as.WorkerID,
 		events.Fields{"agent": a.cfg.Name, "job": as.JobID, "generation": as.Generation,
-			"master": as.MasterAddr, "n": as.Scheme.N})
+			"master": as.MasterAddr, "n": as.Scheme.N, "epoch": as.Epoch})
 	w, err := buildWorker(as, a.cfg.Events)
 	if err != nil {
 		a.cfg.Events.Error("agent.assignment_failed", "could not build worker", events.NoStep,
 			as.WorkerID, events.Fields{"agent": a.cfg.Name, "job": as.JobID, "error": err.Error()})
-		_ = c.send(&fleetMsg{Kind: fleetDone, JobID: as.JobID, Status: StatusError, Error: err.Error()})
+		_ = c.send(&fleetMsg{Kind: fleetDone, JobID: as.JobID, Status: StatusError, Error: err.Error(),
+			Epoch: as.Epoch})
 		return
 	}
 	done := make(chan struct{})
@@ -199,7 +204,8 @@ func (a *Agent) startAssignment(c *fconn, as *Assignment) {
 		}
 		a.cfg.Events.Info("agent.run_finished", "worker run ended", events.NoStep, as.WorkerID,
 			events.Fields{"agent": a.cfg.Name, "job": as.JobID, "steps": steps, "status": status})
-		_ = c.send(&fleetMsg{Kind: fleetDone, JobID: as.JobID, Status: status, Error: errMsg})
+		_ = c.send(&fleetMsg{Kind: fleetDone, JobID: as.JobID, Status: status, Error: errMsg,
+			Epoch: as.Epoch})
 	}()
 }
 

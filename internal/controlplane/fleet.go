@@ -29,6 +29,12 @@ type fleetAgent struct {
 	// scheduler never guesses at an agent's state.
 	jobID    string
 	workerID int
+	// epoch counts this agent's bindings (claims and assignments). Each
+	// pushed Assignment carries the epoch it was stamped with, and the
+	// agent echoes it in the matching fleetDone; a done whose epoch is not
+	// the current one belongs to a superseded assignment and must not
+	// clear the binding.
+	epoch int
 	// gen increments per (re-)registration so a stale reader cannot mark a
 	// reborn agent's fresh connection dead.
 	gen int
@@ -191,11 +197,27 @@ func (f *fleet) readFrom(name string, gen int, c *fconn) {
 		}
 		a.lastSeen = time.Now()
 		var done *fleetMsg
+		stale := false
 		if m.Kind == fleetDone {
-			a.jobID, a.workerID = "", 0
-			done = m
+			// Only a done for the CURRENT assignment epoch frees the agent.
+			// A superseding assignment (live re-placement hands survivors
+			// their new slot while the old worker is still winding down)
+			// bumps the epoch first, so the old worker's late done must not
+			// mark the agent idle — that would let admission hand the agent
+			// to another job and kill the successor run.
+			if m.Epoch == a.epoch {
+				a.jobID, a.workerID = "", 0
+				done = m
+			} else {
+				stale = true
+			}
 		}
 		f.mu.Unlock()
+		if stale {
+			f.events.Debug("plane.agent_done_stale", "ignoring done from a superseded assignment",
+				events.NoStep, events.NoWorker, events.Fields{"agent": name, "job": m.JobID,
+					"status": m.Status, "epoch": m.Epoch})
+		}
 		if done != nil {
 			f.events.Info("plane.agent_done", "agent finished its assignment", events.NoStep,
 				events.NoWorker, events.Fields{"agent": name, "job": done.JobID, "status": done.Status})
@@ -295,6 +317,8 @@ func (f *fleet) assign(name string, as *Assignment) error {
 		f.mu.Unlock()
 		return fmt.Errorf("controlplane: agent %q is not alive", name)
 	}
+	a.epoch++
+	as.Epoch = a.epoch
 	a.jobID, a.workerID = as.JobID, as.WorkerID
 	c := a.c
 	f.mu.Unlock()
@@ -322,6 +346,27 @@ func (f *fleet) release(name, jobID string) {
 	if c != nil {
 		if err := c.send(&fleetMsg{Kind: fleetRelease, JobID: jobID}); err != nil {
 			c.close()
+		}
+	}
+}
+
+// unclaim drops a claim that never became an assignment (admission
+// reserved the agents, then observed the job was killed before any
+// assignment was pushed). There is nothing for the agent to stop and no
+// done will ever arrive for the claim, so the binding is cleared directly
+// — a release here would leave the agent stuck busy forever.
+func (f *fleet) unclaim(name, jobID string) {
+	f.mu.Lock()
+	a := f.agents[name]
+	changed := a != nil && a.jobID == jobID
+	if changed {
+		a.jobID, a.workerID = "", 0
+	}
+	f.mu.Unlock()
+	if changed {
+		f.updateGauges()
+		if f.onChange != nil {
+			f.onChange()
 		}
 	}
 }

@@ -1,0 +1,206 @@
+package controlplane
+
+import (
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+
+	"isgc/internal/cliconfig"
+)
+
+// rawAgent speaks the fleet wire protocol by hand, so tests can control
+// exactly which done (and which epoch) the fleet sees and when.
+type rawAgent struct {
+	t *testing.T
+	c *fconn
+}
+
+func dialRawAgent(t *testing.T, fl *fleet, name string) *rawAgent {
+	t.Helper()
+	raw, err := net.Dial("tcp", fl.addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newFconn(raw)
+	t.Cleanup(c.close)
+	if err := c.send(&fleetMsg{Kind: fleetHello, Name: name}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !fl.aliveAgent(name) {
+		if time.Now().After(deadline) {
+			t.Fatalf("agent %s never registered", name)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return &rawAgent{t: t, c: c}
+}
+
+func (a *rawAgent) recvAssign() *Assignment {
+	a.t.Helper()
+	m, err := a.c.recv()
+	if err != nil {
+		a.t.Fatal(err)
+	}
+	if m.Kind != fleetAssign {
+		a.t.Fatalf("got %q, want assign", m.Kind)
+	}
+	return m.Assign
+}
+
+func (a *rawAgent) sendDone(jobID, status string, epoch int) {
+	a.t.Helper()
+	if err := a.c.send(&fleetMsg{Kind: fleetDone, JobID: jobID, Status: status, Epoch: epoch}); err != nil {
+		a.t.Fatal(err)
+	}
+}
+
+// TestStaleDoneKeepsSuccessorBinding is the regression for the live
+// re-placement race: a survivor gets its successor assignment pushed
+// while the old worker is still winding down, and the old worker's late
+// done must NOT mark the agent idle (or fire the scheduler callbacks) —
+// only the successor's own done, carrying the newer epoch, frees it.
+func TestStaleDoneKeepsSuccessorBinding(t *testing.T) {
+	fl := newFleet(5*time.Second, nil, nil)
+	doneCh := make(chan string, 4)
+	fl.onDone = func(agent, jobID, status, errMsg string) { doneCh <- status }
+	if err := fl.start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fl.close)
+
+	a := dialRawAgent(t, fl, "raw-0")
+	scheme := cliconfig.SchemeSpec{Scheme: "cr", N: 1, C: 1}
+
+	// First assignment, then a superseding one for the SAME job and worker
+	// id — the shape a survivor re-assignment takes.
+	if err := fl.assign("raw-0", &Assignment{JobID: "job-1", WorkerID: 0, Scheme: scheme}); err != nil {
+		t.Fatal(err)
+	}
+	first := a.recvAssign()
+	if err := fl.assign("raw-0", &Assignment{JobID: "job-1", WorkerID: 0, Scheme: scheme}); err != nil {
+		t.Fatal(err)
+	}
+	second := a.recvAssign()
+	if second.Epoch <= first.Epoch {
+		t.Fatalf("epochs not monotonic: first %d, second %d", first.Epoch, second.Epoch)
+	}
+
+	// The superseded worker's done arrives AFTER the new binding, then the
+	// successor's own done. The connection is processed in order, so the
+	// first callback the fleet fires tells us whether the stale done leaked.
+	a.sendDone("job-1", StatusStopped, first.Epoch)
+	a.sendDone("job-1", StatusExited, second.Epoch)
+	select {
+	case status := <-doneCh:
+		if status != StatusExited {
+			t.Fatalf("stale done reached onDone (status %q); want only the successor's %q",
+				status, StatusExited)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("successor done never reached onDone")
+	}
+	select {
+	case status := <-doneCh:
+		t.Fatalf("unexpected second onDone with status %q", status)
+	case <-time.After(100 * time.Millisecond):
+	}
+	for _, v := range fl.snapshot() {
+		if v.Name == "raw-0" && v.JobID != "" {
+			t.Fatalf("agent still bound to %q after the current-epoch done", v.JobID)
+		}
+	}
+}
+
+// TestStaleDoneBindingSurvivesUntilCurrentDone pins the binding itself:
+// after a stale done is processed the agent must still show as assigned.
+func TestStaleDoneBindingSurvivesUntilCurrentDone(t *testing.T) {
+	fl := newFleet(5*time.Second, nil, nil)
+	if err := fl.start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fl.close)
+
+	a := dialRawAgent(t, fl, "raw-1")
+	scheme := cliconfig.SchemeSpec{Scheme: "cr", N: 1, C: 1}
+	if err := fl.assign("raw-1", &Assignment{JobID: "job-A", WorkerID: 0, Scheme: scheme}); err != nil {
+		t.Fatal(err)
+	}
+	first := a.recvAssign()
+	if err := fl.assign("raw-1", &Assignment{JobID: "job-A", WorkerID: 0, Scheme: scheme}); err != nil {
+		t.Fatal(err)
+	}
+	a.recvAssign()
+
+	a.sendDone("job-A", StatusStopped, first.Epoch)
+	// A ping after the stale done acts as a fence: once lastSeen moves, the
+	// done has been processed by the same reader goroutine.
+	before := time.Now()
+	if err := a.c.send(&fleetMsg{Kind: fleetPing}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var v AgentView
+		for _, s := range fl.snapshot() {
+			if s.Name == "raw-1" {
+				v = s
+			}
+		}
+		if v.LastSeenAgeSeconds < time.Since(before).Seconds() {
+			if v.JobID != "job-A" {
+				t.Fatalf("stale done cleared the binding: agent bound to %q, want job-A", v.JobID)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("fleet never processed the ping")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestSubmitAfterStopRejected covers the shutdown race: once stop began,
+// a submission must fail deterministically instead of parking a job in a
+// table no admission loop will ever scan again.
+func TestSubmitAfterStopRejected(t *testing.T) {
+	p, _ := startPlane(t, Config{}, 0)
+	p.Stop()
+	if _, err := p.Submit(steadySpec()); err == nil {
+		t.Fatal("Submit after Stop succeeded; want an error")
+	}
+}
+
+// TestWorkerFaultJSONDefaults is the regression for delay-only faults: an
+// omitted crash_at_step must decode as -1 (disabled), not as the zero
+// value 0 ("crash at step 0").
+func TestWorkerFaultJSONDefaults(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{`{"worker":1,"delay":1000000}`, -1},
+		{`{"worker":1}`, -1},
+		{`{"worker":1,"crash_at_step":0}`, 0},
+		{`{"worker":1,"crash_at_step":7}`, 7},
+		{`{"worker":1,"crash_at_step":-1}`, -1},
+	}
+	for _, c := range cases {
+		var f WorkerFault
+		if err := json.Unmarshal([]byte(c.in), &f); err != nil {
+			t.Fatalf("unmarshal %s: %v", c.in, err)
+		}
+		if f.CrashAtStep != c.want {
+			t.Errorf("%s: CrashAtStep = %d, want %d", c.in, f.CrashAtStep, c.want)
+		}
+	}
+	var spec JobSpec
+	blob := `{"scheme":{"scheme":"cr","n":3,"c":2},"faults":[{"worker":0,"delay":1000000}]}`
+	if err := json.Unmarshal([]byte(blob), &spec); err != nil {
+		t.Fatal(err)
+	}
+	if got := spec.Faults[0].CrashAtStep; got != -1 {
+		t.Fatalf("delay-only fault inside a JobSpec got CrashAtStep %d, want -1", got)
+	}
+}

@@ -1,6 +1,7 @@
 package controlplane
 
 import (
+	"encoding/json"
 	"fmt"
 	"sync"
 	"time"
@@ -50,10 +51,24 @@ func (s JobState) terminal() bool {
 type WorkerFault struct {
 	// Worker is the slot index in [0, N).
 	Worker int `json:"worker"`
-	// CrashAtStep kills the worker at that step (< 0 disables).
+	// CrashAtStep kills the worker at that step (< 0 disables; omitted in
+	// JSON it defaults to -1, not 0 — see UnmarshalJSON).
 	CrashAtStep int `json:"crash_at_step"`
 	// Delay injects an exponential pre-upload delay with this mean.
 	Delay time.Duration `json:"delay,omitempty"`
+}
+
+// UnmarshalJSON defaults an omitted crash_at_step to -1 (disabled). The
+// struct zero value would otherwise mean "crash at step 0", so a fault
+// that only sets a delay would kill its worker immediately.
+func (f *WorkerFault) UnmarshalJSON(b []byte) error {
+	type plain WorkerFault // no methods: plain decode, no recursion
+	p := plain{CrashAtStep: -1}
+	if err := json.Unmarshal(b, &p); err != nil {
+		return err
+	}
+	*f = WorkerFault(p)
+	return nil
 }
 
 // JobSpec is everything a job submission carries — scheme, data, training

@@ -36,6 +36,11 @@ type scheduler struct {
 	jobs  map[string]*job
 	order []string
 	seq   int
+	// stopping rejects submissions once shutdown began. It shares mu with
+	// the job table, so a Submit either lands before stop's snapshot (and
+	// is quiesced and persisted like any other job) or fails — never a
+	// silent forever-pending job.
+	stopping bool
 
 	pokeCh   chan struct{}
 	quit     chan struct{}
@@ -69,13 +74,14 @@ func (s *scheduler) start() {
 // stop quiesces every running job at a step boundary (state preserved for
 // a restore), stops the loops, and saves the scheduler's state.
 func (s *scheduler) stop() {
-	s.stopOnce.Do(func() { close(s.quit) })
 	s.mu.Lock()
+	s.stopping = true
 	jobs := make([]*job, 0, len(s.jobs))
 	for _, j := range s.jobs {
 		jobs = append(jobs, j)
 	}
 	s.mu.Unlock()
+	s.stopOnce.Do(func() { close(s.quit) })
 	for _, j := range jobs {
 		j.mu.Lock()
 		var m *cluster.Master
@@ -116,12 +122,11 @@ func (s *scheduler) Submit(spec JobSpec) (string, error) {
 	if err := spec.Normalize(); err != nil {
 		return "", err
 	}
-	select {
-	case <-s.quit:
-		return "", fmt.Errorf("controlplane: scheduler is shut down")
-	default:
-	}
 	s.mu.Lock()
+	if s.stopping {
+		s.mu.Unlock()
+		return "", fmt.Errorf("controlplane: scheduler is shut down")
+	}
 	s.seq++
 	id := fmt.Sprintf("job-%03d", s.seq)
 	j := &job{id: id, spec: spec, state: JobPending, n: spec.Scheme.N, evicted: -1,
@@ -305,8 +310,10 @@ func (s *scheduler) admitPending() {
 		j.mu.Lock()
 		if j.state != JobPending { // raced a kill
 			j.mu.Unlock()
+			// No assignment was pushed yet, so there is no worker to
+			// release and no done coming — drop the claims directly.
 			for _, a := range agents {
-				s.fl.release(a, id)
+				s.fl.unclaim(a, id)
 			}
 			continue
 		}
@@ -340,6 +347,10 @@ func (s *scheduler) claim(agents []string, jobID string) bool {
 			s.fl.mu.Unlock()
 			return false
 		}
+		// A claim opens a new binding epoch; the assign that follows bumps
+		// it again and stamps the Assignment, so any done still in flight
+		// for an older epoch cannot dissolve the claim.
+		a.epoch++
 		a.jobID = jobID
 	}
 	s.fl.mu.Unlock()

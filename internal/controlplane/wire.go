@@ -60,6 +60,14 @@ const (
 type Assignment struct {
 	// JobID names the job; it comes back in the agent's fleetDone.
 	JobID string
+	// Epoch is the agent's monotonic assignment epoch, stamped by the
+	// fleet when the assignment is pushed and echoed in the agent's
+	// fleetDone. The fleet only clears the agent's binding when the done's
+	// epoch matches the current one — matching on JobID/WorkerID is not
+	// enough, because a survivor re-assignment during live re-placement
+	// reuses the same job id and may reuse the worker id, and the stale
+	// done of the superseded run must not free the agent mid-run.
+	Epoch int
 	// Generation is the job's master generation (0 on admission, +1 per
 	// re-placement) — for logs and events only.
 	Generation int
@@ -98,6 +106,7 @@ type fleetMsg struct {
 	JobID  string      // fleetDone: which assignment ended
 	Status string      // fleetDone: how it ended
 	Error  string      // fleetDone: diagnostic for StatusError
+	Epoch  int         // fleetDone: the ended assignment's epoch
 	Assign *Assignment // fleetAssign payload
 }
 
