@@ -1,0 +1,153 @@
+// The diff subcommand compares two isgc-bench JSON reports:
+//
+//	isgc-bench diff [-fail-over 10] old.json new.json
+//
+// It prints a per-benchmark delta table (ns/op, B/op, allocs/op) with
+// added/removed benchmarks called out, and with -fail-over N exits
+// non-zero when any benchmark's ns/op regressed by more than N percent —
+// the CI perf gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// benchDelta is one row of the diff: a benchmark present in either
+// report, with percentage deltas where it exists in both.
+type benchDelta struct {
+	Name     string
+	Old, New *Result
+}
+
+// pct returns the percentage change new vs old; +Inf when old is zero
+// and new is not (a regression from nothing is always worth seeing).
+func pct(oldV, newV float64) float64 {
+	if oldV == 0 {
+		if newV == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (newV - oldV) / oldV * 100
+}
+
+func loadReport(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results", path)
+	}
+	return &rep, nil
+}
+
+// diffReports joins two reports by benchmark name, old-report order
+// first, then new-only benchmarks in new-report order.
+func diffReports(oldRep, newRep *Report) []benchDelta {
+	newBy := make(map[string]*Result, len(newRep.Results))
+	for i := range newRep.Results {
+		newBy[newRep.Results[i].Name] = &newRep.Results[i]
+	}
+	seen := make(map[string]bool, len(oldRep.Results))
+	var rows []benchDelta
+	for i := range oldRep.Results {
+		r := &oldRep.Results[i]
+		seen[r.Name] = true
+		rows = append(rows, benchDelta{Name: r.Name, Old: r, New: newBy[r.Name]})
+	}
+	for i := range newRep.Results {
+		r := &newRep.Results[i]
+		if !seen[r.Name] {
+			rows = append(rows, benchDelta{Name: r.Name, New: r})
+		}
+	}
+	return rows
+}
+
+// fmtDelta renders a percentage delta column: signed, one decimal, with
+// "new"/"gone" for benchmarks present on only one side.
+func fmtDelta(d benchDelta, metric func(*Result) float64) string {
+	switch {
+	case d.Old == nil:
+		return "new"
+	case d.New == nil:
+		return "gone"
+	}
+	oldV, newV := metric(d.Old), metric(d.New)
+	if oldV < 0 || newV < 0 { // -benchmem missing on one side
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", pct(oldV, newV))
+}
+
+// runDiff prints the delta table and returns an error when -fail-over is
+// set and any ns/op regression exceeds it.
+func runDiff(oldPath, newPath string, failOver float64, out io.Writer) error {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+	rows := diffReports(oldRep, newRep)
+	fmt.Fprintf(out, "%-52s %12s %12s %9s %9s %9s\n",
+		"BENCHMARK", "OLD ns/op", "NEW ns/op", "Δns/op", "ΔB/op", "Δallocs")
+	var worst struct {
+		name string
+		pct  float64
+	}
+	for _, d := range rows {
+		oldNs, newNs := "-", "-"
+		if d.Old != nil {
+			oldNs = fmt.Sprintf("%.1f", d.Old.NsPerOp)
+		}
+		if d.New != nil {
+			newNs = fmt.Sprintf("%.1f", d.New.NsPerOp)
+		}
+		fmt.Fprintf(out, "%-52s %12s %12s %9s %9s %9s\n",
+			d.Name, oldNs, newNs,
+			fmtDelta(d, func(r *Result) float64 { return r.NsPerOp }),
+			fmtDelta(d, func(r *Result) float64 { return r.BytesPerOp }),
+			fmtDelta(d, func(r *Result) float64 { return r.AllocsPerOp }))
+		if d.Old != nil && d.New != nil {
+			if p := pct(d.Old.NsPerOp, d.New.NsPerOp); p > worst.pct {
+				worst.name, worst.pct = d.Name, p
+			}
+		}
+	}
+	if worst.name != "" {
+		fmt.Fprintf(out, "worst ns/op regression: %s %+.1f%%\n", worst.name, worst.pct)
+	}
+	if failOver > 0 && worst.pct > failOver {
+		return fmt.Errorf("%s regressed %.1f%% > %.1f%% threshold", worst.name, worst.pct, failOver)
+	}
+	return nil
+}
+
+// cmdDiff parses the diff subcommand's arguments and runs it.
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	failOver := fs.Float64("fail-over", 0, "exit non-zero when any ns/op regression exceeds this percentage (0 disables)")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: isgc-bench diff [-fail-over PCT] old.json new.json")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return fmt.Errorf("diff needs exactly two report files")
+	}
+	return runDiff(fs.Arg(0), fs.Arg(1), *failOver, os.Stdout)
+}

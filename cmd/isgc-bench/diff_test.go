@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, path string, results []Result) {
+	t.Helper()
+	b, err := json.Marshal(Report{GoVersion: "go1.24", Results: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffTable(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeReport(t, oldPath, []Result{
+		{Name: "BenchmarkSame", NsPerOp: 100, BytesPerOp: 64, AllocsPerOp: 2},
+		{Name: "BenchmarkFaster", NsPerOp: 200, BytesPerOp: 64, AllocsPerOp: 2},
+		{Name: "BenchmarkSlower", NsPerOp: 100, BytesPerOp: 64, AllocsPerOp: 2},
+		{Name: "BenchmarkGone", NsPerOp: 50, BytesPerOp: -1, AllocsPerOp: -1},
+	})
+	writeReport(t, newPath, []Result{
+		{Name: "BenchmarkSame", NsPerOp: 100, BytesPerOp: 64, AllocsPerOp: 2},
+		{Name: "BenchmarkFaster", NsPerOp: 100, BytesPerOp: 32, AllocsPerOp: 1},
+		{Name: "BenchmarkSlower", NsPerOp: 150, BytesPerOp: 128, AllocsPerOp: 4},
+		{Name: "BenchmarkNew", NsPerOp: 10, BytesPerOp: 0, AllocsPerOp: 0},
+	})
+
+	var out strings.Builder
+	if err := runDiff(oldPath, newPath, 0, &out); err != nil {
+		t.Fatalf("runDiff: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"BenchmarkFaster", "-50.0%", // halved
+		"BenchmarkSlower", "+50.0%",
+		"BenchmarkSame", "+0.0%",
+		"new", "gone",
+		"worst ns/op regression: BenchmarkSlower +50.0%",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("diff output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestDiffFailOver(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeReport(t, oldPath, []Result{{Name: "BenchmarkX", NsPerOp: 100}})
+	writeReport(t, newPath, []Result{{Name: "BenchmarkX", NsPerOp: 125}})
+
+	var out strings.Builder
+	// 25% regression passes a 30% gate, fails a 10% gate.
+	if err := runDiff(oldPath, newPath, 30, &out); err != nil {
+		t.Fatalf("under threshold should pass: %v", err)
+	}
+	err := runDiff(oldPath, newPath, 10, &out)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkX") {
+		t.Fatalf("over threshold should fail naming the benchmark, got %v", err)
+	}
+}
+
+func TestDiffErrors(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	writeReport(t, good, []Result{{Name: "BenchmarkX", NsPerOp: 1}})
+
+	var out strings.Builder
+	if err := runDiff(filepath.Join(dir, "missing.json"), good, 0, &out); err == nil {
+		t.Fatal("missing old report should error")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{not json"), 0o644)
+	if err := runDiff(good, bad, 0, &out); err == nil {
+		t.Fatal("malformed new report should error")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	os.WriteFile(empty, []byte(`{"results":[]}`), 0o644)
+	if err := runDiff(good, empty, 0, &out); err == nil {
+		t.Fatal("empty report should error")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := pct(100, 150); got != 50 {
+		t.Errorf("pct(100,150) = %v", got)
+	}
+	if got := pct(0, 5); !math.IsInf(got, 1) {
+		t.Errorf("pct(0,5) = %v, want +Inf", got)
+	}
+	if got := pct(0, 0); got != 0 {
+		t.Errorf("pct(0,0) = %v", got)
+	}
+}

@@ -6,6 +6,11 @@
 // Usage:
 //
 //	go test -run='^$' -bench=. -benchmem ./... | isgc-bench -o BENCH_PR5.json
+//	isgc-bench diff [-fail-over 10] BENCH_PR5.json BENCH_PR6.json
+//
+// diff compares two reports benchmark-by-benchmark and prints a delta
+// table; -fail-over N makes it exit non-zero when any ns/op regression
+// exceeds N percent, which is the CI perf gate.
 //
 // The parser understands the standard benchmark line grammar — name,
 // iteration count, then (value, unit) pairs — so custom units reported
@@ -139,6 +144,13 @@ func run(in io.Reader, out io.Writer) error {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		if err := cmdDiff(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "isgc-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	outPath := flag.String("o", "", "write the JSON report to this file (default stdout)")
 	flag.Parse()
 	out := io.Writer(os.Stdout)

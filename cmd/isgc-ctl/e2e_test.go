@@ -106,9 +106,14 @@ func TestE2EControlPlane(t *testing.T) {
 	adminAddr := freeAddr(t)
 	base := "http://" + adminAddr
 
+	// The SLO flags arm the recovered-fraction floor: every job here runs
+	// cr(3,2), whose best decode recovers 2 of 3 partitions (0.67 < 0.9),
+	// so the floor rule must fire while jobs run — and `isgc-ctl alerts`
+	// must show it.
 	master := exec.Command(masterBin,
 		"-controlplane", "-fleet-addr", fleetAddr, "-metrics-addr", adminAddr,
-		"-state-dir", filepath.Join(t.TempDir(), "state"))
+		"-state-dir", filepath.Join(t.TempDir(), "state"),
+		"-obs-interval", "100ms", "-slo-recovered-floor", "0.9", "-slo-window", "1s")
 	masterOut := &syncBuffer{}
 	master.Stdout = masterOut
 	master.Stderr = masterOut
@@ -246,6 +251,27 @@ func TestE2EControlPlane(t *testing.T) {
 	}
 	_ = w.Wait()
 	delete(workers, victim)
+
+	// While the elastic job is still grinding below the floor, the SLO
+	// engine fires and `isgc-ctl alerts` renders it.
+	deadline = time.Now().Add(60 * time.Second)
+	for {
+		out, _ := ctl(t, ctlBin, base, "alerts")
+		// " firing " matches the padded STATE column, not the summary
+		// line's firing=N counter.
+		if strings.Contains(out, "recovered-fraction-floor") && strings.Contains(out, " firing ") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("isgc-ctl alerts never showed the floor rule firing:\n%s\nmaster:\n%s",
+				out, masterOut.String())
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	// The -firing gate form exits non-zero while an alert is live.
+	if out, err := ctl(t, ctlBin, base, "alerts", "-firing"); err == nil {
+		t.Fatalf("isgc-ctl alerts -firing should exit non-zero during a breach:\n%s", out)
+	}
 
 	// The CLI gate CI asserts: wait exits 0 only when every job completes.
 	out, err := ctl(t, ctlBin, base, "wait", idQuick1, idQuick2, idElastic)

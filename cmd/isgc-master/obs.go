@@ -1,0 +1,104 @@
+// Observability wiring shared by the single-run master and the control
+// plane: the in-process time-series store behind /api/timeseries and
+// /debug/dash, the SLO rule engine behind /api/alerts, and the continuous
+// profiler behind /debug/profiles. All three are assembled from the same
+// flag set so a single-run master and a control plane read identically to
+// an operator.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"isgc/internal/events"
+	"isgc/internal/obs"
+)
+
+// obsOptions collects the observability flags.
+type obsOptions struct {
+	sampleInterval time.Duration // time-series sampling period (0 = 1s)
+	retention      int           // samples retained per series (0 = default)
+
+	profileDir      string        // continuous-profiling directory (empty disables)
+	profileInterval time.Duration // capture period (0 = 60s)
+	profileKeep     int           // retained captures per kind (0 = default)
+
+	sloRecoveredFloor float64       // fire when recovered fraction < floor (0 disables)
+	sloGatherP95      time.Duration // fire when gather p95 > bound (0 disables)
+	sloWindow         time.Duration // evaluation window for both rules (0 = 30s)
+}
+
+// sloRules translates the flag set into rule definitions. An empty slice
+// means no engine is built at all.
+func (o obsOptions) sloRules() []obs.Rule {
+	var rules []obs.Rule
+	if o.sloRecoveredFloor > 0 {
+		rules = append(rules, obs.Rule{
+			Name:     "recovered-fraction-floor",
+			Series:   "isgc_master_recovered_fraction",
+			Agg:      obs.AggLast,
+			Window:   o.sloWindow,
+			Op:       obs.OpBelow,
+			Bound:    o.sloRecoveredFloor,
+			Severity: "error",
+		})
+	}
+	if o.sloGatherP95 > 0 {
+		rules = append(rules, obs.Rule{
+			Name:   "gather-p95-ceiling",
+			Series: "isgc_master_gather_latency_seconds_p95",
+			Agg:    obs.AggLast,
+			Window: o.sloWindow,
+			Op:     obs.OpAbove,
+			Bound:  o.sloGatherP95.Seconds(),
+		})
+	}
+	return rules
+}
+
+// buildObs assembles and starts the store, rule engine, and profiler per
+// the flag set. Any component can come back nil (disabled); the returned
+// stop function is always safe to call. The store is returned un-sourced —
+// the caller decides what registries feed it (the single-run master adds
+// its own registry, the control plane adds the plane registry and lets the
+// scheduler federate per-job ones).
+func buildObs(o obsOptions, ev *events.Log, withStore bool) (*obs.Store, *obs.Rules, *obs.Profiler, func(), error) {
+	var (
+		store *obs.Store
+		rules *obs.Rules
+		prof  *obs.Profiler
+	)
+	if withStore {
+		store = obs.NewStore(obs.StoreConfig{
+			Interval:  o.sampleInterval,
+			Retention: o.retention,
+		})
+		store.Start()
+		rules = obs.NewRules(obs.RulesConfig{
+			Store:  store,
+			Rules:  o.sloRules(),
+			Events: ev,
+		})
+		rules.Start()
+	}
+	if o.profileDir != "" {
+		p, err := obs.NewProfiler(obs.ProfilerConfig{
+			Dir:      o.profileDir,
+			Interval: o.profileInterval,
+			Keep:     o.profileKeep,
+		})
+		if err != nil {
+			store.Stop()
+			rules.Stop()
+			return nil, nil, nil, nil, fmt.Errorf("profiling: %w", err)
+		}
+		p.Start()
+		prof = p
+	}
+	stop := func() {
+		rules.Stop()
+		store.Stop()
+		prof.Stop()
+	}
+	return store, rules, prof, stop, nil
+}

@@ -27,6 +27,7 @@ import (
 	"isgc/internal/buildinfo"
 	"isgc/internal/events"
 	"isgc/internal/metrics"
+	"isgc/internal/obs"
 )
 
 // Config configures the admin server.
@@ -44,6 +45,16 @@ type Config struct {
 	// Timeline backs /debug/timeline with a Chrome trace of the spans
 	// recorded so far; nil serves an empty trace.
 	Timeline *events.Timeline
+	// TimeSeries backs /api/timeseries and the /debug/dash dashboard with
+	// the process's (or the control plane's federated) time-series store;
+	// nil serves an empty catalog and a dashboard with no data.
+	TimeSeries *obs.Store
+	// Alerts backs /api/alerts with the SLO rule engine's state and adds
+	// an "alerts" summary to /healthz; nil serves an empty list.
+	Alerts *obs.Rules
+	// Profiles backs /debug/profiles with the continuous profiler's
+	// retained captures; nil serves an empty list.
+	Profiles *obs.Profiler
 	// Extra mounts additional routes (pattern → handler) into the admin
 	// mux — how the control plane exposes /jobs and /fleet without this
 	// package importing it. Extra patterns must not collide with the
@@ -77,6 +88,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/debug/events", s.handleEvents)
 	mux.HandleFunc("/debug/timeline", s.handleTimeline)
+	mux.Handle("/api/timeseries", obs.HandleTimeseries(s.cfg.TimeSeries))
+	mux.Handle("/api/alerts", obs.HandleAlerts(s.cfg.Alerts))
+	mux.Handle("/debug/dash", obs.HandleDash(s.cfg.TimeSeries))
+	mux.Handle("/debug/profiles", obs.HandleProfiles(s.cfg.Profiles))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -141,8 +156,12 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, "isgc admin endpoints:\n"+
 		"  /metrics         Prometheus exposition\n"+
 		"  /healthz         liveness + degradation summary (JSON)\n"+
+		"  /api/timeseries  windowed time-series query API (JSON; ?name=&window=&step=&agg=&label.K=V)\n"+
+		"  /api/alerts      SLO rule states (JSON)\n"+
+		"  /debug/dash      live dashboard (HTML)\n"+
 		"  /debug/events    recent structured events (JSON; ?n=K limits)\n"+
 		"  /debug/timeline  Chrome trace of the run so far (load in ui.perfetto.dev)\n"+
+		"  /debug/profiles  continuous-profiling captures (JSON; ?download=NAME)\n"+
 		"  /debug/pprof/    Go profiling\n")
 	if len(s.cfg.Extra) > 0 {
 		patterns := make([]string, 0, len(s.cfg.Extra))
@@ -174,6 +193,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		payload = s.cfg.Health()
 	}
 	payload = withBuildInfo(payload)
+	payload = withAlerts(payload, s.cfg.Alerts)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(payload); err != nil {
@@ -198,10 +218,48 @@ func withBuildInfo(payload any) any {
 	return obj
 }
 
+// withAlerts injects the SLO engine's summary — and the firing alerts
+// themselves, so /healthz alone tells an operator what is wrong — into a
+// JSON-object health payload. Same pass-through contract as
+// withBuildInfo; a nil engine adds nothing.
+func withAlerts(payload any, ru *obs.Rules) any {
+	if ru == nil {
+		return payload
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return payload
+	}
+	var obj map[string]any
+	if err := json.Unmarshal(raw, &obj); err != nil || obj == nil {
+		return payload
+	}
+	summary := ru.Summarize()
+	a := map[string]any{"summary": summary}
+	if summary.Firing > 0 {
+		var firing []obs.Alert
+		for _, al := range ru.Alerts() {
+			if al.State == obs.StateFiring {
+				firing = append(firing, al)
+			}
+		}
+		a["firing"] = firing
+	}
+	obj["alerts"] = a
+	return obj
+}
+
+// jsonError writes a structured JSON error body with the right
+// content-type — the admin API contract for malformed queries.
+func jsonError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
 // handleEvents serves the in-memory event ring as a JSON array, oldest
 // first. ?n=K returns only the most recent K events.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
 	evs := s.cfg.Events.Snapshot()
 	if evs == nil {
 		evs = []events.Event{}
@@ -209,13 +267,15 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if q := r.URL.Query().Get("n"); q != "" {
 		n, err := strconv.Atoi(q)
 		if err != nil || n < 0 {
-			http.Error(w, `{"error":"n must be a non-negative integer"}`, http.StatusBadRequest)
+			jsonError(w, http.StatusBadRequest,
+				fmt.Sprintf("n must be a non-negative integer, got %q", q))
 			return
 		}
 		if n < len(evs) {
 			evs = evs[len(evs)-n:]
 		}
 	}
+	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(evs); err != nil {

@@ -15,6 +15,7 @@ import (
 
 	"isgc/internal/events"
 	"isgc/internal/metrics"
+	"isgc/internal/obs"
 )
 
 // TestMetricsGolden pins the /metrics response: status, content type, and
@@ -428,5 +429,129 @@ func TestExtraRoutes(t *testing.T) {
 	}
 	if strings.Index(body, "/fleet") > strings.Index(body, "/jobs") {
 		t.Fatal("extra endpoints are not sorted on the index page")
+	}
+}
+
+// TestDebugEventsParamTable is the table-driven contract for ?n=
+// hardening: malformed and negative values return 400 with a JSON error
+// body and content type, valid values limit.
+func TestDebugEventsParamTable(t *testing.T) {
+	log := events.New(events.Config{})
+	for i := 0; i < 4; i++ {
+		log.Info("tick", "t", i, events.NoWorker, nil)
+	}
+	s := New(Config{Events: log})
+	cases := []struct {
+		name   string
+		url    string
+		status int
+	}{
+		{"no limit", "/debug/events", 200},
+		{"zero", "/debug/events?n=0", 200},
+		{"in range", "/debug/events?n=2", 200},
+		{"past end", "/debug/events?n=99", 200},
+		{"negative", "/debug/events?n=-1", 400},
+		{"malformed", "/debug/events?n=two", 400},
+		{"float", "/debug/events?n=1.5", 400},
+		{"empty value kept as unset", "/debug/events?n=", 200},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := httptest.NewRecorder()
+			s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", tc.url, nil))
+			if rec.Code != tc.status {
+				t.Fatalf("%s: status %d, want %d", tc.url, rec.Code, tc.status)
+			}
+			if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+				t.Errorf("%s: content-type %q, want application/json", tc.url, ct)
+			}
+			if tc.status == 400 && !strings.Contains(rec.Body.String(), `"error"`) {
+				t.Errorf("%s: 400 body %q has no error field", tc.url, rec.Body.String())
+			}
+		})
+	}
+}
+
+// TestObsRoutes exercises the observability surface mounted by the admin
+// server: time-series queries, alerts, the dashboard page, and profiles.
+func TestObsRoutes(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.NewGauge("isgc_master_recovered_fraction", "").Set(0.4)
+	store := obs.NewStore(obs.StoreConfig{Retention: 16})
+	store.AddSource("job/a", reg, map[string]string{"job": "a"})
+	store.SampleNow()
+	rules := obs.NewRules(obs.RulesConfig{
+		Store: store,
+		Rules: []obs.Rule{{
+			Name: "recovered-floor", Series: "isgc_master_recovered_fraction",
+			Agg: obs.AggLast, Window: time.Minute, Op: obs.OpBelow, Bound: 0.9,
+			For: time.Nanosecond,
+		}},
+	})
+	rules.EvalNow()
+	time.Sleep(time.Millisecond)
+	store.SampleNow()
+	rules.EvalNow() // breach held past For → firing
+
+	s := New(Config{
+		Registry:   reg,
+		TimeSeries: store,
+		Alerts:     rules,
+	})
+	get := func(path string) *httptest.ResponseRecorder {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+
+	rec := get("/api/timeseries?name=isgc_master_recovered_fraction&label.job=a")
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"points"`) {
+		t.Fatalf("/api/timeseries: %d %s", rec.Code, rec.Body.String())
+	}
+	rec = get("/api/timeseries?name=x&window=junk")
+	if rec.Code != 400 || !strings.Contains(rec.Body.String(), `"error"`) {
+		t.Fatalf("malformed window: %d %s", rec.Code, rec.Body.String())
+	}
+
+	rec = get("/api/alerts")
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"firing"`) {
+		t.Fatalf("/api/alerts: %d %s", rec.Code, rec.Body.String())
+	}
+
+	rec = get("/debug/dash")
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "/api/timeseries") {
+		t.Fatalf("/debug/dash: %d", rec.Code)
+	}
+
+	rec = get("/debug/profiles")
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"profiles"`) {
+		t.Fatalf("/debug/profiles: %d %s", rec.Code, rec.Body.String())
+	}
+
+	// /healthz carries the alerts summary plus the firing alerts.
+	rec = get("/healthz")
+	var health struct {
+		Alerts struct {
+			Summary obs.Summary `json:"summary"`
+			Firing  []obs.Alert `json:"firing"`
+		} `json:"alerts"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatalf("healthz: %v\n%s", err, rec.Body.String())
+	}
+	if health.Alerts.Summary.Firing != 1 || len(health.Alerts.Firing) != 1 {
+		t.Fatalf("healthz alerts = %+v, want one firing", health.Alerts)
+	}
+	if health.Alerts.Firing[0].Rule != "recovered-floor" {
+		t.Errorf("firing rule = %q", health.Alerts.Firing[0].Rule)
+	}
+
+	// The index advertises the new routes.
+	rec = get("/")
+	for _, want := range []string{"/api/timeseries", "/api/alerts", "/debug/dash", "/debug/profiles"} {
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Errorf("index missing %s", want)
+		}
 	}
 }

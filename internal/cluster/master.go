@@ -383,6 +383,7 @@ func (m *Master) Health() MasterHealth {
 	} else {
 		h.LastCheckpointAgeSeconds = -1
 	}
+	h.GatherP50Seconds, h.GatherP95Seconds = m.cfg.Metrics.gatherQuantiles()
 	for i, ws := range m.workers {
 		v := WorkerHealthView{ID: i, LastSeenAgeSeconds: -1, Generation: -1}
 		if i < len(m.accepted) {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"isgc/internal/metrics"
+	"isgc/internal/trace"
 )
 
 // MasterMetrics is the master's instrument set. Create one per master
@@ -376,9 +377,46 @@ type MasterHealth struct {
 	Generation int `json:"generation"`
 	// LastCheckpointStep is the step of the newest durable checkpoint
 	// (-1 before any); LastCheckpointAgeSeconds its age (-1 before any).
-	LastCheckpointStep       int                `json:"last_checkpoint_step"`
-	LastCheckpointAgeSeconds float64            `json:"last_checkpoint_age_seconds"`
-	Workers                  []WorkerHealthView `json:"workers"`
+	LastCheckpointStep       int     `json:"last_checkpoint_step"`
+	LastCheckpointAgeSeconds float64 `json:"last_checkpoint_age_seconds"`
+	// GatherP50Seconds / GatherP95Seconds are bucket-estimated quantiles
+	// of the lifetime gather-latency histogram (0 when metrics are
+	// disabled or before the first step) — the same estimator the
+	// time-series store and the CLI's printed latency line use.
+	GatherP50Seconds float64            `json:"gather_p50_seconds"`
+	GatherP95Seconds float64            `json:"gather_p95_seconds"`
+	Workers          []WorkerHealthView `json:"workers"`
+}
+
+// gatherQuantiles returns the estimated p50/p95 of the gather-latency
+// histogram (zeros with metrics disabled or no observations yet).
+func (mm *MasterMetrics) gatherQuantiles() (p50, p95 float64) {
+	if mm == nil {
+		return 0, 0
+	}
+	snap := mm.GatherLatency.Snapshot()
+	if snap.Count == 0 {
+		return 0, 0
+	}
+	return snap.Quantile(0.50), snap.Quantile(0.95)
+}
+
+// LatencySummary estimates the run's step-latency order statistics from
+// the gather-latency histogram — the same quantity trace.LatencySummary
+// computes exactly from retained records, available here without keeping
+// every sample. ok is false with metrics disabled or no observations.
+func (mm *MasterMetrics) LatencySummary() (trace.LatencySummary, bool) {
+	if mm == nil {
+		return trace.LatencySummary{}, false
+	}
+	snap := mm.GatherLatency.Snapshot()
+	if snap.Count == 0 {
+		return trace.LatencySummary{}, false
+	}
+	toDur := func(p float64) time.Duration {
+		return time.Duration(snap.Quantile(p) * float64(time.Second))
+	}
+	return trace.LatencySummary{P50: toDur(0.50), P95: toDur(0.95), P99: toDur(0.99)}, true
 }
 
 // WorkerHealth is the worker's /healthz payload.

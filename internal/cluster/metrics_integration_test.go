@@ -193,6 +193,13 @@ func TestMasterMetricsMatchTrace(t *testing.T) {
 	if h.DegradedSteps != res.Run.DegradedSteps() {
 		t.Errorf("health degraded = %d, trace says %d", h.DegradedSteps, res.Run.DegradedSteps())
 	}
+	if h.GatherP95Seconds <= 0 || h.GatherP50Seconds <= 0 {
+		t.Errorf("health gather quantiles p50=%v p95=%v, want > 0 after a run",
+			h.GatherP50Seconds, h.GatherP95Seconds)
+	}
+	if h.GatherP50Seconds > h.GatherP95Seconds {
+		t.Errorf("gather p50 %v > p95 %v", h.GatherP50Seconds, h.GatherP95Seconds)
+	}
 	counts := master.ArrivalCounts()
 	for i, v := range h.Workers {
 		if int(v.AcceptedSteps) != counts[i] {

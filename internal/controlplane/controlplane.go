@@ -21,6 +21,7 @@ import (
 
 	"isgc/internal/events"
 	"isgc/internal/metrics"
+	"isgc/internal/obs"
 	"isgc/internal/trace"
 )
 
@@ -41,6 +42,13 @@ type Config struct {
 	Registry *metrics.Registry
 	// Events, when non-nil, receives the plane's structured event stream.
 	Events *events.Log
+	// Obs, when non-nil, federates every job master's metrics into the
+	// plane-level time-series store: each generation's registry is
+	// registered under the job's id with a {job: <id>} label, so
+	// /api/timeseries answers fleet-wide and per-job queries from one
+	// place. Counter resets across generations are handled by the store's
+	// rate clamp.
+	Obs *obs.Store
 }
 
 // Plane is the assembled control plane: fleet manager + job scheduler.
@@ -60,7 +68,7 @@ func New(cfg Config) (*Plane, error) {
 	}
 	pm := NewPlaneMetrics(cfg.Registry)
 	fl := newFleet(cfg.AgentTimeout, cfg.Events, pm)
-	sched := newScheduler(fl, cfg.Events, pm, cfg.StateDir)
+	sched := newScheduler(fl, cfg.Events, pm, cfg.StateDir, cfg.Obs)
 	return &Plane{cfg: cfg, fl: fl, sched: sched}, nil
 }
 

@@ -1,0 +1,232 @@
+package controlplane
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"isgc/internal/admin"
+	"isgc/internal/cliconfig"
+	"isgc/internal/events"
+	"isgc/internal/metrics"
+	"isgc/internal/obs"
+)
+
+// TestObservabilityE2E is the observability acceptance drill: two jobs on
+// one fleet — one healthy, one configured to ignore its stragglers so
+// aggressively (W=1 with an injected slow worker) that its recovered
+// fraction sits below the SLO floor every step. The federated store must
+// serve non-empty per-job gather_p95 and recovered_fraction series, the
+// dashboard must render with both job ids, the breach must fire exactly
+// one SLO event (no flapping) and surface in /healthz and /api/alerts,
+// and the alert must resolve — exactly once — after the job finishes.
+func TestObservabilityE2E(t *testing.T) {
+	store := obs.NewStore(obs.StoreConfig{Interval: 10 * time.Millisecond, Retention: 2048})
+	store.Start()
+	defer store.Stop()
+	ev := events.New(events.Config{})
+	rules := obs.NewRules(obs.RulesConfig{
+		Store:    store,
+		Events:   ev,
+		Interval: 10 * time.Millisecond,
+		Rules: []obs.Rule{{
+			Name:   "recovered-fraction-floor",
+			Series: "isgc_master_recovered_fraction",
+			Agg:    obs.AggLast,
+			Window: 300 * time.Millisecond,
+			Op:     obs.OpBelow,
+			Bound:  0.9,
+			For:    40 * time.Millisecond,
+		}},
+	})
+	rules.Start()
+	defer rules.Stop()
+
+	planeReg := metrics.NewRegistry()
+	p, _ := startPlane(t, Config{Obs: store, Registry: planeReg}, 8)
+	store.AddSource("plane", planeReg, nil)
+
+	adm := admin.New(admin.Config{
+		Registry:   planeReg,
+		TimeSeries: store,
+		Alerts:     rules,
+		Health: func() any {
+			return map[string]any{"jobs": p.Jobs()}
+		},
+		Extra: map[string]http.Handler{"/jobs": p.Handler()},
+	})
+	srv := httptest.NewServer(adm.Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 32<<10)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, b.String()
+	}
+
+	// Both jobs run cr(4,2): workers {0,2} (or {1,3}) are an independent
+	// set covering all four partitions, so a healthy full gather decodes
+	// to recovered fraction 1.0. Job A gathers all four workers. Job B
+	// gathers only the first arrival (W=1) while worker 0 is fast and
+	// workers 1–3 are injected stragglers — one chosen worker recovers 2
+	// of 4 partitions, a sustained 0.5 recovered fraction below the 0.9
+	// floor.
+	specA := steadySpec()
+	specA.Scheme = cliconfig.SchemeSpec{Scheme: "cr", N: 4, C: 2}
+	specA.MaxSteps = 60
+	idA, err := p.Submit(specA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specB := JobSpec{
+		Name:       "straggler-ignorer",
+		Scheme:     cliconfig.SchemeSpec{Scheme: "cr", N: 4, C: 2},
+		Data:       cliconfig.DefaultData(7),
+		MaxSteps:   150,
+		W:          1,
+		ComputePar: 1,
+		Faults: []WorkerFault{
+			{Worker: 0, CrashAtStep: -1, Delay: 4 * time.Millisecond},
+			{Worker: 1, CrashAtStep: -1, Delay: 60 * time.Millisecond},
+			{Worker: 2, CrashAtStep: -1, Delay: 60 * time.Millisecond},
+			{Worker: 3, CrashAtStep: -1, Delay: 60 * time.Millisecond},
+		},
+	}
+	idB, err := p.Submit(specB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The breach fires while B is still running.
+	waitForStep(t, p, idB, 3)
+	deadline := time.Now().Add(30 * time.Second)
+	for rules.Firing() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("SLO never fired; alerts: %+v", rules.Alerts())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Firing state is visible on every surface.
+	code, body := get("/api/alerts")
+	if code != 200 || !strings.Contains(body, `"state": "firing"`) ||
+		!strings.Contains(body, `"job": "`+idB+`"`) {
+		t.Fatalf("/api/alerts during breach: %d %s", code, body)
+	}
+	code, body = get("/healthz")
+	if code != 200 {
+		t.Fatalf("/healthz: %d", code)
+	}
+	var health struct {
+		Alerts struct {
+			Summary obs.Summary `json:"summary"`
+			Firing  []obs.Alert `json:"firing"`
+		} `json:"alerts"`
+	}
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatalf("healthz decode: %v\n%s", err, body)
+	}
+	if health.Alerts.Summary.Firing != 1 || len(health.Alerts.Firing) != 1 ||
+		health.Alerts.Firing[0].Rule != "recovered-fraction-floor" {
+		t.Fatalf("healthz alerts = %+v, want the floor rule firing", health.Alerts)
+	}
+
+	waitForState(t, p, idA, JobCompleted)
+	waitForState(t, p, idB, JobCompleted)
+
+	// Per-job series are non-empty for both jobs.
+	for _, job := range []string{idA, idB} {
+		for _, name := range []string{"isgc_master_gather_latency_seconds_p95", "isgc_master_recovered_fraction"} {
+			code, body := get("/api/timeseries?name=" + name + "&label.job=" + job)
+			if code != 200 {
+				t.Fatalf("timeseries %s job %s: status %d", name, job, code)
+			}
+			var resp struct {
+				Series []struct {
+					Points [][2]float64 `json:"points"`
+				} `json:"series"`
+			}
+			if err := json.Unmarshal([]byte(body), &resp); err != nil {
+				t.Fatal(err)
+			}
+			if len(resp.Series) != 1 || len(resp.Series[0].Points) == 0 {
+				t.Fatalf("series %s for job %s is empty: %s", name, job, body)
+			}
+		}
+	}
+
+	// The healthy job's recovered fraction stayed at 1.0; the
+	// straggler-ignorer's sat at 0.5.
+	var frac struct {
+		Series []struct {
+			Labels map[string]string `json:"labels"`
+			Points [][2]float64      `json:"points"`
+		} `json:"series"`
+	}
+	_, body = get("/api/timeseries?name=isgc_master_recovered_fraction")
+	if err := json.Unmarshal([]byte(body), &frac); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range frac.Series {
+		last := s.Points[len(s.Points)-1][1]
+		switch s.Labels["job"] {
+		case idA:
+			if last != 1.0 {
+				t.Errorf("job A recovered fraction = %v, want 1.0", last)
+			}
+		case idB:
+			if last > 0.9 {
+				t.Errorf("job B recovered fraction = %v, want below the floor", last)
+			}
+		}
+	}
+
+	// The dashboard renders and names both jobs.
+	code, body = get("/debug/dash")
+	if code != 200 {
+		t.Fatalf("/debug/dash: %d", code)
+	}
+	for _, id := range []string{idA, idB} {
+		if !strings.Contains(body, id) {
+			t.Errorf("dashboard missing job id %s", id)
+		}
+	}
+
+	// The finished job's series vanish from the rule's window and the
+	// alert resolves. Exactly one firing and one resolved event, ever.
+	deadline = time.Now().Add(30 * time.Second)
+	for rules.Firing() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("alert never resolved after job completion: %+v", rules.Alerts())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	var fired, resolved int
+	for _, e := range ev.Snapshot() {
+		switch e.Type {
+		case "slo_firing":
+			fired++
+		case "slo_resolved":
+			resolved++
+		}
+	}
+	if fired != 1 || resolved != 1 {
+		t.Fatalf("SLO events: %d firing, %d resolved — want exactly 1 + 1 (no flapping)", fired, resolved)
+	}
+}

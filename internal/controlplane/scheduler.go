@@ -11,7 +11,9 @@ import (
 	"isgc/internal/engine"
 	"isgc/internal/events"
 	"isgc/internal/isgc"
+	"isgc/internal/metrics"
 	"isgc/internal/model"
+	"isgc/internal/obs"
 	"isgc/internal/trace"
 
 	"sync"
@@ -30,6 +32,7 @@ type scheduler struct {
 	events   *events.Log
 	metrics  *PlaneMetrics
 	stateDir string
+	obs      *obs.Store
 	state    *planeStore
 
 	mu    sync.Mutex
@@ -49,12 +52,13 @@ type scheduler struct {
 	jobWG    sync.WaitGroup // one runJob goroutine per admitted job
 }
 
-func newScheduler(fl *fleet, ev *events.Log, pm *PlaneMetrics, stateDir string) *scheduler {
+func newScheduler(fl *fleet, ev *events.Log, pm *PlaneMetrics, stateDir string, store *obs.Store) *scheduler {
 	s := &scheduler{
 		fl:       fl,
 		events:   ev,
 		metrics:  pm,
 		stateDir: stateDir,
+		obs:      store,
 		jobs:     make(map[string]*job),
 		pokeCh:   make(chan struct{}, 1),
 		quit:     make(chan struct{}),
@@ -481,6 +485,9 @@ func (s *scheduler) finishJob(j *job, state JobState, errMsg string, agents []st
 	for _, a := range agents {
 		s.fl.release(a, j.id)
 	}
+	// Stop sampling the finished job; its recorded series stay queryable
+	// until they age out of every window.
+	s.obs.RemoveSource("job/" + j.id)
 	if tombstoneAddr != "" {
 		s.startTombstone(tombstoneAddr, j.id)
 	}
@@ -536,7 +543,18 @@ func (s *scheduler) runGeneration(j *job, firstRun bool) (*engine.Result, error)
 	if gen > 0 {
 		warm = &cluster.WarmState{Params: warmParams, StartStep: warmStep, Generation: gen}
 	}
+	// Federate this master life into the plane's time-series store: a
+	// fresh registry per generation (GaugeFuncs bind to this master), the
+	// same source id and {job} label across generations so the job keeps
+	// one continuous set of series.
+	var mm *cluster.MasterMetrics
+	if s.obs != nil {
+		jreg := metrics.NewRegistry()
+		mm = cluster.NewMasterMetrics(jreg)
+		s.obs.AddSource("job/"+j.id, jreg, map[string]string{"job": j.id})
+	}
 	m, err := cluster.NewMaster(cluster.MasterConfig{
+		Metrics:         mm,
 		Addr:            "127.0.0.1:0",
 		Strategy:        st,
 		Model:           model.SoftmaxRegression{Features: spec.Data.Features, Classes: spec.Data.Classes},

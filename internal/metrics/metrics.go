@@ -63,11 +63,13 @@ func ExponentialBuckets(start, factor float64, count int) []float64 {
 	return out
 }
 
-// family is one registered metric family: name, metadata, and a collector
-// that appends the family's sample lines at scrape time.
+// family is one registered metric family: name, metadata, a collector
+// that appends the family's sample lines at scrape time, and a gatherer
+// that appends typed Samples for in-process consumers.
 type family struct {
 	name, help, typ string
 	collect         func(b *lineWriter)
+	gather          func(out []Sample) []Sample
 }
 
 // Registry holds metric families and renders them. The zero value is not
@@ -85,7 +87,7 @@ func NewRegistry() *Registry {
 
 // register adds a family, panicking on invalid or duplicate names —
 // metric names are source-code constants, so this is a programmer error.
-func (r *Registry) register(name, help, typ string, collect func(*lineWriter)) {
+func (r *Registry) register(name, help, typ string, collect func(*lineWriter), gather func([]Sample) []Sample) {
 	if !nameRE.MatchString(name) {
 		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
 	}
@@ -94,7 +96,7 @@ func (r *Registry) register(name, help, typ string, collect func(*lineWriter)) {
 	if _, dup := r.byName[name]; dup {
 		panic(fmt.Sprintf("metrics: duplicate registration of %q", name))
 	}
-	f := &family{name: name, help: help, typ: typ, collect: collect}
+	f := &family{name: name, help: help, typ: typ, collect: collect, gather: gather}
 	r.byName[name] = f
 	r.fams = append(r.fams, f)
 }
@@ -157,6 +159,8 @@ func (r *Registry) NewCounter(name, help string) *Counter {
 	c := &Counter{}
 	r.register(name, help, "counter", func(b *lineWriter) {
 		b.sample(name, "", formatUint(c.Value()))
+	}, func(out []Sample) []Sample {
+		return append(out, Sample{Name: name, Kind: KindCounter, Value: float64(c.Value())})
 	})
 	return c
 }
@@ -203,6 +207,8 @@ func (r *Registry) NewGauge(name, help string) *Gauge {
 	g := &Gauge{}
 	r.register(name, help, "gauge", func(b *lineWriter) {
 		b.sample(name, "", formatFloat(g.Value()))
+	}, func(out []Sample) []Sample {
+		return append(out, Sample{Name: name, Kind: KindGauge, Value: g.Value()})
 	})
 	return g
 }
@@ -217,6 +223,8 @@ func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
 	}
 	r.register(name, help, "gauge", func(b *lineWriter) {
 		b.sample(name, "", formatFloat(fn()))
+	}, func(out []Sample) []Sample {
+		return append(out, Sample{Name: name, Kind: KindGauge, Value: fn()})
 	})
 }
 
@@ -306,6 +314,9 @@ func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram
 	h := newHistogram(name, buckets)
 	r.register(name, help, "histogram", func(b *lineWriter) {
 		h.write(b, name, "")
+	}, func(out []Sample) []Sample {
+		snap := h.Snapshot()
+		return append(out, Sample{Name: name, Kind: KindHistogram, Value: float64(snap.Count), Hist: &snap})
 	})
 	return h
 }
@@ -318,7 +329,8 @@ type vec[T any] struct {
 	labels   []string
 	mu       sync.Mutex
 	children map[string]*T
-	keys     []string // insertion order; sorted at collect time
+	keys     []string            // insertion order; sorted at collect time
+	vals     map[string][]string // key → the raw label values (for Gather)
 }
 
 func (v *vec[T]) with(name string, values []string, make func() *T) *T {
@@ -334,6 +346,10 @@ func (v *vec[T]) with(name string, values []string, make func() *T) *T {
 	c := make()
 	v.children[key] = c
 	v.keys = append(v.keys, key)
+	if v.vals == nil {
+		v.vals = map[string][]string{}
+	}
+	v.vals[key] = append([]string(nil), values...)
 	return c
 }
 
@@ -348,6 +364,28 @@ func (v *vec[T]) collect(b *lineWriter, write func(b *lineWriter, labels string,
 	v.mu.Unlock()
 	for i, k := range keys {
 		write(b, k, children[i])
+	}
+}
+
+// gatherChildren visits every child with its structured labels, sorted by
+// rendered label key — the typed counterpart of collect.
+func (v *vec[T]) gatherChildren(visit func(labels []Label, child *T)) {
+	v.mu.Lock()
+	keys := append([]string(nil), v.keys...)
+	sort.Strings(keys)
+	children := make([]*T, len(keys))
+	values := make([][]string, len(keys))
+	for i, k := range keys {
+		children[i] = v.children[k]
+		values[i] = v.vals[k]
+	}
+	v.mu.Unlock()
+	for i := range keys {
+		labels := make([]Label, len(v.labels))
+		for j, l := range v.labels {
+			labels[j] = Label{Name: l, Value: values[i][j]}
+		}
+		visit(labels, children[i])
 	}
 }
 
@@ -377,6 +415,11 @@ func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVe
 		cv.vec.collect(b, func(b *lineWriter, lbls string, c *Counter) {
 			b.sample(name, lbls, formatUint(c.Value()))
 		})
+	}, func(out []Sample) []Sample {
+		cv.vec.gatherChildren(func(labels []Label, c *Counter) {
+			out = append(out, Sample{Name: name, Labels: labels, Kind: KindCounter, Value: float64(c.Value())})
+		})
+		return out
 	})
 	return cv
 }
@@ -404,6 +447,11 @@ func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
 		gv.vec.collect(b, func(b *lineWriter, lbls string, g *Gauge) {
 			b.sample(name, lbls, formatFloat(g.Value()))
 		})
+	}, func(out []Sample) []Sample {
+		gv.vec.gatherChildren(func(labels []Label, g *Gauge) {
+			out = append(out, Sample{Name: name, Labels: labels, Kind: KindGauge, Value: g.Value()})
+		})
+		return out
 	})
 	return gv
 }

@@ -1,0 +1,177 @@
+// Structured read side of the registry: point-in-time histogram snapshots
+// with bucket-interpolated quantiles, and a typed Gather over every
+// registered family. The Prometheus text exposition is for external
+// scrapers; Gather is for in-process consumers — the time-series store
+// (internal/obs), /healthz summaries, and the master's printed latency
+// line — that need values, not text.
+package metrics
+
+import (
+	"math"
+)
+
+// Kind discriminates the instrument families Gather reports.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the Prometheus type name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// Label is one name/value pair of a labeled (vec) child.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Sample is one gathered instrument value. Counters and gauges carry
+// Value; histograms carry Hist (Value is then the observation count, a
+// convenience for consumers that only want volume).
+type Sample struct {
+	Name   string
+	Labels []Label
+	Kind   Kind
+	Value  float64
+	Hist   *HistogramSnapshot
+}
+
+// Gather returns a typed snapshot of every registered instrument, families
+// sorted by name, vec children sorted by label values. Like the text
+// exposition, a gather concurrent with updates is per-value atomic, not a
+// cross-metric point-in-time cut. Safe on a nil registry (returns nil).
+func (r *Registry) Gather() []Sample {
+	if r == nil {
+		return nil
+	}
+	var out []Sample
+	for _, f := range r.families() {
+		if f.gather != nil {
+			out = f.gather(out)
+		}
+	}
+	return out
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's buckets:
+// the raw material for estimated quantiles and for windowed deltas
+// between two scrapes.
+type HistogramSnapshot struct {
+	// Upper are the finite bucket upper bounds, strictly increasing. The
+	// slice is shared with the histogram; do not mutate it.
+	Upper []float64
+	// Counts are per-bucket (non-cumulative) observation counts;
+	// len(Counts) == len(Upper)+1, the last entry being the +Inf bucket.
+	Counts []uint64
+	// Count is the total observation count (sum of Counts — internally
+	// consistent with the buckets even under concurrent observes).
+	Count uint64
+	// Sum is the sum of observed values.
+	Sum float64
+}
+
+// Snapshot copies the histogram's current bucket counts. The total Count
+// is derived from the bucket reads so the pair stays consistent; Sum is
+// read separately and may be a few observations ahead or behind under
+// concurrent updates. Safe on a nil receiver (zero snapshot).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Upper:  h.upper,
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    h.Sum(),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// Quantile estimates the p-quantile (p in [0, 1]) of the observed
+// distribution by linear interpolation within the bucket that contains the
+// target rank — the same estimator as Prometheus's histogram_quantile.
+// Values landing in the +Inf bucket clamp to the highest finite bound.
+// Returns NaN for an empty snapshot or p outside [0, 1].
+func (s HistogramSnapshot) Quantile(p float64) float64 {
+	if s.Count == 0 || len(s.Upper) == 0 || math.IsNaN(p) || p < 0 || p > 1 {
+		return math.NaN()
+	}
+	target := p * float64(s.Count)
+	var cum uint64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= target {
+			if i >= len(s.Upper) {
+				// +Inf bucket: no finite upper edge to interpolate toward.
+				return s.Upper[len(s.Upper)-1]
+			}
+			upper := s.Upper[i]
+			lower := 0.0
+			if i > 0 {
+				lower = s.Upper[i-1]
+			} else if upper <= 0 {
+				// All-negative first bucket: no zero floor to lean on.
+				return upper
+			}
+			pos := (target - float64(cum)) / float64(c)
+			if pos < 0 {
+				pos = 0
+			}
+			return lower + (upper-lower)*pos
+		}
+		cum += c
+	}
+	return s.Upper[len(s.Upper)-1]
+}
+
+// Sub returns the windowed delta s − prev: the distribution of
+// observations made between the two snapshots. A mismatched bucket layout
+// or a counter reset (prev ahead of s anywhere) returns s unchanged — the
+// full distribution is the only honest answer after a reset.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	if len(prev.Counts) != len(s.Counts) || prev.Count > s.Count {
+		return s
+	}
+	d := HistogramSnapshot{
+		Upper:  s.Upper,
+		Counts: make([]uint64, len(s.Counts)),
+		Sum:    s.Sum - prev.Sum,
+	}
+	for i := range s.Counts {
+		if prev.Counts[i] > s.Counts[i] {
+			return s // per-bucket reset
+		}
+		d.Counts[i] = s.Counts[i] - prev.Counts[i]
+		d.Count += d.Counts[i]
+	}
+	if d.Sum < 0 {
+		d.Sum = 0
+	}
+	return d
+}
+
+// Quantile is shorthand for Snapshot().Quantile(p) — one estimated
+// quantile off the live histogram. Returns NaN on a nil or empty
+// histogram.
+func (h *Histogram) Quantile(p float64) float64 {
+	return h.Snapshot().Quantile(p)
+}

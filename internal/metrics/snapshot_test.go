@@ -1,0 +1,201 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactPercentile is the linear-interpolation order statistic the trace
+// package uses — the ground truth the bucket estimator is judged against.
+func exactPercentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[len(s)-1]
+	}
+	pos := p * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// TestQuantileAgainstExactPercentiles drives random sample sets through a
+// finely bucketed histogram and asserts every estimated quantile lands
+// within one bucket width of the exact order statistic — the best any
+// bucket interpolator can promise.
+func TestQuantileAgainstExactPercentiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	buckets := LinearBuckets(0.01, 0.01, 100) // 10ms-wide buckets over (0, 1]
+	const width = 0.01
+	for trial := 0; trial < 25; trial++ {
+		r := NewRegistry()
+		h := r.NewHistogram("h", "", buckets)
+		n := 1 + rng.Intn(400)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() // uniform in [0,1)
+			h.Observe(xs[i])
+		}
+		snap := h.Snapshot()
+		if snap.Count != uint64(n) {
+			t.Fatalf("trial %d: snapshot count %d, want %d", trial, snap.Count, n)
+		}
+		for _, p := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1} {
+			got := snap.Quantile(p)
+			// The estimator's rank convention (p·n) and the exact order
+			// statistic's (p·(n−1) interpolated) legitimately differ by up
+			// to ~one sample rank, so the honest bound is the exact
+			// percentile envelope at p ± 1.5/n, widened by one bucket.
+			slack := 1.5 / float64(n)
+			lo := exactPercentile(xs, math.Max(0, p-slack)) - width - 1e-12
+			hi := exactPercentile(xs, math.Min(1, p+slack)) + width + 1e-12
+			if got < lo || got > hi {
+				t.Errorf("trial %d n=%d: Quantile(%v) = %v, outside exact envelope [%v, %v]",
+					trial, n, p, got, lo, hi)
+			}
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var nilH *Histogram
+	if v := nilH.Quantile(0.5); !math.IsNaN(v) {
+		t.Errorf("nil histogram quantile = %v, want NaN", v)
+	}
+	r := NewRegistry()
+	h := r.NewHistogram("h", "", []float64{1, 2, 4})
+	if v := h.Quantile(0.5); !math.IsNaN(v) {
+		t.Errorf("empty histogram quantile = %v, want NaN", v)
+	}
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(3)
+	for _, p := range []float64{-0.1, 1.1, math.NaN()} {
+		if v := h.Quantile(p); !math.IsNaN(v) {
+			t.Errorf("Quantile(%v) = %v, want NaN", p, v)
+		}
+	}
+	// Observations past the last finite bound clamp to it.
+	h.Observe(100)
+	if v := h.Quantile(1); v != 4 {
+		t.Errorf("p=1 with +Inf-bucket sample = %v, want clamp to 4", v)
+	}
+	// Exactly one bucket occupied: answer stays inside that bucket.
+	r2 := NewRegistry()
+	h2 := r2.NewHistogram("h2", "", []float64{1, 2, 4})
+	h2.Observe(1.5)
+	h2.Observe(1.6)
+	for _, p := range []float64{0, 0.5, 1} {
+		if v := h2.Quantile(p); v < 1 || v > 2 {
+			t.Errorf("single-bucket Quantile(%v) = %v, want within (1,2]", p, v)
+		}
+	}
+	// All-negative first bucket has no zero floor to interpolate from.
+	r3 := NewRegistry()
+	h3 := r3.NewHistogram("h3", "", []float64{-1, 0, 1})
+	h3.Observe(-5)
+	if v := h3.Quantile(0.5); v != -1 {
+		t.Errorf("negative-bucket quantile = %v, want -1", v)
+	}
+}
+
+func TestSnapshotSubWindowedDelta(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("h", "", LinearBuckets(1, 1, 10))
+	h.Observe(1)
+	h.Observe(1)
+	prev := h.Snapshot()
+	h.Observe(9)
+	h.Observe(9)
+	h.Observe(9)
+	d := h.Snapshot().Sub(prev)
+	if d.Count != 3 {
+		t.Fatalf("delta count = %d, want 3", d.Count)
+	}
+	if v := d.Quantile(0.5); v < 8 || v > 9 {
+		t.Errorf("delta median = %v, want within (8,9] — the old observations must not drag it down", v)
+	}
+	if math.Abs(d.Sum-27) > 1e-9 {
+		t.Errorf("delta sum = %v, want 27", d.Sum)
+	}
+	// A reset (prev ahead of current) returns the full distribution.
+	fresh := r.NewHistogram("h2", "", LinearBuckets(1, 1, 10)).Snapshot()
+	fresh.Counts = make([]uint64, len(prev.Counts))
+	fresh.Upper = prev.Upper
+	fresh.Counts[0] = 1
+	fresh.Count = 1
+	got := fresh.Sub(prev)
+	if got.Count != fresh.Count {
+		t.Errorf("reset delta count = %d, want the full snapshot (%d)", got.Count, fresh.Count)
+	}
+}
+
+func TestGatherTypedSamples(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("zz_total", "")
+	g := r.NewGauge("aa_gauge", "")
+	r.NewGaugeFunc("fn_gauge", "", func() float64 { return 42 })
+	h := r.NewHistogram("lat_seconds", "", DefBuckets)
+	cv := r.NewCounterVec("per_worker_total", "", "worker")
+	gv := r.NewGaugeVec("per_job", "", "job", "role")
+
+	c.Add(5)
+	g.Set(-1.5)
+	h.Observe(0.2)
+	h.Observe(0.3)
+	cv.With("3").Add(7)
+	cv.With("0").Inc()
+	gv.With("job-001", "master").Set(9)
+
+	var nilReg *Registry
+	if got := nilReg.Gather(); got != nil {
+		t.Errorf("nil registry Gather = %v, want nil", got)
+	}
+	samples := r.Gather()
+	byKey := map[string]Sample{}
+	for _, s := range samples {
+		key := s.Name
+		for _, l := range s.Labels {
+			key += "," + l.Name + "=" + l.Value
+		}
+		byKey[key] = s
+	}
+	check := func(key string, kind Kind, value float64) {
+		t.Helper()
+		s, ok := byKey[key]
+		if !ok {
+			t.Fatalf("Gather missing %q (have %v)", key, samples)
+		}
+		if s.Kind != kind || s.Value != value {
+			t.Errorf("%q = kind %v value %v, want %v / %v", key, s.Kind, s.Value, kind, value)
+		}
+	}
+	check("zz_total", KindCounter, 5)
+	check("aa_gauge", KindGauge, -1.5)
+	check("fn_gauge", KindGauge, 42)
+	check("per_worker_total,worker=3", KindCounter, 7)
+	check("per_worker_total,worker=0", KindCounter, 1)
+	check("per_job,job=job-001,role=master", KindGauge, 9)
+	hs, ok := byKey["lat_seconds"]
+	if !ok || hs.Kind != KindHistogram || hs.Hist == nil {
+		t.Fatalf("histogram sample missing or untyped: %+v", hs)
+	}
+	if hs.Hist.Count != 2 || hs.Value != 2 {
+		t.Errorf("histogram snapshot count = %d / value %v, want 2", hs.Hist.Count, hs.Value)
+	}
+	// Families arrive sorted by name.
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Name < samples[i-1].Name {
+			t.Errorf("Gather out of order: %q after %q", samples[i].Name, samples[i-1].Name)
+		}
+	}
+}

@@ -1,0 +1,359 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// HandleDash serves the zero-dependency live dashboard: one HTML page
+// whose inline script polls /api/timeseries, /api/alerts, and the
+// control-plane /jobs route (tolerating its absence under a standalone
+// master). No external assets, no build step — the page works wherever
+// the admin server does. The store's current job catalog is rendered
+// into the page as a bootstrap, which pins each job's palette slot in
+// sorted order before the first poll (color follows the job, never the
+// arrival order of async responses) and lets curl see the fleet's job
+// ids without executing the script. A nil store bootstraps empty.
+func HandleDash(s *Store) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+			return
+		}
+		jobs := s.LabelValues("job")
+		if jobs == nil {
+			jobs = []string{}
+		}
+		boot, err := json.Marshal(map[string]any{"jobs": jobs})
+		if err != nil {
+			boot = []byte(`{"jobs":[]}`)
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write([]byte(strings.Replace(dashHTML, bootstrapMarker, string(boot), 1)))
+	})
+}
+
+// bootstrapMarker is replaced with the serve-time bootstrap JSON.
+const bootstrapMarker = `{"jobs":[]} /*BOOTSTRAP*/`
+
+// dashHTML is the whole dashboard. Design notes: the categorical palette
+// is the three all-pairs-validated slots (blue, orange, aqua) assigned to
+// jobs in fixed first-seen order and never cycled — a fourth job folds to
+// muted gray; status colors (firing red, good green) are a separate
+// reserved set and always ship with a text label; dark mode is its own
+// stepped palette behind prefers-color-scheme, not an inversion.
+const dashHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>isgc dashboard</title>
+<style>
+:root {
+  color-scheme: light;
+  --page:      #f9f9f7;
+  --surface-1: #fcfcfb;
+  --text-primary:   #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted:     #898781;
+  --grid:     #e1e0d9;
+  --baseline: #c3c2b7;
+  --border:   rgba(11,11,11,0.10);
+  --series-1: #2a78d6;
+  --series-2: #eb6834;
+  --series-3: #1baf7a;
+  --series-other: #898781;
+  --status-good:     #0ca30c;
+  --status-warning:  #fab219;
+  --status-critical: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --page:      #0d0d0d;
+    --surface-1: #1a1a19;
+    --text-primary:   #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted:     #898781;
+    --grid:     #2c2c2a;
+    --baseline: #383835;
+    --border:   rgba(255,255,255,0.10);
+    --series-1: #3987e5;
+    --series-2: #d95926;
+    --series-3: #199e70;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 16px;
+  background: var(--page); color: var(--text-primary);
+  font: 13px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+h1 { font-size: 16px; font-weight: 600; margin: 0 0 4px; }
+.sub { color: var(--text-secondary); margin-bottom: 12px; }
+#alerts { margin: 0 0 12px; }
+.alert {
+  display: flex; align-items: center; gap: 8px;
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-left: 3px solid var(--status-critical);
+  border-radius: 6px; padding: 8px 12px; margin-bottom: 6px;
+}
+.alert .icon { color: var(--status-critical); font-weight: 700; }
+.alert .what { font-weight: 600; }
+.alert .why  { color: var(--text-secondary); }
+.allclear { color: var(--text-secondary); }
+.allclear .icon { color: var(--status-good); font-weight: 700; }
+.grid { display: grid; grid-template-columns: repeat(auto-fit, minmax(280px, 1fr)); gap: 12px; }
+.panel {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px;
+}
+.panel h2 { font-size: 12px; font-weight: 600; margin: 0; color: var(--text-primary); }
+.panel .note { font-size: 11px; color: var(--text-muted); margin-bottom: 6px; }
+.panel canvas { width: 100%; height: 96px; display: block; }
+.legend { display: flex; flex-wrap: wrap; gap: 10px; margin-top: 6px; font-size: 11px; color: var(--text-secondary); }
+.legend .sw { display: inline-block; width: 10px; height: 3px; border-radius: 2px; vertical-align: middle; margin-right: 4px; }
+table { width: 100%; border-collapse: collapse; margin-top: 12px; background: var(--surface-1);
+        border: 1px solid var(--border); border-radius: 8px; overflow: hidden; }
+th, td { text-align: left; padding: 6px 10px; font-variant-numeric: tabular-nums; }
+th { font-size: 11px; font-weight: 600; color: var(--text-secondary); border-bottom: 1px solid var(--grid); }
+td { border-bottom: 1px solid var(--grid); }
+tr:last-child td { border-bottom: none; }
+.chip { display: inline-block; width: 8px; height: 8px; border-radius: 2px; margin-right: 6px; vertical-align: baseline; }
+.state-ok   { color: var(--status-good); }
+.state-bad  { color: var(--status-critical); }
+.state-dim  { color: var(--text-muted); }
+#tip {
+  position: fixed; pointer-events: none; display: none; z-index: 10;
+  background: var(--surface-1); border: 1px solid var(--border); border-radius: 6px;
+  padding: 6px 8px; font-size: 11px; color: var(--text-primary);
+  box-shadow: 0 2px 8px rgba(0,0,0,0.15);
+}
+#tip .t { color: var(--text-muted); }
+footer { margin-top: 12px; color: var(--text-muted); font-size: 11px; }
+footer a { color: var(--text-secondary); }
+</style>
+</head>
+<body>
+<h1>isgc fleet dashboard</h1>
+<div class="sub" id="sub">connecting&hellip;</div>
+<div id="alerts"></div>
+<div class="grid">
+  <div class="panel"><h2>steps / sec</h2><div class="note">per job, rate over 5&thinsp;s</div>
+    <canvas id="c-steps"></canvas><div class="legend" id="l-steps"></div></div>
+  <div class="panel"><h2>gather latency (s)</h2><div class="note">solid p95 &middot; dashed p50</div>
+    <canvas id="c-gather"></canvas><div class="legend" id="l-gather"></div></div>
+  <div class="panel"><h2>recovered fraction</h2><div class="note">1.0 = full-gradient recovery</div>
+    <canvas id="c-frac"></canvas><div class="legend" id="l-frac"></div></div>
+  <div class="panel"><h2>fleet agents</h2><div class="note">busy vs idle</div>
+    <canvas id="c-fleet"></canvas><div class="legend" id="l-fleet"></div></div>
+</div>
+<div id="jobs"></div>
+<div id="tip"></div>
+<footer>polls /api/timeseries every 2&thinsp;s &middot; <a href="/api/alerts">alerts</a> &middot; <a href="/metrics">metrics</a> &middot; <a href="/debug/profiles">profiles</a></footer>
+<script>
+"use strict";
+const BOOTSTRAP = {"jobs":[]} /*BOOTSTRAP*/;
+const SLOTS = ["--series-1", "--series-2", "--series-3"];
+const jobSlots = new Map();   // job id -> slot index, fixed at first sight
+(BOOTSTRAP.jobs || []).forEach(j => { if (!jobSlots.has(j)) jobSlots.set(j, jobSlots.size); });
+function colorFor(job) {
+  if (!jobSlots.has(job)) jobSlots.set(job, jobSlots.size);
+  const i = jobSlots.get(job);
+  const v = i < SLOTS.length ? SLOTS[i] : "--series-other";
+  return getComputedStyle(document.documentElement).getPropertyValue(v).trim();
+}
+function cssVar(n) { return getComputedStyle(document.documentElement).getPropertyValue(n).trim(); }
+
+async function getJSON(url) {
+  const r = await fetch(url);
+  if (!r.ok) throw new Error(url + ": " + r.status);
+  return r.json();
+}
+
+// drawChart renders 2px polylines on a shared y-scale with a hairline
+// baseline and midline. series: [{label, color, dash, points:[[t,v],…]}].
+const chartState = new Map();  // canvas id -> {series, ymin, ymax, t0, t1}
+function drawChart(id, series, opts) {
+  opts = opts || {};
+  const cv = document.getElementById(id);
+  const dpr = window.devicePixelRatio || 1;
+  const W = cv.clientWidth, H = cv.clientHeight;
+  if (cv.width !== W * dpr) { cv.width = W * dpr; cv.height = H * dpr; }
+  const ctx = cv.getContext("2d");
+  ctx.setTransform(dpr, 0, 0, dpr, 0, 0);
+  ctx.clearRect(0, 0, W, H);
+  let t0 = Infinity, t1 = -Infinity, vmin = Infinity, vmax = -Infinity;
+  for (const s of series) for (const [t, v] of s.points) {
+    if (t < t0) t0 = t; if (t > t1) t1 = t;
+    if (v < vmin) vmin = v; if (v > vmax) vmax = v;
+  }
+  if (!isFinite(t0) || t1 <= t0) { chartState.delete(id); return; }
+  if (opts.ymin !== undefined) vmin = Math.min(opts.ymin, vmin);
+  if (opts.ymax !== undefined) vmax = Math.max(opts.ymax, vmax);
+  if (vmax === vmin) vmax = vmin + 1;
+  const pad = 4;
+  const x = t => pad + (W - 2 * pad) * (t - t0) / (t1 - t0);
+  const y = v => H - pad - (H - 2 * pad) * (v - vmin) / (vmax - vmin);
+  ctx.strokeStyle = cssVar("--grid");
+  ctx.lineWidth = 1;
+  ctx.beginPath(); ctx.moveTo(0, y(vmin) + 0.5); ctx.lineTo(W, y(vmin) + 0.5); ctx.stroke();
+  ctx.beginPath(); ctx.setLineDash([2, 4]);
+  ctx.moveTo(0, y((vmin + vmax) / 2) + 0.5); ctx.lineTo(W, y((vmin + vmax) / 2) + 0.5);
+  ctx.stroke(); ctx.setLineDash([]);
+  for (const s of series) {
+    if (!s.points.length) continue;
+    ctx.strokeStyle = s.color;
+    ctx.lineWidth = 2;
+    ctx.setLineDash(s.dash ? [4, 3] : []);
+    ctx.beginPath();
+    s.points.forEach(([t, v], i) => { i ? ctx.lineTo(x(t), y(v)) : ctx.moveTo(x(t), y(v)); });
+    ctx.stroke();
+  }
+  ctx.setLineDash([]);
+  // y-extent labels in muted ink (text wears text tokens, not series color)
+  ctx.fillStyle = cssVar("--text-muted");
+  ctx.font = "10px system-ui, sans-serif";
+  ctx.fillText(fmt(vmax), pad, 10);
+  chartState.set(id, { series, t0, t1, vmin, vmax, W, H, pad });
+}
+function fmt(v) {
+  if (!isFinite(v)) return "";
+  const a = Math.abs(v);
+  if (a >= 100) return v.toFixed(0);
+  if (a >= 1) return v.toFixed(1);
+  return v.toFixed(3);
+}
+function legend(id, entries) {
+  const el = document.getElementById(id);
+  // a single series needs no legend box — the title names it
+  el.innerHTML = entries.length < 2 ? "" : entries.map(e =>
+    '<span><span class="sw" style="background:' + e.color + '"></span>' + esc(e.label) + "</span>").join("");
+}
+function esc(s) {
+  return String(s).replace(/[&<>"]/g, c => ({ "&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;" }[c]));
+}
+
+// hover layer: nearest-point tooltip per chart
+const tip = document.getElementById("tip");
+document.querySelectorAll("canvas").forEach(cv => {
+  cv.addEventListener("mousemove", ev => {
+    const st = chartState.get(cv.id);
+    if (!st) { tip.style.display = "none"; return; }
+    const rect = cv.getBoundingClientRect();
+    const mx = ev.clientX - rect.left;
+    const tAt = st.t0 + (mx - st.pad) / (st.W - 2 * st.pad) * (st.t1 - st.t0);
+    let best = null;
+    for (const s of st.series) for (const [t, v] of s.points) {
+      const d = Math.abs(t - tAt);
+      if (!best || d < best.d) best = { d, t, v, label: s.label };
+    }
+    if (!best) { tip.style.display = "none"; return; }
+    tip.innerHTML = "<b>" + esc(best.label) + "</b> " + fmt(best.v) +
+      ' <span class="t">' + new Date(best.t).toLocaleTimeString() + "</span>";
+    tip.style.display = "block";
+    tip.style.left = (ev.clientX + 12) + "px";
+    tip.style.top = (ev.clientY + 12) + "px";
+  });
+  cv.addEventListener("mouseleave", () => { tip.style.display = "none"; });
+});
+
+async function series(name, params) {
+  const q = new URLSearchParams(Object.assign({ name, window: "5m" }, params || {}));
+  const data = await getJSON("/api/timeseries?" + q);
+  return data.series || [];
+}
+function jobOf(s) { return (s.labels && s.labels.job) || "master"; }
+
+async function refreshCharts() {
+  const [steps, p95, p50, frac, agents, idle] = await Promise.all([
+    series("isgc_master_steps_total", { agg: "rate", step: "5s" }),
+    series("isgc_master_gather_latency_seconds_p95"),
+    series("isgc_master_gather_latency_seconds_p50"),
+    series("isgc_master_recovered_fraction"),
+    series("isgc_plane_fleet_agents"),
+    series("isgc_plane_fleet_idle"),
+  ]);
+  // fix slot order before drawing: color follows the job, never its rank
+  for (const s of steps.concat(p95, frac)) colorFor(jobOf(s));
+
+  drawChart("c-steps", steps.map(s => ({ label: jobOf(s), color: colorFor(jobOf(s)), points: s.points })), { ymin: 0 });
+  legend("l-steps", steps.map(s => ({ label: jobOf(s), color: colorFor(jobOf(s)) })));
+
+  const gather = p95.map(s => ({ label: jobOf(s) + " p95", color: colorFor(jobOf(s)), points: s.points }))
+    .concat(p50.map(s => ({ label: jobOf(s) + " p50", color: colorFor(jobOf(s)), dash: true, points: s.points })));
+  drawChart("c-gather", gather, { ymin: 0 });
+  legend("l-gather", p95.map(s => ({ label: jobOf(s), color: colorFor(jobOf(s)) })));
+
+  drawChart("c-frac", frac.map(s => ({ label: jobOf(s), color: colorFor(jobOf(s)), points: s.points })), { ymin: 0, ymax: 1 });
+  legend("l-frac", frac.map(s => ({ label: jobOf(s), color: colorFor(jobOf(s)) })));
+
+  const idlePts = idle.length ? idle[0].points : [];
+  const idleAt = new Map(idlePts.map(p => [p[0], p[1]]));
+  const busy = agents.length ? agents[0].points.map(p => [p[0], p[1] - (idleAt.get(p[0]) || 0)]) : [];
+  drawChart("c-fleet", [
+    { label: "busy", color: cssVar("--series-1"), points: busy },
+    { label: "idle", color: cssVar("--series-2"), points: idlePts },
+  ], { ymin: 0 });
+  legend("l-fleet", [
+    { label: "busy", color: cssVar("--series-1") },
+    { label: "idle", color: cssVar("--series-2") },
+  ]);
+}
+
+async function refreshAlerts() {
+  const el = document.getElementById("alerts");
+  try {
+    const data = await getJSON("/api/alerts");
+    const firing = (data.alerts || []).filter(a => a.state === "firing");
+    if (!firing.length) {
+      el.innerHTML = '<div class="allclear"><span class="icon">&#10003;</span> no firing alerts' +
+        (data.summary && data.summary.rules ? " &middot; " + data.summary.rules + " rules active" : "") + "</div>";
+      return;
+    }
+    el.innerHTML = firing.map(a =>
+      '<div class="alert"><span class="icon">&#9888; FIRING</span><span class="what">' + esc(a.rule) +
+      "</span><span class=\"why\">" + esc(a.series) +
+      (a.labels && a.labels.job ? " &middot; job " + esc(a.labels.job) : "") +
+      " &middot; value " + fmt(a.value) + " vs bound " + fmt(a.bound) + "</span></div>").join("");
+  } catch (e) {
+    el.innerHTML = "";
+  }
+}
+
+async function refreshJobs() {
+  const el = document.getElementById("jobs");
+  try {
+    const data = await getJSON("/jobs");
+    const jobs = data.jobs || [];
+    if (!jobs.length) { el.innerHTML = ""; return; }
+    el.innerHTML = "<table><tr><th>job</th><th>state</th><th>step</th><th>workers</th><th>replacements</th></tr>" +
+      jobs.map(j => {
+        const cls = j.state === "running" ? "state-ok" : (j.state === "failed" ? "state-bad" : "state-dim");
+        return "<tr><td><span class=\"chip\" style=\"background:" + colorFor(j.id) + "\"></span>" + esc(j.id) +
+          (j.name ? ' <span class="state-dim">' + esc(j.name) + "</span>" : "") +
+          '</td><td class="' + cls + '">' + esc(j.state) + "</td><td>" + (j.step ?? "") +
+          "</td><td>" + (Array.isArray(j.workers) ? j.workers.length : (j.n ?? "")) +
+          "</td><td>" + (j.replacements ?? 0) + "</td></tr>";
+      }).join("") + "</table>";
+  } catch (e) {
+    el.innerHTML = "";  // standalone master: no control-plane jobs route
+  }
+}
+
+async function tick() {
+  try {
+    await Promise.all([refreshCharts(), refreshAlerts(), refreshJobs()]);
+    document.getElementById("sub").textContent =
+      "live · updated " + new Date().toLocaleTimeString();
+  } catch (e) {
+    document.getElementById("sub").textContent = "disconnected: " + e.message;
+  }
+  setTimeout(tick, 2000);
+}
+tick();
+</script>
+</body>
+</html>
+`

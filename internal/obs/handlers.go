@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// httpError writes a structured JSON error — malformed observability
+// queries get a machine-readable 400, not a text/plain shrug.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// parseDuration parses an optional duration query parameter, accepting
+// Go duration syntax ("30s", "5m") or a bare number of seconds. Returns
+// def when the parameter is absent; an error on malformed or negative
+// values.
+func parseDuration(q string, def time.Duration) (time.Duration, error) {
+	if q == "" {
+		return def, nil
+	}
+	d, err := time.ParseDuration(q)
+	if err != nil {
+		// Bare seconds for curl ergonomics: ?window=30.
+		var secs float64
+		if _, serr := fmt.Sscanf(q, "%g", &secs); serr != nil || strings.TrimSpace(q) != strings.TrimSpace(fmt.Sprintf("%g", secs)) {
+			return 0, fmt.Errorf("malformed duration %q", q)
+		}
+		d = time.Duration(secs * float64(time.Second))
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("negative duration %q", q)
+	}
+	return d, nil
+}
+
+// tsPoint marshals as a [unixMillis, value] pair — compact for the
+// dashboard's polling loop.
+type tsPoint struct {
+	T int64
+	V float64
+}
+
+func (p tsPoint) MarshalJSON() ([]byte, error) {
+	return json.Marshal([2]float64{float64(p.T), p.V})
+}
+
+type tsSeries struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Points []tsPoint         `json:"points"`
+}
+
+type tsResponse struct {
+	IntervalSeconds float64    `json:"interval_seconds"`
+	Names           []string   `json:"names,omitempty"`
+	Series          []tsSeries `json:"series,omitempty"`
+}
+
+// HandleTimeseries serves the windowed query API:
+//
+//	GET /api/timeseries                          → catalog of series names
+//	GET /api/timeseries?name=N[&window=][&step=][&agg=][&label.K=V…]
+//
+// window/step accept Go durations ("30s") or bare seconds; agg is one of
+// last|min|max|avg|rate. Malformed parameters return 400 with a JSON
+// error body. A nil store serves an empty catalog.
+func HandleTimeseries(s *Store) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+			return
+		}
+		q := r.URL.Query()
+		name := q.Get("name")
+		if name == "" {
+			writeJSON(w, http.StatusOK, tsResponse{
+				IntervalSeconds: s.Interval().Seconds(),
+				Names:           s.Names(),
+			})
+			return
+		}
+		window, err := parseDuration(q.Get("window"), 5*time.Minute)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "window: %v", err)
+			return
+		}
+		step, err := parseDuration(q.Get("step"), 0)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "step: %v", err)
+			return
+		}
+		agg, ok := ParseAgg(q.Get("agg"))
+		if !ok {
+			httpError(w, http.StatusBadRequest, "agg: unknown aggregation %q (want last|min|max|avg|rate)", q.Get("agg"))
+			return
+		}
+		match := map[string]string{}
+		for key, vals := range q {
+			if lk, found := strings.CutPrefix(key, "label."); found && len(vals) > 0 {
+				match[lk] = vals[0]
+			}
+		}
+		resp := tsResponse{IntervalSeconds: s.Interval().Seconds()}
+		for _, sd := range s.Query(name, match, QueryOpts{Window: window, Step: step, Agg: agg}) {
+			ts := tsSeries{Name: sd.Name, Labels: sd.Labels, Points: make([]tsPoint, 0, len(sd.Points))}
+			for _, p := range sd.Points {
+				ts.Points = append(ts.Points, tsPoint{T: p.T.UnixMilli(), V: p.V})
+			}
+			resp.Series = append(resp.Series, ts)
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+}
+
+// HandleAlerts serves the rule engine's current alert states as JSON.
+// A nil engine serves an empty list.
+func HandleAlerts(ru *Rules) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+			return
+		}
+		alerts := ru.Alerts()
+		if alerts == nil {
+			alerts = []Alert{}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"summary": ru.Summarize(),
+			"alerts":  alerts,
+		})
+	})
+}
+
+// HandleProfiles lists retained pprof captures and serves individual
+// files (?download=<name>). A nil profiler serves an empty list.
+func HandleProfiles(p *Profiler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+			return
+		}
+		if name := r.URL.Query().Get("download"); name != "" {
+			if p == nil {
+				httpError(w, http.StatusNotFound, "profiling disabled")
+				return
+			}
+			if name != filepath.Base(name) || !strings.HasSuffix(name, ".pprof") {
+				httpError(w, http.StatusBadRequest, "invalid profile name %q", name)
+				return
+			}
+			path := filepath.Join(p.Dir(), name)
+			f, err := os.Open(path)
+			if err != nil {
+				httpError(w, http.StatusNotFound, "no such profile %q", name)
+				return
+			}
+			defer f.Close()
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Disposition", `attachment; filename="`+name+`"`)
+			http.ServeContent(w, r, name, time.Time{}, f)
+			return
+		}
+		captures, lastErr := p.Captures()
+		list := p.List()
+		if list == nil {
+			list = []ProfileInfo{}
+		}
+		resp := map[string]any{
+			"dir":      p.Dir(),
+			"captures": captures,
+			"profiles": list,
+		}
+		if lastErr != nil {
+			resp["last_error"] = lastErr.Error()
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+}

@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"isgc/internal/metrics"
+)
+
+func newTestStore(t *testing.T) *Store {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	c := reg.NewCounter("steps_total", "")
+	g := reg.NewGauge("frac", "")
+	s := NewStore(StoreConfig{Interval: time.Second, Retention: 16})
+	s.AddSource("job/a", reg, map[string]string{"job": "a"})
+	c.Add(4)
+	g.Set(0.5)
+	s.SampleNow()
+	c.Add(4)
+	g.Set(1.0)
+	s.SampleNow()
+	return s
+}
+
+// TestTimeseriesHandlerParams is the table-driven contract for the query
+// API: good requests serve JSON 200, malformed window/step/agg serve a
+// 400 with a JSON error body — never a text/plain shrug.
+func TestTimeseriesHandlerParams(t *testing.T) {
+	h := HandleTimeseries(newTestStore(t))
+	cases := []struct {
+		name       string
+		url        string
+		status     int
+		wantInBody string
+	}{
+		{"catalog", "/api/timeseries", 200, `"steps_total"`},
+		{"series", "/api/timeseries?name=frac", 200, `"points"`},
+		{"series with window", "/api/timeseries?name=frac&window=30s", 200, `"points"`},
+		{"bare-seconds window", "/api/timeseries?name=frac&window=30", 200, `"points"`},
+		{"step and agg", "/api/timeseries?name=steps_total&window=1m&step=2s&agg=rate", 200, `"series"`},
+		{"label match", "/api/timeseries?name=frac&label.job=a", 200, `"job": "a"`},
+		{"label mismatch", "/api/timeseries?name=frac&label.job=zz", 200, `"interval_seconds"`},
+		{"malformed window", "/api/timeseries?name=frac&window=bogus", 400, `"error"`},
+		{"negative window", "/api/timeseries?name=frac&window=-30s", 400, `"error"`},
+		{"malformed step", "/api/timeseries?name=frac&step=1x", 400, `"error"`},
+		{"negative step", "/api/timeseries?name=frac&step=-5s", 400, `"error"`},
+		{"trailing junk duration", "/api/timeseries?name=frac&window=30zz", 400, `"error"`},
+		{"unknown agg", "/api/timeseries?name=frac&agg=median", 400, `"error"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := httptest.NewRequest(http.MethodGet, tc.url, nil)
+			rw := httptest.NewRecorder()
+			h.ServeHTTP(rw, req)
+			if rw.Code != tc.status {
+				t.Fatalf("%s: status %d, want %d (body %s)", tc.url, rw.Code, tc.status, rw.Body.String())
+			}
+			if ct := rw.Header().Get("Content-Type"); ct != "application/json" {
+				t.Errorf("%s: content-type %q, want application/json", tc.url, ct)
+			}
+			if !strings.Contains(rw.Body.String(), tc.wantInBody) {
+				t.Errorf("%s: body %q missing %q", tc.url, rw.Body.String(), tc.wantInBody)
+			}
+		})
+	}
+
+	// Method guard.
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest(http.MethodPost, "/api/timeseries", nil))
+	if rw.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d, want 405", rw.Code)
+	}
+}
+
+func TestTimeseriesHandlerPointsShape(t *testing.T) {
+	h := HandleTimeseries(newTestStore(t))
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest(http.MethodGet, "/api/timeseries?name=steps_total", nil))
+	var resp struct {
+		IntervalSeconds float64 `json:"interval_seconds"`
+		Series          []struct {
+			Name   string            `json:"name"`
+			Labels map[string]string `json:"labels"`
+			Points [][2]float64      `json:"points"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(rw.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode: %v (%s)", err, rw.Body.String())
+	}
+	if resp.IntervalSeconds != 1 {
+		t.Errorf("interval = %v, want 1", resp.IntervalSeconds)
+	}
+	if len(resp.Series) != 1 || len(resp.Series[0].Points) != 2 {
+		t.Fatalf("series shape: %+v", resp.Series)
+	}
+	if resp.Series[0].Labels["job"] != "a" {
+		t.Errorf("labels = %v", resp.Series[0].Labels)
+	}
+	if got := resp.Series[0].Points[1][1]; got != 8 {
+		t.Errorf("last point value = %v, want 8", got)
+	}
+	if ts := resp.Series[0].Points[0][0]; ts < 1e12 {
+		t.Errorf("timestamp %v does not look like unix millis", ts)
+	}
+}
+
+func TestTimeseriesHandlerNilStore(t *testing.T) {
+	h := HandleTimeseries(nil)
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest(http.MethodGet, "/api/timeseries", nil))
+	if rw.Code != 200 {
+		t.Fatalf("nil store catalog status = %d", rw.Code)
+	}
+}
+
+func TestAlertsHandler(t *testing.T) {
+	// Nil engine: empty but well-formed.
+	rw := httptest.NewRecorder()
+	HandleAlerts(nil).ServeHTTP(rw, httptest.NewRequest(http.MethodGet, "/api/alerts", nil))
+	if rw.Code != 200 || !strings.Contains(rw.Body.String(), `"alerts": []`) {
+		t.Fatalf("nil engine: %d %s", rw.Code, rw.Body.String())
+	}
+
+	reg := metrics.NewRegistry()
+	reg.NewGauge("frac", "").Set(0.1)
+	store := NewStore(StoreConfig{Retention: 8})
+	store.AddSource("job/a", reg, map[string]string{"job": "a"})
+	store.SampleNow()
+	ru := NewRules(RulesConfig{Store: store, Rules: []Rule{{
+		Name: "floor", Series: "frac", Agg: AggLast,
+		Window: time.Minute, Op: OpBelow, Bound: 0.9, For: time.Nanosecond,
+	}}})
+	ru.EvalNow()
+	time.Sleep(time.Millisecond)
+	store.SampleNow()
+	ru.EvalNow()
+
+	rw = httptest.NewRecorder()
+	HandleAlerts(ru).ServeHTTP(rw, httptest.NewRequest(http.MethodGet, "/api/alerts", nil))
+	body := rw.Body.String()
+	for _, want := range []string{`"state": "firing"`, `"rule": "floor"`, `"job": "a"`, `"firing": 1`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("alerts body missing %q: %s", want, body)
+		}
+	}
+}
+
+func TestProfilesHandler(t *testing.T) {
+	// Nil profiler: list is empty, download 404s.
+	rw := httptest.NewRecorder()
+	HandleProfiles(nil).ServeHTTP(rw, httptest.NewRequest(http.MethodGet, "/debug/profiles", nil))
+	if rw.Code != 200 || !strings.Contains(rw.Body.String(), `"profiles": []`) {
+		t.Fatalf("nil profiler: %d %s", rw.Code, rw.Body.String())
+	}
+	rw = httptest.NewRecorder()
+	HandleProfiles(nil).ServeHTTP(rw, httptest.NewRequest(http.MethodGet, "/debug/profiles?download=x.pprof", nil))
+	if rw.Code != http.StatusNotFound {
+		t.Errorf("nil profiler download status = %d, want 404", rw.Code)
+	}
+
+	p, err := NewProfiler(ProfilerConfig{Dir: t.TempDir(), CPUDuration: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.CaptureNow()
+	h := HandleProfiles(p)
+
+	rw = httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest(http.MethodGet, "/debug/profiles", nil))
+	body := rw.Body.String()
+	if !strings.Contains(body, `"kind": "heap"`) || !strings.Contains(body, `"kind": "cpu"`) {
+		t.Fatalf("profiles list missing captures: %s", body)
+	}
+	var listing struct {
+		Profiles []ProfileInfo `json:"profiles"`
+	}
+	if err := json.Unmarshal(rw.Body.Bytes(), &listing); err != nil {
+		t.Fatal(err)
+	}
+
+	// Download round-trips a real capture.
+	rw = httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest(http.MethodGet, "/debug/profiles?download="+listing.Profiles[0].Name, nil))
+	if rw.Code != 200 || rw.Body.Len() == 0 {
+		t.Errorf("download: %d, %d bytes", rw.Code, rw.Body.Len())
+	}
+
+	// Traversal and junk names are rejected.
+	for _, bad := range []string{"../../etc/passwd", "a/b.pprof", "x.txt"} {
+		rw = httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodGet, "/debug/profiles", nil)
+		q := req.URL.Query()
+		q.Set("download", bad)
+		req.URL.RawQuery = q.Encode()
+		h.ServeHTTP(rw, req)
+		if rw.Code != http.StatusBadRequest && rw.Code != http.StatusNotFound {
+			t.Errorf("download %q status = %d, want 400/404", bad, rw.Code)
+		}
+	}
+}
+
+func TestDashHandler(t *testing.T) {
+	rw := httptest.NewRecorder()
+	HandleDash(nil).ServeHTTP(rw, httptest.NewRequest(http.MethodGet, "/debug/dash", nil))
+	if rw.Code != 200 {
+		t.Fatalf("dash status = %d", rw.Code)
+	}
+	if ct := rw.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("content-type = %q", ct)
+	}
+	body := rw.Body.String()
+	for _, want := range []string{
+		"/api/timeseries", "/api/alerts",
+		"c-steps", "c-gather", "c-frac", "c-fleet",
+		"isgc_master_recovered_fraction", "prefers-color-scheme",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("dash missing %q", want)
+		}
+	}
+
+	// With a populated store the page bootstraps the job catalog, so the
+	// served HTML itself names every known job.
+	rw = httptest.NewRecorder()
+	HandleDash(newTestStore(t)).ServeHTTP(rw, httptest.NewRequest(http.MethodGet, "/debug/dash", nil))
+	if body := rw.Body.String(); !strings.Contains(body, `"jobs":["a"]`) {
+		t.Errorf("dash bootstrap missing job catalog")
+	}
+}

@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ProfilerConfig configures continuous profiling.
+type ProfilerConfig struct {
+	// Dir is where profiles are written; empty disables profiling
+	// (NewProfiler returns nil).
+	Dir string
+	// Interval between capture rounds (0 → 60s).
+	Interval time.Duration
+	// CPUDuration bounds each CPU capture (0 → 5s; clamped below
+	// Interval).
+	CPUDuration time.Duration
+	// Keep bounds how many files of each kind are retained; older
+	// captures are pruned (0 → 20).
+	Keep int
+}
+
+// Profiler periodically captures CPU and heap pprof profiles into a
+// retention-pruned directory, so a straggler investigation can reach for
+// the profile covering the incident instead of reproducing it. All
+// methods are safe on nil.
+type Profiler struct {
+	dir      string
+	interval time.Duration
+	cpuDur   time.Duration
+	keep     int
+
+	mu       sync.Mutex
+	captures uint64
+	lastErr  error
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewProfiler builds a profiler, creating the directory. Returns nil when
+// cfg.Dir is empty; errors only on directory creation.
+func NewProfiler(cfg ProfilerConfig) (*Profiler, error) {
+	if cfg.Dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("profile dir: %w", err)
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 60 * time.Second
+	}
+	if cfg.CPUDuration <= 0 {
+		cfg.CPUDuration = 5 * time.Second
+	}
+	if cfg.CPUDuration >= cfg.Interval {
+		cfg.CPUDuration = cfg.Interval / 2
+	}
+	if cfg.Keep <= 0 {
+		cfg.Keep = 20
+	}
+	return &Profiler{
+		dir:      cfg.Dir,
+		interval: cfg.Interval,
+		cpuDur:   cfg.CPUDuration,
+		keep:     cfg.Keep,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}, nil
+}
+
+// Dir returns the capture directory ("" on nil).
+func (p *Profiler) Dir() string {
+	if p == nil {
+		return ""
+	}
+	return p.dir
+}
+
+// Start launches the capture loop. Safe on nil; idempotent.
+func (p *Profiler) Start() {
+	if p == nil {
+		return
+	}
+	p.startOnce.Do(func() {
+		go func() {
+			defer close(p.done)
+			t := time.NewTicker(p.interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-p.stop:
+					return
+				case <-t.C:
+					p.CaptureNow()
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts the loop and waits for any in-flight capture. Safe on nil
+// and without Start.
+func (p *Profiler) Stop() {
+	if p == nil {
+		return
+	}
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.startOnce.Do(func() { close(p.done) })
+	<-p.done
+}
+
+// CaptureNow runs one capture round synchronously: a CPU profile of
+// CPUDuration (skipped if another CPU profile is already running — e.g.
+// a live /debug/pprof/profile request) followed by a heap profile, then
+// retention pruning. Safe on nil.
+func (p *Profiler) CaptureNow() {
+	if p == nil {
+		return
+	}
+	stamp := time.Now().UTC().Format("20060102T150405")
+	p.captureCPU(stamp)
+	p.captureHeap(stamp)
+	p.prune()
+}
+
+func (p *Profiler) captureCPU(stamp string) {
+	path := filepath.Join(p.dir, "cpu-"+stamp+".pprof")
+	f, err := os.Create(path)
+	if err != nil {
+		p.fail(err)
+		return
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		// Another CPU profile is in flight; not a fault, just skip.
+		f.Close()
+		os.Remove(path)
+		return
+	}
+	select {
+	case <-p.stop:
+	case <-time.After(p.cpuDur):
+	}
+	pprof.StopCPUProfile()
+	if err := f.Close(); err != nil {
+		p.fail(err)
+		return
+	}
+	p.ok()
+}
+
+func (p *Profiler) captureHeap(stamp string) {
+	path := filepath.Join(p.dir, "heap-"+stamp+".pprof")
+	f, err := os.Create(path)
+	if err != nil {
+		p.fail(err)
+		return
+	}
+	err = pprof.Lookup("heap").WriteTo(f, 0)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		p.fail(err)
+		return
+	}
+	p.ok()
+}
+
+func (p *Profiler) fail(err error) {
+	p.mu.Lock()
+	p.lastErr = err
+	p.mu.Unlock()
+}
+
+func (p *Profiler) ok() {
+	p.mu.Lock()
+	p.captures++
+	p.lastErr = nil
+	p.mu.Unlock()
+}
+
+// prune deletes the oldest captures of each kind past the retention
+// bound. Filenames embed a sortable UTC stamp, so lexical order is
+// chronological.
+func (p *Profiler) prune() {
+	for _, prefix := range []string{"cpu-", "heap-"} {
+		names, err := filepath.Glob(filepath.Join(p.dir, prefix+"*.pprof"))
+		if err != nil || len(names) <= p.keep {
+			continue
+		}
+		sort.Strings(names)
+		for _, n := range names[:len(names)-p.keep] {
+			os.Remove(n)
+		}
+	}
+}
+
+// ProfileInfo describes one retained capture.
+type ProfileInfo struct {
+	Name string    `json:"name"`
+	Kind string    `json:"kind"` // "cpu" or "heap"
+	Size int64     `json:"size"`
+	Time time.Time `json:"time"`
+}
+
+// List returns the retained captures, newest first. Safe on nil.
+func (p *Profiler) List() []ProfileInfo {
+	if p == nil {
+		return nil
+	}
+	names, err := filepath.Glob(filepath.Join(p.dir, "*.pprof"))
+	if err != nil {
+		return nil
+	}
+	out := make([]ProfileInfo, 0, len(names))
+	for _, n := range names {
+		fi, err := os.Stat(n)
+		if err != nil {
+			continue
+		}
+		base := filepath.Base(n)
+		kind, _, _ := strings.Cut(base, "-")
+		out = append(out, ProfileInfo{
+			Name: base,
+			Kind: kind,
+			Size: fi.Size(),
+			Time: fi.ModTime(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time.After(out[j].Time) })
+	return out
+}
+
+// Captures returns how many successful captures have run, and the most
+// recent error if the last capture failed. Safe on nil.
+func (p *Profiler) Captures() (uint64, error) {
+	if p == nil {
+		return 0, nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.captures, p.lastErr
+}

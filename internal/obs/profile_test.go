@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestProfilerCaptureAndList(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NewProfiler(ProfilerConfig{Dir: dir, CPUDuration: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.CaptureNow()
+	n, lastErr := p.Captures()
+	if lastErr != nil {
+		t.Fatalf("capture error: %v", lastErr)
+	}
+	if n == 0 {
+		t.Fatal("no successful captures recorded")
+	}
+	list := p.List()
+	kinds := map[string]int{}
+	for _, pi := range list {
+		kinds[pi.Kind]++
+		if pi.Size == 0 && pi.Kind == "heap" {
+			t.Errorf("empty heap profile %s", pi.Name)
+		}
+	}
+	if kinds["cpu"] != 1 || kinds["heap"] != 1 {
+		t.Fatalf("capture kinds = %v, want one cpu + one heap", kinds)
+	}
+}
+
+func TestProfilerRetentionPrune(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NewProfiler(ProfilerConfig{Dir: dir, Keep: 3, CPUDuration: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed stale captures with sortable stamps older than anything new.
+	for i := 0; i < 6; i++ {
+		stamp := time.Date(2020, 1, 1, 0, 0, i, 0, time.UTC).Format("20060102T150405")
+		for _, prefix := range []string{"cpu-", "heap-"} {
+			if err := os.WriteFile(filepath.Join(dir, prefix+stamp+".pprof"), []byte("x"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	p.prune()
+	for _, prefix := range []string{"cpu-", "heap-"} {
+		names, _ := filepath.Glob(filepath.Join(dir, prefix+"*.pprof"))
+		if len(names) != 3 {
+			t.Errorf("%s retention: %d files, want 3", prefix, len(names))
+		}
+		// The survivors are the newest (lexically greatest) stamps.
+		for _, n := range names {
+			if filepath.Base(n) < prefix+"20200101T000003" {
+				t.Errorf("pruned wrong file: kept %s", n)
+			}
+		}
+	}
+}
+
+func TestProfilerDisabledAndNil(t *testing.T) {
+	p, err := NewProfiler(ProfilerConfig{})
+	if err != nil || p != nil {
+		t.Fatalf("empty dir: p=%v err=%v, want nil/nil", p, err)
+	}
+	var nilP *Profiler
+	nilP.Start()
+	nilP.Stop()
+	nilP.CaptureNow()
+	if nilP.List() != nil || nilP.Dir() != "" {
+		t.Error("nil profiler should be inert")
+	}
+	if n, e := nilP.Captures(); n != 0 || e != nil {
+		t.Error("nil profiler Captures should be zero")
+	}
+}
+
+func TestProfilerStartStop(t *testing.T) {
+	p, err := NewProfiler(ProfilerConfig{
+		Dir:         t.TempDir(),
+		Interval:    20 * time.Millisecond,
+		CPUDuration: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if n, _ := p.Captures(); n > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	p.Stop()
+	p.Stop() // idempotent
+	if n, _ := p.Captures(); n == 0 {
+		t.Error("background profiler never captured")
+	}
+}

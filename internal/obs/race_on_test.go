@@ -1,0 +1,7 @@
+//go:build race
+
+package obs_test
+
+// raceEnabled reports that the race detector instruments this build;
+// timing budgets are not meaningful then.
+const raceEnabled = true

@@ -1,0 +1,525 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"isgc/internal/events"
+)
+
+// Op compares an observed value against a rule bound.
+type Op string
+
+const (
+	OpAbove Op = "above" // fires when value > Bound
+	OpBelow Op = "below" // fires when value < Bound
+)
+
+// Rule is one SLO condition evaluated per matching series on every rules
+// tick. Two shapes share the struct:
+//
+//   - Threshold (Budget == 0): the windowed aggregate of Series breaches
+//     Bound per Op.
+//   - Burn rate (Budget > 0): the windowed aggregate — read as an error
+//     fraction, optionally via Invert — consumes error budget at ≥ Factor
+//     times the sustainable rate over BOTH the short window (Window) and
+//     the long window (LongWindow), the classic two-window guard against
+//     paging on noise.
+//
+// A rule stays pending until the breach has held For consecutive ticks'
+// worth of time, and a firing rule resolves only after the condition has
+// been healthy for the same hold — symmetric hysteresis, so one breach
+// emits exactly one firing event and one resolved event, never a flap
+// per tick.
+type Rule struct {
+	// Name identifies the rule in alerts, events, and the dashboard.
+	Name string
+	// Series is the time-series name to evaluate (e.g.
+	// "isgc_master_recovered_fraction").
+	Series string
+	// Match restricts evaluation to series carrying these labels; each
+	// distinct matching series alerts independently (per-job alerts from
+	// one rule).
+	Match map[string]string
+	// Agg folds the window into the evaluated value (default avg; use
+	// AggRate for counters).
+	Agg Agg
+	// Window is the evaluation window (default 30s).
+	Window time.Duration
+	// Op / Bound define the breach for threshold rules, and the direction
+	// of "error" for burn-rate rules.
+	Op    Op
+	Bound float64
+	// For is how long the condition must hold before firing, and how long
+	// it must clear before resolving (default one window).
+	For time.Duration
+	// Severity is attached to alerts and events ("warn" default, "error"
+	// escalates the event level).
+	Severity string
+
+	// Burn-rate extension.
+	// Budget is the allowed error fraction (e.g. 0.05 for a 95% SLO);
+	// zero means this is a plain threshold rule.
+	Budget float64
+	// Factor is the burn multiple that pages (default 2).
+	Factor float64
+	// LongWindow is the confirmation window (default 6×Window).
+	LongWindow time.Duration
+	// Invert maps the observed value v into an error fraction as 1−v —
+	// for "fraction good" gauges like recovered_fraction.
+	Invert bool
+}
+
+func (r Rule) window() time.Duration {
+	if r.Window > 0 {
+		return r.Window
+	}
+	return 30 * time.Second
+}
+
+func (r Rule) hold() time.Duration {
+	if r.For > 0 {
+		return r.For
+	}
+	return r.window()
+}
+
+func (r Rule) longWindow() time.Duration {
+	if r.LongWindow > 0 {
+		return r.LongWindow
+	}
+	return 6 * r.window()
+}
+
+func (r Rule) factor() float64 {
+	if r.Factor > 0 {
+		return r.Factor
+	}
+	return 2
+}
+
+func (r Rule) severity() string {
+	if r.Severity != "" {
+		return r.Severity
+	}
+	return "warn"
+}
+
+// AlertState is the lifecycle position of one (rule, series) pair.
+type AlertState string
+
+const (
+	StateOK      AlertState = "ok"
+	StatePending AlertState = "pending" // breaching, hold not yet met
+	StateFiring  AlertState = "firing"
+)
+
+// Alert is the externally visible state of one (rule, series) pair.
+type Alert struct {
+	Rule     string            `json:"rule"`
+	Series   string            `json:"series"`
+	Labels   map[string]string `json:"labels,omitempty"`
+	State    AlertState        `json:"state"`
+	Severity string            `json:"severity"`
+	Value    float64           `json:"value"`
+	Bound    float64           `json:"bound"`
+	// Since is when the current state was entered.
+	Since time.Time `json:"since"`
+	// FiredAt is when the alert last transitioned to firing (zero if it
+	// never has).
+	FiredAt time.Time `json:"fired_at,omitzero"`
+}
+
+// alertTrack is the internal state machine for one (rule, series) pair.
+type alertTrack struct {
+	labels   map[string]string
+	state    AlertState
+	since    time.Time
+	firedAt  time.Time
+	breachAt time.Time // first tick of the current contiguous breach
+	okAt     time.Time // first tick of the current contiguous recovery
+	value    float64
+}
+
+// RulesConfig configures a rule engine.
+type RulesConfig struct {
+	Store *Store
+	Rules []Rule
+	// Events receives alert lifecycle events (type "slo_firing" /
+	// "slo_resolved"); nil discards.
+	Events *events.Log
+	// Interval is the evaluation period for Start (0 → the store's
+	// sampling interval, or 1s without a store).
+	Interval time.Duration
+}
+
+// Rules evaluates SLO rules against a Store and tracks alert lifecycles.
+// All methods are safe on nil.
+type Rules struct {
+	store    *Store
+	rules    []Rule
+	ev       *events.Log
+	interval time.Duration
+
+	mu     sync.Mutex
+	tracks map[string]*alertTrack // rule name + series key → track
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewRules builds a rule engine; nothing evaluates until Start (or
+// EvalNow). Returns nil when there are no rules, which every downstream
+// consumer tolerates.
+func NewRules(cfg RulesConfig) *Rules {
+	if len(cfg.Rules) == 0 {
+		return nil
+	}
+	iv := cfg.Interval
+	if iv <= 0 {
+		iv = cfg.Store.Interval()
+	}
+	if iv <= 0 {
+		iv = time.Second
+	}
+	return &Rules{
+		store:    cfg.Store,
+		rules:    cfg.Rules,
+		ev:       cfg.Events,
+		interval: iv,
+		tracks:   make(map[string]*alertTrack),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the background evaluator. Safe on nil; idempotent.
+func (ru *Rules) Start() {
+	if ru == nil {
+		return
+	}
+	ru.startOnce.Do(func() {
+		go func() {
+			defer close(ru.done)
+			t := time.NewTicker(ru.interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ru.stop:
+					return
+				case <-t.C:
+					ru.EvalNow()
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts the evaluator and waits for it. Safe on nil and without
+// Start.
+func (ru *Rules) Stop() {
+	if ru == nil {
+		return
+	}
+	ru.stopOnce.Do(func() { close(ru.stop) })
+	ru.startOnce.Do(func() { close(ru.done) })
+	<-ru.done
+}
+
+// breached reports whether a threshold rule's condition holds for value
+// v (burn-rate breaches are decided by EvalNow's two-window check).
+func (r Rule) breached(v float64) bool {
+	switch r.Op {
+	case OpBelow:
+		return v < r.Bound
+	default:
+		return v > r.Bound
+	}
+}
+
+// errFraction maps an observed value to an error fraction for burn-rate
+// rules.
+func (r Rule) errFraction(v float64) float64 {
+	if r.Invert {
+		v = 1 - v
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// EvalNow runs one synchronous evaluation pass. Safe on nil.
+func (ru *Rules) EvalNow() {
+	if ru == nil {
+		return
+	}
+	now := time.Now()
+	type obs struct {
+		rule   Rule
+		key    string
+		labels map[string]string
+		value  float64
+		breach bool
+	}
+	var observed []obs
+	for _, r := range ru.rules {
+		agg := r.Agg
+		if agg == "" {
+			agg = AggAvg
+		}
+		if r.Budget > 0 {
+			short := ru.store.WindowStat(r.Series, r.Match, r.window(), agg)
+			long := ru.store.WindowStat(r.Series, r.Match, r.longWindow(), agg)
+			longBy := make(map[string]SeriesStat, len(long))
+			for _, st := range long {
+				longBy[statKey(st.Labels)] = st
+			}
+			for _, st := range short {
+				lf, ok := longBy[statKey(st.Labels)]
+				if !ok {
+					continue
+				}
+				burnShort := r.errFraction(st.Value) / r.Budget
+				burnLong := r.errFraction(lf.Value) / r.Budget
+				burn := burnShort
+				if burnLong < burn {
+					burn = burnLong
+				}
+				observed = append(observed, obs{
+					rule: r, key: r.Name + "|" + statKey(st.Labels),
+					labels: st.Labels, value: burn,
+					breach: burnShort >= r.factor() && burnLong >= r.factor(),
+				})
+			}
+			continue
+		}
+		for _, st := range ru.store.WindowStat(r.Series, r.Match, r.window(), agg) {
+			observed = append(observed, obs{
+				rule: r, key: r.Name + "|" + statKey(st.Labels),
+				labels: st.Labels, value: st.Value,
+				breach: r.breached(st.Value),
+			})
+		}
+	}
+
+	type transition struct {
+		rule   Rule
+		labels map[string]string
+		value  float64
+		fired  bool // else resolved
+	}
+	var fire []transition
+	ru.mu.Lock()
+	seen := make(map[string]bool, len(observed))
+	for _, o := range observed {
+		seen[o.key] = true
+		tr := ru.tracks[o.key]
+		if tr == nil {
+			tr = &alertTrack{labels: o.labels, state: StateOK, since: now}
+			ru.tracks[o.key] = tr
+		}
+		tr.value = o.value
+		if o.breach {
+			tr.okAt = time.Time{}
+			if tr.breachAt.IsZero() {
+				tr.breachAt = now
+			}
+			switch tr.state {
+			case StateOK:
+				tr.state = StatePending
+				tr.since = now
+			case StatePending:
+				if now.Sub(tr.breachAt) >= o.rule.hold() {
+					tr.state = StateFiring
+					tr.since = now
+					tr.firedAt = now
+					fire = append(fire, transition{o.rule, o.labels, o.value, true})
+				}
+			}
+			continue
+		}
+		tr.breachAt = time.Time{}
+		switch tr.state {
+		case StatePending:
+			tr.state = StateOK
+			tr.since = now
+			tr.okAt = time.Time{}
+		case StateFiring:
+			if tr.okAt.IsZero() {
+				tr.okAt = now
+			}
+			if now.Sub(tr.okAt) >= o.rule.hold() {
+				tr.state = StateOK
+				tr.since = now
+				tr.okAt = time.Time{}
+				fire = append(fire, transition{o.rule, o.labels, o.value, false})
+			}
+		}
+	}
+	// Series that vanished (job finished, source removed): resolve firing
+	// alerts so nothing stays stuck red forever.
+	for key, tr := range ru.tracks {
+		if seen[key] {
+			continue
+		}
+		if tr.state == StateFiring {
+			r := ru.ruleOf(key)
+			tr.state = StateOK
+			tr.since = now
+			fire = append(fire, transition{r, tr.labels, tr.value, false})
+		} else {
+			delete(ru.tracks, key)
+		}
+	}
+	ru.mu.Unlock()
+
+	for _, t := range fire {
+		fields := events.Fields{
+			"rule":   t.rule.Name,
+			"series": t.rule.Series,
+			"value":  t.value,
+			"bound":  t.rule.Bound,
+		}
+		for k, v := range t.labels {
+			fields[k] = v
+		}
+		if t.fired {
+			msg := fmt.Sprintf("SLO breach: %s (%s %s %g, got %g)",
+				t.rule.Name, t.rule.Series, t.rule.Op, t.rule.Bound, t.value)
+			if t.rule.severity() == "error" {
+				ru.ev.Error("slo_firing", msg, events.NoStep, events.NoWorker, fields)
+			} else {
+				ru.ev.Warn("slo_firing", msg, events.NoStep, events.NoWorker, fields)
+			}
+		} else {
+			ru.ev.Info("slo_resolved",
+				fmt.Sprintf("SLO recovered: %s (%s back within %g)",
+					t.rule.Name, t.rule.Series, t.rule.Bound),
+				events.NoStep, events.NoWorker, fields)
+		}
+	}
+}
+
+func (ru *Rules) ruleOf(trackKey string) Rule {
+	name, _, _ := strings.Cut(trackKey, "|")
+	for _, r := range ru.rules {
+		if r.Name == name {
+			return r
+		}
+	}
+	return Rule{Name: name}
+}
+
+func statKey(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+	}
+	return b.String()
+}
+
+// Alerts returns the current state of every tracked (rule, series) pair,
+// firing first, then pending, then ok, each group sorted by rule name.
+// Safe on nil (returns nil).
+func (ru *Rules) Alerts() []Alert {
+	if ru == nil {
+		return nil
+	}
+	ru.mu.Lock()
+	out := make([]Alert, 0, len(ru.tracks))
+	for key, tr := range ru.tracks {
+		r := ru.ruleOf(key)
+		out = append(out, Alert{
+			Rule:     r.Name,
+			Series:   r.Series,
+			Labels:   tr.labels,
+			State:    tr.state,
+			Severity: r.severity(),
+			Value:    tr.value,
+			Bound:    r.Bound,
+			Since:    tr.since,
+			FiredAt:  tr.firedAt,
+		})
+	}
+	ru.mu.Unlock()
+	rank := func(s AlertState) int {
+		switch s {
+		case StateFiring:
+			return 0
+		case StatePending:
+			return 1
+		}
+		return 2
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if ri, rj := rank(out[i].State), rank(out[j].State); ri != rj {
+			return ri < rj
+		}
+		if out[i].Rule != out[j].Rule {
+			return out[i].Rule < out[j].Rule
+		}
+		return statKey(out[i].Labels) < statKey(out[j].Labels)
+	})
+	return out
+}
+
+// Firing returns how many alerts are currently firing. Safe on nil.
+func (ru *Rules) Firing() int {
+	if ru == nil {
+		return 0
+	}
+	ru.mu.Lock()
+	defer ru.mu.Unlock()
+	n := 0
+	for _, tr := range ru.tracks {
+		if tr.state == StateFiring {
+			n++
+		}
+	}
+	return n
+}
+
+// Summary is the compact health-endpoint view of the rule engine.
+type Summary struct {
+	Rules   int `json:"rules"`
+	Firing  int `json:"firing"`
+	Pending int `json:"pending"`
+}
+
+// Summarize returns alert counts for /healthz. Safe on nil (zero value).
+func (ru *Rules) Summarize() Summary {
+	if ru == nil {
+		return Summary{}
+	}
+	ru.mu.Lock()
+	defer ru.mu.Unlock()
+	s := Summary{Rules: len(ru.rules)}
+	for _, tr := range ru.tracks {
+		switch tr.state {
+		case StateFiring:
+			s.Firing++
+		case StatePending:
+			s.Pending++
+		}
+	}
+	return s
+}

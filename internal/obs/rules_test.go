@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"isgc/internal/events"
+	"isgc/internal/metrics"
+)
+
+// countEvents tallies events of a type in the log's ring.
+func countEvents(ev *events.Log, typ string) int {
+	n := 0
+	for _, e := range ev.Snapshot() {
+		if e.Type == typ {
+			n++
+		}
+	}
+	return n
+}
+
+// TestRulesFireOnceThenResolveOnce drives a recovered-fraction floor
+// through breach → sustained breach → recovery and asserts exactly one
+// firing and one resolved event — the anti-flap contract.
+func TestRulesFireOnceThenResolveOnce(t *testing.T) {
+	reg := metrics.NewRegistry()
+	frac := reg.NewGauge("isgc_master_recovered_fraction", "")
+	store := NewStore(StoreConfig{Retention: 64})
+	store.AddSource("job/a", reg, map[string]string{"job": "a"})
+	ev := events.New(events.Config{})
+	ru := NewRules(RulesConfig{
+		Store:  store,
+		Events: ev,
+		Rules: []Rule{{
+			Name:   "recovered-fraction-floor",
+			Series: "isgc_master_recovered_fraction",
+			Agg:    AggLast,
+			Window: time.Minute,
+			Op:     OpBelow,
+			Bound:  0.9,
+			For:    time.Millisecond,
+		}},
+	})
+
+	// Healthy: stays ok.
+	frac.Set(1.0)
+	store.SampleNow()
+	ru.EvalNow()
+	if got := ru.Alerts(); len(got) != 1 || got[0].State != StateOK {
+		t.Fatalf("healthy alerts = %+v, want one ok", got)
+	}
+
+	// Breach: first eval goes pending, then fires after the hold — and
+	// repeated breaching evals must NOT fire again.
+	frac.Set(0.5)
+	store.SampleNow()
+	ru.EvalNow()
+	if got := ru.Alerts(); got[0].State != StatePending {
+		t.Fatalf("first breach state = %v, want pending", got[0].State)
+	}
+	time.Sleep(2 * time.Millisecond)
+	for i := 0; i < 5; i++ {
+		store.SampleNow()
+		ru.EvalNow()
+	}
+	if got := ru.Alerts(); got[0].State != StateFiring {
+		t.Fatalf("sustained breach state = %v, want firing", got[0].State)
+	}
+	if n := countEvents(ev, "slo_firing"); n != 1 {
+		t.Fatalf("firing events = %d, want exactly 1", n)
+	}
+	if ru.Firing() != 1 {
+		t.Errorf("Firing() = %d, want 1", ru.Firing())
+	}
+	sum := ru.Summarize()
+	if sum.Firing != 1 || sum.Rules != 1 {
+		t.Errorf("Summarize = %+v", sum)
+	}
+
+	// Recovery: holds for the same duration before resolving, exactly once.
+	frac.Set(1.0)
+	store.SampleNow()
+	ru.EvalNow()
+	if got := ru.Alerts(); got[0].State != StateFiring {
+		t.Fatalf("state flipped to %v before the recovery hold", got[0].State)
+	}
+	time.Sleep(2 * time.Millisecond)
+	for i := 0; i < 5; i++ {
+		store.SampleNow()
+		ru.EvalNow()
+	}
+	if got := ru.Alerts(); got[0].State != StateOK {
+		t.Fatalf("recovered state = %v, want ok", got[0].State)
+	}
+	if n := countEvents(ev, "slo_resolved"); n != 1 {
+		t.Fatalf("resolved events = %d, want exactly 1", n)
+	}
+	if n := countEvents(ev, "slo_firing"); n != 1 {
+		t.Fatalf("firing events after recovery = %d, want still 1", n)
+	}
+}
+
+// TestRulesBriefBlipNeverFires: a single breaching eval shorter than the
+// hold goes pending and returns to ok without any event.
+func TestRulesBriefBlipNeverFires(t *testing.T) {
+	reg := metrics.NewRegistry()
+	frac := reg.NewGauge("frac", "")
+	store := NewStore(StoreConfig{Retention: 64})
+	store.AddSource("x", reg, nil)
+	ev := events.New(events.Config{})
+	ru := NewRules(RulesConfig{
+		Store:  store,
+		Events: ev,
+		Rules: []Rule{{
+			Name: "floor", Series: "frac", Agg: AggLast,
+			Window: time.Minute, Op: OpBelow, Bound: 0.9, For: time.Hour,
+		}},
+	})
+	frac.Set(0.1)
+	store.SampleNow()
+	ru.EvalNow()
+	frac.Set(1.0)
+	store.SampleNow()
+	ru.EvalNow()
+	if got := ru.Alerts(); got[0].State != StateOK {
+		t.Errorf("post-blip state = %v, want ok", got[0].State)
+	}
+	if ev.Total() != 0 {
+		t.Errorf("blip emitted %d events, want 0", ev.Total())
+	}
+}
+
+func TestRulesPerSeriesIndependence(t *testing.T) {
+	regA, regB := metrics.NewRegistry(), metrics.NewRegistry()
+	fa := regA.NewGauge("frac", "")
+	fb := regB.NewGauge("frac", "")
+	store := NewStore(StoreConfig{Retention: 64})
+	store.AddSource("job/a", regA, map[string]string{"job": "a"})
+	store.AddSource("job/b", regB, map[string]string{"job": "b"})
+	ru := NewRules(RulesConfig{
+		Store: store,
+		Rules: []Rule{{
+			Name: "floor", Series: "frac", Agg: AggLast,
+			Window: time.Minute, Op: OpBelow, Bound: 0.9, For: time.Nanosecond,
+		}},
+	})
+	fa.Set(0.5)
+	fb.Set(1.0)
+	store.SampleNow()
+	ru.EvalNow()
+	time.Sleep(time.Millisecond)
+	store.SampleNow()
+	ru.EvalNow()
+	alerts := ru.Alerts()
+	if len(alerts) != 2 {
+		t.Fatalf("alerts = %+v, want 2", alerts)
+	}
+	// Firing sorts first.
+	if alerts[0].State != StateFiring || alerts[0].Labels["job"] != "a" {
+		t.Errorf("alert[0] = %+v, want job a firing", alerts[0])
+	}
+	if alerts[1].State != StateOK || alerts[1].Labels["job"] != "b" {
+		t.Errorf("alert[1] = %+v, want job b ok", alerts[1])
+	}
+}
+
+// TestRulesVanishedSeriesResolves: a firing alert whose series disappears
+// (job finished) resolves instead of staying red forever.
+func TestRulesVanishedSeriesResolves(t *testing.T) {
+	reg := metrics.NewRegistry()
+	frac := reg.NewGauge("frac", "")
+	store := NewStore(StoreConfig{Retention: 4})
+	store.AddSource("x", reg, nil)
+	ev := events.New(events.Config{})
+	ru := NewRules(RulesConfig{
+		Store:  store,
+		Events: ev,
+		Rules: []Rule{{
+			Name: "floor", Series: "frac", Agg: AggLast,
+			Window: 40 * time.Millisecond, Op: OpBelow, Bound: 0.9, For: time.Nanosecond,
+		}},
+	})
+	frac.Set(0.1)
+	store.SampleNow()
+	ru.EvalNow()
+	time.Sleep(time.Millisecond)
+	store.SampleNow()
+	ru.EvalNow()
+	if ru.Firing() != 1 {
+		t.Fatalf("setup: firing = %d, want 1", ru.Firing())
+	}
+	store.RemoveSource("x")
+	time.Sleep(50 * time.Millisecond) // age every point out of the window
+	ru.EvalNow()
+	if ru.Firing() != 0 {
+		t.Errorf("vanished series still firing")
+	}
+	if n := countEvents(ev, "slo_resolved"); n != 1 {
+		t.Errorf("resolved events = %d, want 1", n)
+	}
+}
+
+// TestRulesBurnRate exercises the two-window burn-rate shape: fires only
+// when both windows burn past the factor.
+func TestRulesBurnRate(t *testing.T) {
+	reg := metrics.NewRegistry()
+	frac := reg.NewGauge("frac", "")
+	store := NewStore(StoreConfig{Retention: 256})
+	store.AddSource("x", reg, nil)
+	ev := events.New(events.Config{})
+	ru := NewRules(RulesConfig{
+		Store:  store,
+		Events: ev,
+		Rules: []Rule{{
+			Name:       "recovery-burn",
+			Series:     "frac",
+			Agg:        AggAvg,
+			Window:     10 * time.Millisecond,
+			LongWindow: time.Minute,
+			Budget:     0.05, // 95% recovery SLO
+			Factor:     2,
+			Invert:     true, // error fraction = 1 − recovered fraction
+			For:        time.Nanosecond,
+			Severity:   "error",
+		}},
+	})
+
+	// Healthy history: error fraction 0 — no burn.
+	frac.Set(1.0)
+	for i := 0; i < 5; i++ {
+		store.SampleNow()
+	}
+	ru.EvalNow()
+	if f := ru.Firing(); f != 0 {
+		t.Fatalf("healthy burn fired: %d", f)
+	}
+
+	// Sustained 50% errors: burn = 0.5/0.05 = 10× in both windows.
+	frac.Set(0.5)
+	for i := 0; i < 20; i++ {
+		store.SampleNow()
+	}
+	ru.EvalNow()
+	time.Sleep(time.Millisecond)
+	store.SampleNow()
+	ru.EvalNow()
+	if f := ru.Firing(); f != 1 {
+		t.Fatalf("sustained burn firing = %d, want 1", f)
+	}
+	if n := countEvents(ev, "slo_firing"); n != 1 {
+		t.Errorf("firing events = %d, want 1", n)
+	}
+	// Severity "error" escalates the event level.
+	if got := ev.Count(events.LevelError); got != 1 {
+		t.Errorf("error-level events = %d, want 1", got)
+	}
+}
+
+func TestRulesNilSafety(t *testing.T) {
+	var ru *Rules
+	ru.Start()
+	ru.Stop()
+	ru.EvalNow()
+	if ru.Alerts() != nil || ru.Firing() != 0 {
+		t.Error("nil rules should be inert")
+	}
+	if s := ru.Summarize(); s != (Summary{}) {
+		t.Errorf("nil Summarize = %+v", s)
+	}
+	if NewRules(RulesConfig{}) != nil {
+		t.Error("NewRules with no rules should return nil")
+	}
+}
+
+func TestRulesStartStop(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.NewGauge("v", "").Set(5)
+	store := NewStore(StoreConfig{Interval: time.Millisecond, Retention: 16})
+	store.AddSource("x", reg, nil)
+	store.Start()
+	ru := NewRules(RulesConfig{
+		Store:    store,
+		Interval: time.Millisecond,
+		Rules: []Rule{{
+			Name: "ceiling", Series: "v", Agg: AggLast,
+			Window: time.Second, Op: OpAbove, Bound: 1, For: time.Nanosecond,
+		}},
+	})
+	ru.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for ru.Firing() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	ru.Stop()
+	store.Stop()
+	if ru.Firing() != 1 {
+		t.Error("background evaluator never fired the ceiling rule")
+	}
+	// Stop is idempotent and Start-after-Stop must not panic.
+	ru.Stop()
+	store.Stop()
+}

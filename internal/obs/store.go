@@ -1,0 +1,620 @@
+// Package obs is the fleet-wide observability layer: a zero-dependency
+// in-process time-series store that samples metrics registries on a
+// ticker into fixed-retention ring buffers, an SLO rule engine with
+// anti-flap state transitions, periodic pprof capture, and the HTTP
+// surface (/api/timeseries, /api/alerts, /debug/dash, /debug/profiles)
+// the admin server mounts.
+//
+// The store federates: every source is a (registry, constant labels)
+// pair, so a control plane registers each per-job master's registry with
+// a {job: id} label and one plane-level store answers both fleet-wide
+// and per-job queries. Counters are stored raw (rates are a query-time
+// aggregation, robust to the counter resets a job re-placement causes);
+// gauges store the sampled value; histograms expand into _count, _sum,
+// and windowed-delta p50/p95/p99 series estimated from the bucket
+// difference between consecutive ticks.
+//
+// Every exported method is safe on a nil *Store, matching the metrics
+// package's discipline: an unobserved process pays one branch.
+package obs
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"isgc/internal/metrics"
+)
+
+// Quantiles are the windowed-delta quantile series derived per histogram
+// (suffix → p).
+var histQuantiles = []struct {
+	Suffix string
+	P      float64
+}{
+	{"_p50", 0.50},
+	{"_p95", 0.95},
+	{"_p99", 0.99},
+}
+
+// StoreConfig configures a Store.
+type StoreConfig struct {
+	// Interval is the sampling period (0 → 1s).
+	Interval time.Duration
+	// Retention is how many points each series ring holds (0 → 600 — ten
+	// minutes at the default interval).
+	Retention int
+}
+
+// Point is one sampled value.
+type Point struct {
+	T time.Time
+	V float64
+}
+
+// source is one registered (registry, constant labels) pair.
+type source struct {
+	reg    *metrics.Registry
+	labels []metrics.Label
+}
+
+// series is one named, labeled ring of points.
+type series struct {
+	name    string
+	labels  []metrics.Label
+	counter bool // counter semantics: monotone, rate-aggregatable
+	pts     []Point
+	head    int // next write slot
+	n       int // filled
+}
+
+func (se *series) push(p Point) {
+	if len(se.pts) == 0 {
+		return
+	}
+	se.pts[se.head] = p
+	se.head = (se.head + 1) % len(se.pts)
+	if se.n < len(se.pts) {
+		se.n++
+	}
+}
+
+// points returns the ring oldest-first.
+func (se *series) points() []Point {
+	out := make([]Point, 0, se.n)
+	start := se.head - se.n
+	if start < 0 {
+		start += len(se.pts)
+	}
+	for i := 0; i < se.n; i++ {
+		out = append(out, se.pts[(start+i)%len(se.pts)])
+	}
+	return out
+}
+
+// Store is the in-process time-series database. Create with NewStore,
+// register sources, then either Start the background sampler or drive
+// SampleNow directly (tests, sim clocks).
+type Store struct {
+	interval  time.Duration
+	retention int
+
+	mu       sync.Mutex
+	sources  map[string]*source
+	series   map[string]*series
+	order    []string // series keys, insertion order
+	lastHist map[string]metrics.HistogramSnapshot
+	ticks    uint64
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewStore builds a store; nothing samples until Start (or SampleNow).
+func NewStore(cfg StoreConfig) *Store {
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.Retention <= 0 {
+		cfg.Retention = 600
+	}
+	return &Store{
+		interval:  cfg.Interval,
+		retention: cfg.Retention,
+		sources:   make(map[string]*source),
+		series:    make(map[string]*series),
+		lastHist:  make(map[string]metrics.HistogramSnapshot),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+}
+
+// Interval returns the sampling period (0 on nil).
+func (s *Store) Interval() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.interval
+}
+
+// AddSource registers a registry under id with constant labels stamped
+// onto every series it produces. Re-adding an id replaces the registry
+// (a job's successor master continues the same labeled series). Safe on
+// nil.
+func (s *Store) AddSource(id string, reg *metrics.Registry, labels map[string]string) {
+	if s == nil || reg == nil {
+		return
+	}
+	ls := make([]metrics.Label, 0, len(labels))
+	for k, v := range labels {
+		ls = append(ls, metrics.Label{Name: k, Value: v})
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	s.mu.Lock()
+	s.sources[id] = &source{reg: reg, labels: ls}
+	s.mu.Unlock()
+}
+
+// RemoveSource stops sampling a source. Its series stay queryable until
+// their points age out of every window. Safe on nil.
+func (s *Store) RemoveSource(id string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	delete(s.sources, id)
+	s.mu.Unlock()
+}
+
+// Start launches the background sampler. Safe on nil; idempotent.
+func (s *Store) Start() {
+	if s == nil {
+		return
+	}
+	s.startOnce.Do(func() {
+		go func() {
+			defer close(s.done)
+			t := time.NewTicker(s.interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-s.stop:
+					return
+				case <-t.C:
+					s.SampleNow()
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts the sampler and waits for it. Safe on nil and without Start.
+func (s *Store) Stop() {
+	if s == nil {
+		return
+	}
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.startOnce.Do(func() { close(s.done) }) // never started: unblock the wait
+	<-s.done
+}
+
+// Ticks returns how many sampling passes have run (0 on nil).
+func (s *Store) Ticks() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ticks
+}
+
+// seriesKey renders the canonical identity of a series.
+func seriesKey(name string, labels []metrics.Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// mergeLabels combines source labels with a sample's own labels, sorted
+// by name (sample labels win on collision, which registries never
+// produce in practice).
+func mergeLabels(src, own []metrics.Label) []metrics.Label {
+	if len(src) == 0 && len(own) == 0 {
+		return nil
+	}
+	out := make([]metrics.Label, 0, len(src)+len(own))
+	seen := make(map[string]bool, len(own))
+	for _, l := range own {
+		seen[l.Name] = true
+		out = append(out, l)
+	}
+	for _, l := range src {
+		if !seen[l.Name] {
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// rec is one pending ring append, staged so user GaugeFuncs run outside
+// the store lock.
+type rec struct {
+	name    string
+	labels  []metrics.Label
+	counter bool
+	v       float64
+}
+
+// SampleNow runs one synchronous sampling pass over every source. The
+// registries are gathered outside the store lock (GaugeFuncs may take
+// process locks of their own); the ring appends happen under it. Safe on
+// nil.
+func (s *Store) SampleNow() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.mu.Lock()
+	srcs := make([]*source, 0, len(s.sources))
+	for _, src := range s.sources {
+		srcs = append(srcs, src)
+	}
+	s.mu.Unlock()
+
+	var recs []rec
+	var histKeys []string
+	var histSnaps []metrics.HistogramSnapshot
+	for _, src := range srcs {
+		for _, sm := range src.reg.Gather() {
+			labels := mergeLabels(src.labels, sm.Labels)
+			switch sm.Kind {
+			case metrics.KindCounter:
+				recs = append(recs, rec{sm.Name, labels, true, sm.Value})
+			case metrics.KindGauge:
+				recs = append(recs, rec{sm.Name, labels, false, sm.Value})
+			case metrics.KindHistogram:
+				if sm.Hist == nil {
+					continue
+				}
+				recs = append(recs, rec{sm.Name + "_count", labels, true, float64(sm.Hist.Count)})
+				recs = append(recs, rec{sm.Name + "_sum", labels, true, sm.Hist.Sum})
+				histKeys = append(histKeys, seriesKey(sm.Name, labels))
+				histSnaps = append(histSnaps, *sm.Hist)
+				// Quantile recs are resolved under the lock, where the
+				// previous snapshot lives; stage placeholders.
+				for range histQuantiles {
+					recs = append(recs, rec{sm.Name, labels, false, math.NaN()})
+				}
+			}
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ticks++
+	hi := 0
+	for i := 0; i < len(recs); i++ {
+		r := recs[i]
+		if math.IsNaN(r.v) && hi < len(histKeys) {
+			// The staged quantile block for histKeys[hi]: diff against the
+			// previous tick's snapshot for windowed quantiles.
+			key := histKeys[hi]
+			snap := histSnaps[hi]
+			delta := snap.Sub(s.lastHist[key])
+			s.lastHist[key] = snap
+			hi++
+			for q, hq := range histQuantiles {
+				v := delta.Quantile(hq.P)
+				if delta.Count == 0 {
+					// No observations this tick: hold the lifetime estimate
+					// so the series has no artificial gaps.
+					v = snap.Quantile(hq.P)
+				}
+				if !math.IsNaN(v) {
+					s.record(recs[i+q].name+hq.Suffix, r.labels, false, v, now)
+				}
+			}
+			i += len(histQuantiles) - 1
+			continue
+		}
+		s.record(r.name, r.labels, r.counter, r.v, now)
+	}
+}
+
+// record appends one point, creating the series on first sight. Caller
+// holds mu.
+func (s *Store) record(name string, labels []metrics.Label, counter bool, v float64, now time.Time) {
+	key := seriesKey(name, labels)
+	se := s.series[key]
+	if se == nil {
+		se = &series{
+			name:    name,
+			labels:  labels,
+			counter: counter,
+			pts:     make([]Point, s.retention),
+		}
+		s.series[key] = se
+		s.order = append(s.order, key)
+	}
+	se.push(Point{T: now, V: v})
+}
+
+// Agg selects the query-time aggregation.
+type Agg string
+
+const (
+	AggLast Agg = "last"
+	AggMin  Agg = "min"
+	AggMax  Agg = "max"
+	AggAvg  Agg = "avg"
+	// AggRate is the per-second increase of a counter series, computed
+	// from adjacent raw samples with negative deltas clamped to zero
+	// (counter resets — a restarted master — read as a momentary zero,
+	// not a huge negative spike).
+	AggRate Agg = "rate"
+)
+
+// ParseAgg validates an aggregation name ("" → last).
+func ParseAgg(s string) (Agg, bool) {
+	switch Agg(s) {
+	case "":
+		return AggLast, true
+	case AggLast, AggMin, AggMax, AggAvg, AggRate:
+		return Agg(s), true
+	}
+	return "", false
+}
+
+// QueryOpts bounds and shapes a range query.
+type QueryOpts struct {
+	// Window keeps points newer than now−Window (0 → everything retained).
+	Window time.Duration
+	// Step groups points into Step-wide buckets aggregated with Agg
+	// (0 → raw points; rate still transforms).
+	Step time.Duration
+	// Agg is the bucket aggregation (default last).
+	Agg Agg
+}
+
+// SeriesData is one query result.
+type SeriesData struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Points []Point           `json:"-"`
+}
+
+// matches reports whether the series carries every label in match.
+func (se *series) matches(match map[string]string) bool {
+	for k, v := range match {
+		found := false
+		for _, l := range se.labels {
+			if l.Name == k && l.Value == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func labelMap(ls []metrics.Label) map[string]string {
+	if len(ls) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(ls))
+	for _, l := range ls {
+		m[l.Name] = l.Value
+	}
+	return m
+}
+
+// Query returns every series with the given name whose labels are a
+// superset of match, its points windowed, rate-transformed, and bucketed
+// per opts. Results are ordered by series key. Safe on nil (returns nil).
+func (s *Store) Query(name string, match map[string]string, opts QueryOpts) []SeriesData {
+	if s == nil {
+		return nil
+	}
+	now := time.Now()
+	s.mu.Lock()
+	type hit struct {
+		key string
+		se  *series
+		pts []Point
+	}
+	var hits []hit
+	for _, key := range s.order {
+		se := s.series[key]
+		if se.name != name || !se.matches(match) {
+			continue
+		}
+		hits = append(hits, hit{key, se, se.points()})
+	}
+	s.mu.Unlock()
+
+	out := make([]SeriesData, 0, len(hits))
+	for _, h := range hits {
+		pts := h.pts
+		if opts.Window > 0 {
+			cut := now.Add(-opts.Window)
+			i := sort.Search(len(pts), func(i int) bool { return !pts[i].T.Before(cut) })
+			pts = pts[i:]
+		}
+		if opts.Agg == AggRate {
+			pts = ratePoints(pts)
+		}
+		if opts.Step > 0 {
+			pts = bucketize(pts, opts.Step, opts.Agg)
+		}
+		out = append(out, SeriesData{Name: h.se.name, Labels: labelMap(h.se.labels), Points: pts})
+	}
+	return out
+}
+
+// ratePoints converts cumulative samples into instantaneous per-second
+// rates between adjacent points, clamping resets to zero.
+func ratePoints(pts []Point) []Point {
+	if len(pts) < 2 {
+		return nil
+	}
+	out := make([]Point, 0, len(pts)-1)
+	for i := 1; i < len(pts); i++ {
+		dt := pts[i].T.Sub(pts[i-1].T).Seconds()
+		if dt <= 0 {
+			continue
+		}
+		dv := pts[i].V - pts[i-1].V
+		if dv < 0 {
+			dv = 0
+		}
+		out = append(out, Point{T: pts[i].T, V: dv / dt})
+	}
+	return out
+}
+
+// bucketize groups points into step-wide buckets (aligned to the first
+// point) and aggregates each. Rate input has already been transformed, so
+// its buckets average.
+func bucketize(pts []Point, step time.Duration, agg Agg) []Point {
+	if len(pts) == 0 {
+		return pts
+	}
+	if agg == "" || agg == AggRate {
+		agg = AggAvg
+	}
+	var out []Point
+	start := pts[0].T
+	i := 0
+	for i < len(pts) {
+		end := start.Add(step)
+		j := i
+		for j < len(pts) && pts[j].T.Before(end) {
+			j++
+		}
+		if j > i {
+			out = append(out, Point{T: pts[j-1].T, V: aggregate(pts[i:j], agg)})
+		}
+		start = end
+		i = j
+	}
+	return out
+}
+
+func aggregate(pts []Point, agg Agg) float64 {
+	switch agg {
+	case AggMin:
+		m := pts[0].V
+		for _, p := range pts[1:] {
+			m = math.Min(m, p.V)
+		}
+		return m
+	case AggMax:
+		m := pts[0].V
+		for _, p := range pts[1:] {
+			m = math.Max(m, p.V)
+		}
+		return m
+	case AggAvg:
+		sum := 0.0
+		for _, p := range pts {
+			sum += p.V
+		}
+		return sum / float64(len(pts))
+	default: // last
+		return pts[len(pts)-1].V
+	}
+}
+
+// Names returns the distinct series names, sorted. Safe on nil.
+func (s *Store) Names() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	seen := make(map[string]bool)
+	for _, key := range s.order {
+		seen[s.series[key].name] = true
+	}
+	s.mu.Unlock()
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LabelValues returns the distinct values of a label across every
+// series, sorted — e.g. LabelValues("job") is the fleet's job catalog.
+// Safe on nil.
+func (s *Store) LabelValues(label string) []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	seen := make(map[string]bool)
+	for _, key := range s.order {
+		for _, l := range s.series[key].labels {
+			if l.Name == label {
+				seen[l.Value] = true
+			}
+		}
+	}
+	s.mu.Unlock()
+	vals := make([]string, 0, len(seen))
+	for v := range seen {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	return vals
+}
+
+// SeriesStat is one windowed aggregate — the rule engine's view.
+type SeriesStat struct {
+	Labels  map[string]string
+	Value   float64
+	Samples int
+}
+
+// WindowStat aggregates the last window of every matching series into one
+// value each. Series with no points in the window are omitted. Safe on
+// nil.
+func (s *Store) WindowStat(name string, match map[string]string, window time.Duration, agg Agg) []SeriesStat {
+	if s == nil {
+		return nil
+	}
+	var out []SeriesStat
+	for _, sd := range s.Query(name, match, QueryOpts{Window: window, Agg: agg}) {
+		pts := sd.Points
+		if len(pts) == 0 {
+			continue
+		}
+		a := agg
+		if a == AggRate {
+			a = AggAvg // average the instantaneous rates over the window
+		}
+		out = append(out, SeriesStat{Labels: sd.Labels, Value: aggregate(pts, a), Samples: len(pts)})
+	}
+	return out
+}

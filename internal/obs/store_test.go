@@ -1,0 +1,305 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"isgc/internal/metrics"
+)
+
+func TestStoreSamplesCountersGaugesHistograms(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := reg.NewCounter("steps_total", "")
+	g := reg.NewGauge("frac", "")
+	h := reg.NewHistogram("lat_seconds", "", metrics.LinearBuckets(0.01, 0.01, 100))
+
+	s := NewStore(StoreConfig{Interval: time.Second, Retention: 16})
+	s.AddSource("job/a", reg, map[string]string{"job": "a"})
+
+	c.Add(3)
+	g.Set(0.75)
+	h.Observe(0.10)
+	h.Observe(0.20)
+	s.SampleNow()
+
+	for _, tc := range []struct {
+		name string
+		want float64
+	}{
+		{"steps_total", 3},
+		{"frac", 0.75},
+		{"lat_seconds_count", 2},
+	} {
+		got := s.Query(tc.name, map[string]string{"job": "a"}, QueryOpts{})
+		if len(got) != 1 || len(got[0].Points) != 1 {
+			t.Fatalf("%s: got %+v, want one series with one point", tc.name, got)
+		}
+		if got[0].Points[0].V != tc.want {
+			t.Errorf("%s = %v, want %v", tc.name, got[0].Points[0].V, tc.want)
+		}
+		if got[0].Labels["job"] != "a" {
+			t.Errorf("%s labels = %v, want job=a", tc.name, got[0].Labels)
+		}
+	}
+
+	// First tick's quantiles come from the lifetime distribution.
+	p50 := s.Query("lat_seconds_p50", nil, QueryOpts{})
+	if len(p50) != 1 || len(p50[0].Points) != 1 {
+		t.Fatalf("p50 series: %+v", p50)
+	}
+	if v := p50[0].Points[0].V; v < 0.09 || v > 0.21 {
+		t.Errorf("first-tick p50 = %v, want within the observed range", v)
+	}
+
+	// Second tick: only new observations shape the windowed quantile.
+	h.Observe(0.90)
+	h.Observe(0.90)
+	h.Observe(0.90)
+	s.SampleNow()
+	p50 = s.Query("lat_seconds_p50", nil, QueryOpts{})
+	last := p50[0].Points[len(p50[0].Points)-1].V
+	if last < 0.85 || last > 0.91 {
+		t.Errorf("windowed p50 = %v, want ~0.9 (old ticks' samples excluded)", last)
+	}
+
+	// An idle tick holds the lifetime estimate instead of gapping.
+	s.SampleNow()
+	p50 = s.Query("lat_seconds_p50", nil, QueryOpts{})
+	if got := len(p50[0].Points); got != 3 {
+		t.Errorf("idle tick: %d p50 points, want 3 (held, not gapped)", got)
+	}
+}
+
+func TestStoreRingWraparound(t *testing.T) {
+	reg := metrics.NewRegistry()
+	g := reg.NewGauge("v", "")
+	s := NewStore(StoreConfig{Retention: 4})
+	s.AddSource("x", reg, nil)
+	for i := 0; i < 10; i++ {
+		g.Set(float64(i))
+		s.SampleNow()
+	}
+	got := s.Query("v", nil, QueryOpts{})
+	if len(got) != 1 {
+		t.Fatalf("query: %+v", got)
+	}
+	pts := got[0].Points
+	if len(pts) != 4 {
+		t.Fatalf("retention: %d points, want 4", len(pts))
+	}
+	for i, p := range pts {
+		if want := float64(6 + i); p.V != want {
+			t.Errorf("point %d = %v, want %v (oldest-first after wrap)", i, p.V, want)
+		}
+	}
+}
+
+func TestStoreRateClampsResets(t *testing.T) {
+	pts := []Point{
+		{T: time.Unix(0, 0), V: 10},
+		{T: time.Unix(1, 0), V: 30},  // +20/s
+		{T: time.Unix(2, 0), V: 5},   // reset → clamp to 0
+		{T: time.Unix(3, 0), V: 15},  // +10/s
+		{T: time.Unix(3, 0), V: 999}, // dt=0 → dropped
+	}
+	got := ratePoints(pts)
+	if len(got) != 3 {
+		t.Fatalf("ratePoints: %d points, want 3: %+v", len(got), got)
+	}
+	if got[0].V != 20 || got[1].V != 0 || got[2].V != 10 {
+		t.Errorf("rates = %v %v %v, want 20 0 10", got[0].V, got[1].V, got[2].V)
+	}
+	if ratePoints(pts[:1]) != nil {
+		t.Error("single point should have no rate")
+	}
+}
+
+func TestStoreBucketize(t *testing.T) {
+	base := time.Unix(100, 0)
+	var pts []Point
+	for i := 0; i < 10; i++ { // values 0..9, one per second
+		pts = append(pts, Point{T: base.Add(time.Duration(i) * time.Second), V: float64(i)})
+	}
+	for _, tc := range []struct {
+		agg  Agg
+		want []float64 // 5s buckets over 0..4 and 5..9
+	}{
+		{AggAvg, []float64{2, 7}},
+		{AggMin, []float64{0, 5}},
+		{AggMax, []float64{4, 9}},
+		{AggLast, []float64{4, 9}},
+	} {
+		got := bucketize(pts, 5*time.Second, tc.agg)
+		if len(got) != 2 {
+			t.Fatalf("%s: %d buckets, want 2", tc.agg, len(got))
+		}
+		for i := range got {
+			if math.Abs(got[i].V-tc.want[i]) > 1e-9 {
+				t.Errorf("%s bucket %d = %v, want %v", tc.agg, i, got[i].V, tc.want[i])
+			}
+		}
+	}
+}
+
+func TestStoreWindowQuery(t *testing.T) {
+	reg := metrics.NewRegistry()
+	g := reg.NewGauge("v", "")
+	s := NewStore(StoreConfig{Retention: 8})
+	s.AddSource("x", reg, nil)
+	g.Set(1)
+	s.SampleNow()
+	g.Set(2)
+	s.SampleNow()
+	// A generous window keeps both; a zero-length effective window drops
+	// points older than it.
+	if got := s.Query("v", nil, QueryOpts{Window: time.Minute}); len(got[0].Points) != 2 {
+		t.Errorf("window=1m: %d points, want 2", len(got[0].Points))
+	}
+	if got := s.Query("v", nil, QueryOpts{Window: time.Nanosecond}); len(got[0].Points) != 0 {
+		t.Errorf("window=1ns: %d points, want 0", len(got[0].Points))
+	}
+}
+
+func TestStoreFederationAndRemoval(t *testing.T) {
+	regA, regB := metrics.NewRegistry(), metrics.NewRegistry()
+	regA.NewCounter("steps_total", "").Add(5)
+	regB.NewCounter("steps_total", "").Add(7)
+	s := NewStore(StoreConfig{Retention: 8})
+	s.AddSource("job/a", regA, map[string]string{"job": "a"})
+	s.AddSource("job/b", regB, map[string]string{"job": "b"})
+	s.SampleNow()
+
+	all := s.Query("steps_total", nil, QueryOpts{})
+	if len(all) != 2 {
+		t.Fatalf("fleet-wide query: %d series, want 2", len(all))
+	}
+	onlyB := s.Query("steps_total", map[string]string{"job": "b"}, QueryOpts{})
+	if len(onlyB) != 1 || onlyB[0].Points[0].V != 7 {
+		t.Fatalf("per-job query: %+v", onlyB)
+	}
+
+	s.RemoveSource("job/a")
+	s.SampleNow()
+	all = s.Query("steps_total", nil, QueryOpts{})
+	var aPts, bPts int
+	for _, sd := range all {
+		if sd.Labels["job"] == "a" {
+			aPts = len(sd.Points)
+		} else {
+			bPts = len(sd.Points)
+		}
+	}
+	if aPts != 1 || bPts != 2 {
+		t.Errorf("after removal: a has %d points (want 1, frozen), b has %d (want 2)", aPts, bPts)
+	}
+
+	names := s.Names()
+	if len(names) != 1 || names[0] != "steps_total" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestStoreNilSafety(t *testing.T) {
+	var s *Store
+	s.AddSource("x", metrics.NewRegistry(), nil)
+	s.RemoveSource("x")
+	s.SampleNow()
+	s.Start()
+	s.Stop()
+	if s.Query("v", nil, QueryOpts{}) != nil {
+		t.Error("nil store Query should return nil")
+	}
+	if s.Names() != nil {
+		t.Error("nil store Names should return nil")
+	}
+	if s.WindowStat("v", nil, time.Minute, AggAvg) != nil {
+		t.Error("nil store WindowStat should return nil")
+	}
+	if s.Interval() != 0 || s.Ticks() != 0 {
+		t.Error("nil store scalar getters should be zero")
+	}
+}
+
+// TestStoreConcurrentScrapeWhileSample hammers the store from samplers,
+// queriers, and source churn at once — the -race build is the assertion.
+func TestStoreConcurrentScrapeWhileSample(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := reg.NewCounter("steps_total", "")
+	h := reg.NewHistogram("lat_seconds", "", metrics.DefBuckets)
+	s := NewStore(StoreConfig{Interval: time.Millisecond, Retention: 32})
+	s.AddSource("job/a", reg, map[string]string{"job": "a"})
+	s.Start()
+	defer s.Stop()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				h.Observe(0.01)
+				s.SampleNow()
+				s.Query("steps_total", nil, QueryOpts{Window: time.Second, Agg: AggRate})
+				s.Query("lat_seconds_p95", nil, QueryOpts{})
+				s.Names()
+				s.WindowStat("steps_total", nil, time.Second, AggRate)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		reg2 := metrics.NewRegistry()
+		reg2.NewGauge("churn", "").Set(1)
+		for i := 0; i < 200; i++ {
+			s.AddSource("job/churn", reg2, map[string]string{"job": "churn"})
+			s.RemoveSource("job/churn")
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if s.Ticks() == 0 {
+		t.Error("sampler never ticked")
+	}
+}
+
+func TestWindowStatAggregations(t *testing.T) {
+	reg := metrics.NewRegistry()
+	g := reg.NewGauge("frac", "")
+	s := NewStore(StoreConfig{Retention: 8})
+	s.AddSource("job/a", reg, map[string]string{"job": "a"})
+	for _, v := range []float64{1.0, 0.5, 0.75} {
+		g.Set(v)
+		s.SampleNow()
+	}
+	stats := s.WindowStat("frac", nil, time.Minute, AggAvg)
+	if len(stats) != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if math.Abs(stats[0].Value-0.75) > 1e-9 {
+		t.Errorf("avg = %v, want 0.75", stats[0].Value)
+	}
+	if stats[0].Samples != 3 || stats[0].Labels["job"] != "a" {
+		t.Errorf("stat meta = %+v", stats[0])
+	}
+	if st := s.WindowStat("frac", nil, time.Minute, AggMin); math.Abs(st[0].Value-0.5) > 1e-9 {
+		t.Errorf("min = %v, want 0.5", st[0].Value)
+	}
+	if st := s.WindowStat("frac", nil, time.Minute, AggLast); math.Abs(st[0].Value-0.75) > 1e-9 {
+		t.Errorf("last = %v, want 0.75", st[0].Value)
+	}
+	// Rate over a gauge-like counter: feed a counter for determinism.
+	if st := s.WindowStat("nosuch", nil, time.Minute, AggAvg); st != nil {
+		t.Errorf("missing series stat = %+v, want nil", st)
+	}
+}
