@@ -15,6 +15,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sort"
 )
 
 // benchDelta is one row of the diff: a benchmark present in either
@@ -90,6 +91,30 @@ func fmtDelta(d benchDelta, metric func(*Result) float64) string {
 	return fmt.Sprintf("%+.1f%%", pct(oldV, newV))
 }
 
+// metricDeltas renders indented rows for custom metrics both reports
+// share (e.g. the loadgen's p95-ns or steps/sec) — these carry the
+// interesting numbers for tools that report through the Metrics map
+// rather than ns/op.
+func metricDeltas(d benchDelta) []string {
+	if len(d.Old.Metrics) == 0 || len(d.New.Metrics) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(d.Old.Metrics))
+	for k := range d.Old.Metrics {
+		if _, ok := d.New.Metrics[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	lines := make([]string, 0, len(keys))
+	for _, k := range keys {
+		oldV, newV := d.Old.Metrics[k], d.New.Metrics[k]
+		lines = append(lines, fmt.Sprintf("  %-50s %12.1f %12.1f %+8.1f%%",
+			k, oldV, newV, pct(oldV, newV)))
+	}
+	return lines
+}
+
 // runDiff prints the delta table and returns an error when -fail-over is
 // set and any ns/op regression exceeds it.
 func runDiff(oldPath, newPath string, failOver float64, out io.Writer) error {
@@ -122,6 +147,9 @@ func runDiff(oldPath, newPath string, failOver float64, out io.Writer) error {
 			fmtDelta(d, func(r *Result) float64 { return r.BytesPerOp }),
 			fmtDelta(d, func(r *Result) float64 { return r.AllocsPerOp }))
 		if d.Old != nil && d.New != nil {
+			for _, line := range metricDeltas(d) {
+				fmt.Fprintln(out, line)
+			}
 			if p := pct(d.Old.NsPerOp, d.New.NsPerOp); p > worst.pct {
 				worst.name, worst.pct = d.Name, p
 			}

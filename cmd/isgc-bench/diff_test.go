@@ -105,3 +105,33 @@ func TestPct(t *testing.T) {
 		t.Errorf("pct(0,0) = %v", got)
 	}
 }
+
+func TestDiffSharedMetrics(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeReport(t, oldPath, []Result{{
+		Name: "BenchmarkLoadgen", NsPerOp: 100,
+		Metrics: map[string]float64{"p95-ns": 400, "steps/sec": 1000, "old-only": 7},
+	}})
+	writeReport(t, newPath, []Result{{
+		Name: "BenchmarkLoadgen", NsPerOp: 100,
+		Metrics: map[string]float64{"p95-ns": 200, "steps/sec": 2000, "new-only": 9},
+	}})
+
+	var out strings.Builder
+	if err := runDiff(oldPath, newPath, 0, &out); err != nil {
+		t.Fatalf("runDiff: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"p95-ns", "-50.0%", "steps/sec", "+100.0%"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("diff output missing shared metric %q:\n%s", want, got)
+		}
+	}
+	for _, skip := range []string{"old-only", "new-only"} {
+		if strings.Contains(got, skip) {
+			t.Errorf("diff output shows unshared metric %q:\n%s", skip, got)
+		}
+	}
+}

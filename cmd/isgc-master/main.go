@@ -65,6 +65,7 @@ type options struct {
 	stepTimeout   time.Duration
 	computePar    int           // loss-evaluation pool size (0 = GOMAXPROCS)
 	decodeCache   int           // decode LRU capacity (0 disables memoization)
+	decodeIncr    bool          // repair chosen sets across steps instead of re-solving
 	wire          string        // wire codec: "binary" (default) or "gob"
 	metricsAddr   string        // empty disables the admin endpoint
 	metricsLinger time.Duration // keep the admin endpoint up after the run
@@ -103,6 +104,7 @@ func main() {
 		wire        = flag.String("wire", "binary", "wire codec for the gradient/params hot path: binary or gob")
 		computePar  = flag.Int("compute-par", 0, "loss-evaluation compute shards (0 = auto/GOMAXPROCS, 1 = sequential)")
 		decodeCache = flag.Int("decode-cache", 0, "memoize decode results in an LRU of this many availability masks (0 disables; trades decode fairness for speed)")
+		decodeIncr  = flag.Bool("decode-incremental", false, "repair the previous step's chosen set against availability deltas instead of re-solving (trades decode fairness for latency)")
 		liveness    = flag.Duration("liveness", 15*time.Second, "declare a worker dead after this much silence (negative disables)")
 		stepTimeout = flag.Duration("step-timeout", 0, "bound one step's gather even with live workers (0 disables)")
 
@@ -188,6 +190,7 @@ func main() {
 		stepTimeout:   *stepTimeout,
 		computePar:    *computePar,
 		decodeCache:   *decodeCache,
+		decodeIncr:    *decodeIncr,
 		metricsAddr:   *metricsAddr,
 		metricsLinger: *metricsLinger,
 		eventsPath:    *eventsPath,
@@ -304,28 +307,29 @@ func run(opts options) error {
 	}
 
 	master, err := cluster.NewMaster(cluster.MasterConfig{
-		Addr:            opts.addr,
-		Strategy:        st,
-		Model:           model.SoftmaxRegression{Features: opts.data.Features, Classes: opts.data.Classes},
-		Data:            data,
-		LearningRate:    opts.lr,
-		W:               w,
-		Deadline:        opts.deadline,
-		MaxSteps:        opts.maxSteps,
-		LossThreshold:   opts.threshold,
-		Seed:            opts.data.Seed,
-		Wire:            opts.wire,
-		LivenessTimeout: opts.liveness,
-		StepTimeout:     opts.stepTimeout,
-		ComputePar:      opts.computePar,
-		DecodeCache:     opts.decodeCache,
-		Metrics:         mm,
-		Events:          ev,
-		Timeline:        tl,
-		Checkpoint:      store,
-		CheckpointEvery: opts.checkpointEvery,
-		Restore:         restore,
-		LeaseTTL:        opts.leaseTTL,
+		Addr:              opts.addr,
+		Strategy:          st,
+		Model:             model.SoftmaxRegression{Features: opts.data.Features, Classes: opts.data.Classes},
+		Data:              data,
+		LearningRate:      opts.lr,
+		W:                 w,
+		Deadline:          opts.deadline,
+		MaxSteps:          opts.maxSteps,
+		LossThreshold:     opts.threshold,
+		Seed:              opts.data.Seed,
+		Wire:              opts.wire,
+		LivenessTimeout:   opts.liveness,
+		StepTimeout:       opts.stepTimeout,
+		ComputePar:        opts.computePar,
+		DecodeCache:       opts.decodeCache,
+		IncrementalDecode: opts.decodeIncr,
+		Metrics:           mm,
+		Events:            ev,
+		Timeline:          tl,
+		Checkpoint:        store,
+		CheckpointEvery:   opts.checkpointEvery,
+		Restore:           restore,
+		LeaseTTL:          opts.leaseTTL,
 	})
 	if err != nil {
 		return err

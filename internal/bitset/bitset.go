@@ -169,6 +169,164 @@ func (s *Set) IntersectionCount(o *Set) int {
 	return c
 }
 
+// AndNot returns a new set holding s \ o (the elements of s not in o).
+// The word-parallel complement of DifferenceWith for callers that need the
+// original left intact — mask-delta computations (departed = prev &^ cur,
+// returned = cur &^ prev) are its hot use.
+func (s *Set) AndNot(o *Set) *Set {
+	out := &Set{words: make([]uint64, len(s.words))}
+	for i, w := range s.words {
+		var ow uint64
+		if i < len(o.words) {
+			ow = o.words[i]
+		}
+		out.words[i] = w &^ ow
+	}
+	return out
+}
+
+// PopcountAnd returns |s ∩ o| one word at a time — the same value as
+// IntersectionCount, named for the machine operation so conflict-probe
+// call sites read as what they cost.
+func (s *Set) PopcountAnd(o *Set) int { return s.IntersectionCount(o) }
+
+// IntersectsAny reports whether s shares an element with any of the given
+// sets, short-circuiting on the first word-level overlap.
+func (s *Set) IntersectsAny(os ...*Set) bool {
+	for _, o := range os {
+		if o != nil && s.Intersects(o) {
+			return true
+		}
+	}
+	return false
+}
+
+// rangeWords visits the words overlapping [lo, hi) with the partial first
+// and last words masked down to the range, calling fn(index, maskedWord).
+// Iteration stops early when fn returns false.
+func (s *Set) rangeWords(lo, hi int, fn func(i int, w uint64) bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	if max := len(s.words) * wordBits; hi > max {
+		hi = max
+	}
+	if lo >= hi {
+		return
+	}
+	first, last := lo/wordBits, (hi-1)/wordBits
+	for i := first; i <= last; i++ {
+		w := s.words[i]
+		if i == first {
+			w &= ^uint64(0) << uint(lo%wordBits)
+		}
+		if i == last {
+			if r := (hi-1)%wordBits + 1; r < wordBits {
+				w &= (1 << uint(r)) - 1
+			}
+		}
+		if !fn(i, w) {
+			return
+		}
+	}
+}
+
+// AnyInRange reports whether s contains an element in [lo, hi).
+// O((hi-lo)/64) words, independent of the population.
+func (s *Set) AnyInRange(lo, hi int) bool {
+	found := false
+	s.rangeWords(lo, hi, func(_ int, w uint64) bool {
+		if w != 0 {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// CountInRange returns |s ∩ [lo, hi)| via per-word popcounts.
+func (s *Set) CountInRange(lo, hi int) int {
+	n := 0
+	s.rangeWords(lo, hi, func(_ int, w uint64) bool {
+		n += bits.OnesCount64(w)
+		return true
+	})
+	return n
+}
+
+// NextInRange returns the smallest element of s in [lo, hi), or -1 when the
+// range holds none. This is the bit-scan primitive behind the interval
+// greedy walks: each probe costs O(range/64) words, not O(range) bits.
+func (s *Set) NextInRange(lo, hi int) int {
+	out := -1
+	s.rangeWords(lo, hi, func(i int, w uint64) bool {
+		if w != 0 {
+			out = i*wordBits + bits.TrailingZeros64(w)
+			return false
+		}
+		return true
+	})
+	return out
+}
+
+// IntersectsRange reports whether s ∩ o has an element in [lo, hi) — the
+// word-parallel conflict probe: "does any chosen worker sit inside this
+// conflict window?" without materializing the intersection.
+func (s *Set) IntersectsRange(o *Set, lo, hi int) bool {
+	found := false
+	s.rangeWords(lo, hi, func(i int, w uint64) bool {
+		if i < len(o.words) && w&o.words[i] != 0 {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Select returns the k-th smallest element (0-based), or -1 when k is out
+// of range. Words are skipped by popcount, so selection is O(n/64 + 64)
+// rather than a per-element walk — what makes a uniform random pick from a
+// 50k-worker availability mask cheap.
+func (s *Set) Select(k int) int {
+	if k < 0 {
+		return -1
+	}
+	for i, w := range s.words {
+		c := bits.OnesCount64(w)
+		if k >= c {
+			k -= c
+			continue
+		}
+		for ; ; k-- {
+			b := bits.TrailingZeros64(w)
+			if k == 0 {
+				return i*wordBits + b
+			}
+			w &^= 1 << uint(b)
+		}
+	}
+	return -1
+}
+
+// CloneCapped returns a copy of s restricted to values in [0, n), sized
+// for exactly that universe. The word-parallel form of "clone, then drop
+// out-of-range elements": O(n/64) words regardless of population, which is
+// what keeps per-step mask clamping cheap at tens of thousands of workers.
+func (s *Set) CloneCapped(n int) *Set {
+	out := New(n)
+	m := len(out.words)
+	if len(s.words) < m {
+		m = len(s.words)
+	}
+	copy(out.words[:m], s.words[:m])
+	if r := n % wordBits; r != 0 && len(out.words) > 0 {
+		out.words[len(out.words)-1] &= (1 << uint(r)) - 1
+	}
+	return out
+}
+
 // Equal reports whether s and o contain exactly the same elements.
 func (s *Set) Equal(o *Set) bool {
 	long, short := s.words, o.words

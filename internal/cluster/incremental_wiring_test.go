@@ -1,0 +1,62 @@
+package cluster
+
+import (
+	"testing"
+
+	"isgc/internal/bitset"
+	"isgc/internal/dataset"
+	"isgc/internal/engine"
+	"isgc/internal/isgc"
+	"isgc/internal/metrics"
+	"isgc/internal/model"
+	"isgc/internal/placement"
+)
+
+// TestMasterWiresIncrementalDecode checks the IncrementalDecode config
+// plumbing end to end at the construction boundary: NewMaster must enable
+// the scheme's repair path and hook its repair/fallback callbacks to the
+// master's counters, without requiring DecodeCache.
+func TestMasterWiresIncrementalDecode(t *testing.T) {
+	p, err := placement.FR(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme := isgc.New(p, 7)
+	st, err := engine.NewISGC(scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := dataset.SyntheticLinear(10, 2, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm := NewMasterMetrics(metrics.NewRegistry())
+	m, err := NewMaster(MasterConfig{
+		Addr: "127.0.0.1:0", Strategy: st, Model: model.LinearRegression{Features: 2},
+		Data: data, LearningRate: 0.1, MaxSteps: 1,
+		IncrementalDecode: true, Metrics: mm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.ln.Close()
+
+	// Drive the shared scheme exactly as the gather loop would: a fresh
+	// solve, then a one-departure delta the repair path must absorb.
+	full := bitset.FromSlice([]int{0, 1, 2, 3})
+	scheme.Decode(full)
+	delta := full.Clone()
+	delta.Remove(1)
+	scheme.Decode(delta)
+
+	stats := scheme.IncrementalDecodeStats()
+	if stats.FullSolves != 1 || stats.Repairs != 1 {
+		t.Fatalf("stats = %+v, want 1 full solve + 1 repair (incremental path not enabled?)", stats)
+	}
+	if got := mm.DecodeRepairs.Value(); got != 1 {
+		t.Fatalf("isgc_master_decode_repairs_total = %d, want 1 (hooks not wired)", got)
+	}
+	if got := mm.DecodeFallbacks.Value(); got != 0 {
+		t.Fatalf("isgc_master_decode_fallbacks_total = %d, want 0", got)
+	}
+}

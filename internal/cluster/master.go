@@ -81,6 +81,12 @@ type MasterConfig struct {
 	// engine.DecodeCacher (IS-GC) only. Hits and misses land on the
 	// isgc_master_decode_cache_* counters.
 	DecodeCache int
+	// IncrementalDecode, when true, repairs the previous step's chosen
+	// set against the availability delta instead of re-solving —
+	// strategies that implement engine.IncrementalDecoder (IS-GC) only.
+	// Repairs and fallbacks land on the isgc_master_decode_repairs/
+	// fallbacks counters.
+	IncrementalDecode bool
 	// Wire selects the wire codec policy: WireBinary (or empty, the
 	// default) upgrades every worker that proposes the binary codec in
 	// its hello and keeps gob for the rest; WireGob pins every connection
@@ -325,6 +331,12 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 		if dc, ok := cfg.Strategy.(engine.DecodeCacher); ok {
 			dc.SetDecodeCacheHooks(cfg.Metrics.decodeCacheHooks())
 			dc.EnableDecodeCache(cfg.DecodeCache)
+		}
+	}
+	if cfg.IncrementalDecode {
+		if id, ok := cfg.Strategy.(engine.IncrementalDecoder); ok {
+			id.SetIncrementalHooks(cfg.Metrics.incrementalDecodeHooks())
+			id.EnableIncrementalDecode()
 		}
 	}
 	m := &Master{cfg: cfg, ln: ln, attribution: trace.NewAttribution(cfg.Strategy.N()),

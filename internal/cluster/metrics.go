@@ -56,6 +56,10 @@ type MasterMetrics struct {
 	// outcomes (zero unless MasterConfig.DecodeCache is enabled).
 	DecodeCacheHits   *metrics.Counter
 	DecodeCacheMisses *metrics.Counter
+	// DecodeRepairs and DecodeFallbacks count incremental-decode outcomes
+	// (zero unless MasterConfig.IncrementalDecode is enabled).
+	DecodeRepairs   *metrics.Counter
+	DecodeFallbacks *metrics.Counter
 	// ComputeShards is the size of the master's loss-evaluation pool.
 	ComputeShards *metrics.Gauge
 	// CheckpointWrites/CheckpointBytes/CheckpointErrors count durable
@@ -99,6 +103,10 @@ func NewMasterMetrics(reg *metrics.Registry) *MasterMetrics {
 			"Per-worker liveness (1 = alive).", "worker"),
 		WireConnections: reg.NewCounterVec("isgc_master_wire_connections_total",
 			"Accepted registrations per negotiated wire codec.", "codec"),
+		DecodeRepairs: reg.NewCounter("isgc_master_decode_repairs_total",
+			"Decode results served by incrementally repairing the previous chosen set."),
+		DecodeFallbacks: reg.NewCounter("isgc_master_decode_fallbacks_total",
+			"Incremental repairs that fell back to a fresh solve."),
 		DecodeCacheHits: reg.NewCounter("isgc_master_decode_cache_hits_total",
 			"Decode results served from the availability-mask LRU."),
 		DecodeCacheMisses: reg.NewCounter("isgc_master_decode_cache_misses_total",
@@ -255,6 +263,15 @@ func (mm *MasterMetrics) decodeCacheHooks() (onHit, onMiss func()) {
 		return nil, nil
 	}
 	return mm.DecodeCacheHits.Inc, mm.DecodeCacheMisses.Inc
+}
+
+// incrementalDecodeHooks returns the repair/fallback callbacks for the
+// strategy's incremental decoder (nils when metrics are disabled).
+func (mm *MasterMetrics) incrementalDecodeHooks() (onRepair, onFallback func()) {
+	if mm == nil {
+		return nil, nil
+	}
+	return mm.DecodeRepairs.Inc, mm.DecodeFallbacks.Inc
 }
 
 func (mm *MasterMetrics) setComputeShards(par int) {

@@ -99,6 +99,13 @@ type Config struct {
 	// may pick different — equally large — independent sets than runs
 	// with it off.
 	DecodeCache int
+	// IncrementalDecode, when true, repairs the previous step's chosen
+	// worker set against the availability delta instead of re-solving from
+	// scratch (isgc schemes only; see isgc.Scheme.EnableIncrementalDecode).
+	// Results keep the exact maximum-recovery guarantee; like the decode
+	// cache, the repair path freezes the randomized tie-breaking while the
+	// mask drifts, so it is opt-in.
+	IncrementalDecode bool
 	// Metrics, when non-nil, receives live instrumentation (step wall
 	// time, decode MIS size, partitions recovered); serve it via the
 	// admin package. Nil costs one branch per step.
@@ -170,6 +177,21 @@ type DecodeCacher interface {
 	DecodeCacheStats() (hits, misses uint64)
 }
 
+// IncrementalDecoder is the optional Strategy capability behind
+// Config.IncrementalDecode: schemes that can repair the previous chosen
+// set against a mask delta expose the path through it. See
+// isgc.Scheme.EnableIncrementalDecode for the repair and fallback rules.
+type IncrementalDecoder interface {
+	// EnableIncrementalDecode turns on incremental repair.
+	EnableIncrementalDecode()
+	// SetIncrementalHooks registers repair/fallback callbacks (either may
+	// be nil).
+	SetIncrementalHooks(onRepair, onFallback func())
+	// IncrementalDecodeCounts returns cumulative repairs, fallbacks, full
+	// solves, and cache syncs.
+	IncrementalDecodeCounts() (repairs, fallbacks, fullSolves, cacheSyncs uint64)
+}
+
 // computePar resolves the pool size: ComputePar wins when set, otherwise
 // the legacy Parallel bool picks between GOMAXPROCS and sequential.
 func (cfg *Config) computePar() int {
@@ -237,6 +259,14 @@ func Train(cfg Config) (*Result, error) {
 				dc.SetDecodeCacheHooks(cfg.Metrics.DecodeCacheHits.Inc, cfg.Metrics.DecodeCacheMisses.Inc)
 			}
 			dc.EnableDecodeCache(cfg.DecodeCache)
+		}
+	}
+	if cfg.IncrementalDecode {
+		if id, ok := st.(IncrementalDecoder); ok {
+			if cfg.Metrics != nil {
+				id.SetIncrementalHooks(cfg.Metrics.DecodeRepairs.Inc, cfg.Metrics.DecodeFallbacks.Inc)
+			}
+			id.EnableIncrementalDecode()
 		}
 	}
 	// Per-partition gradient buffers, reused every step: after the first

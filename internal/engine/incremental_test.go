@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"testing"
+
+	"isgc/internal/dataset"
+	"isgc/internal/model"
+	"isgc/internal/placement"
+)
+
+// runWithIncremental trains the fixed MLP/CR(8,3) workload from
+// compute_test.go with the incremental decode path toggled.
+func runWithIncremental(t *testing.T, incremental bool) *Result {
+	t.Helper()
+	d, err := dataset.SyntheticClusters(240, 6, 3, 1.5, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := placement.CR(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := isgcStrategy(t, p, nil, 11)
+	res, err := Train(Config{
+		Strategy:          st,
+		Model:             model.MLP{Features: 6, Hidden: 8, Classes: 3},
+		Data:              d,
+		BatchSize:         8,
+		LearningRate:      0.1,
+		W:                 5,
+		MaxSteps:          30,
+		Seed:              11,
+		IncrementalDecode: incremental,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestIncrementalDecodeInEngine: with the repair path on, every step must
+// still choose a maximum set — |I|, recovered fraction, and availability
+// match the from-scratch run step for step (every maximum independent set
+// has the same size, so recovery metrics are invariant).
+func TestIncrementalDecodeInEngine(t *testing.T) {
+	ref := runWithIncremental(t, false)
+	inc := runWithIncremental(t, true)
+	if len(ref.Run.Records) != len(inc.Run.Records) {
+		t.Fatalf("step counts differ: %d vs %d", len(inc.Run.Records), len(ref.Run.Records))
+	}
+	for s, rr := range ref.Run.Records {
+		ir := inc.Run.Records[s]
+		if rr.Available != ir.Available || rr.Chosen != ir.Chosen ||
+			rr.RecoveredFraction != ir.RecoveredFraction {
+			t.Fatalf("step %d: incremental run avail=%d |I|=%d frac=%v, want avail=%d |I|=%d frac=%v",
+				s, ir.Available, ir.Chosen, ir.RecoveredFraction,
+				rr.Available, rr.Chosen, rr.RecoveredFraction)
+		}
+	}
+}
+
+// TestIncrementalDecodeStatsViaStrategy checks the IncrementalDecoder
+// plumbing: the strategy exposes the scheme's counters, every step is
+// accounted to exactly one of repair/full-solve, and an FR run (whose
+// repairs are always exact) actually exercises the repair path.
+func TestIncrementalDecodeStatsViaStrategy(t *testing.T) {
+	d, err := dataset.SyntheticClusters(120, 4, 2, 1.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := placement.FR(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := isgcStrategy(t, p, nil, 5)
+	const steps = 40
+	res, err := Train(Config{
+		Strategy:          st,
+		Model:             model.LinearRegression{Features: 4},
+		Data:              d,
+		BatchSize:         8,
+		LearningRate:      0.05,
+		W:                 5,
+		MaxSteps:          steps,
+		Seed:              5,
+		IncrementalDecode: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, ok := st.(IncrementalDecoder)
+	if !ok {
+		t.Fatal("isgc strategy does not implement IncrementalDecoder")
+	}
+	repairs, fallbacks, fullSolves, cacheSyncs := id.IncrementalDecodeCounts()
+	decodes := repairs + fallbacks + fullSolves // fallback implies a full solve too
+	if fallbacks != 0 {
+		t.Fatalf("FR repairs are exact; got %d fallbacks", fallbacks)
+	}
+	if repairs == 0 {
+		t.Fatalf("run never repaired (repairs=%d full=%d)", repairs, fullSolves)
+	}
+	if cacheSyncs != 0 {
+		t.Fatalf("cache disabled but %d cache syncs recorded", cacheSyncs)
+	}
+	if got := int(decodes); got < len(res.Run.Records) {
+		t.Fatalf("%d decode outcomes for %d steps", got, len(res.Run.Records))
+	}
+}

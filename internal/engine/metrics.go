@@ -30,6 +30,10 @@ type Metrics struct {
 	// outcomes (always zero unless Config.DecodeCache is enabled).
 	DecodeCacheHits   *metrics.Counter
 	DecodeCacheMisses *metrics.Counter
+	// DecodeRepairs and DecodeFallbacks count incremental-decode outcomes
+	// (always zero unless Config.IncrementalDecode is enabled).
+	DecodeRepairs   *metrics.Counter
+	DecodeFallbacks *metrics.Counter
 }
 
 // NewMetrics registers the engine's metric families on reg.
@@ -53,6 +57,10 @@ func NewMetrics(reg *metrics.Registry) *Metrics {
 			"Decode results served from the availability-mask LRU."),
 		DecodeCacheMisses: reg.NewCounter("isgc_engine_decode_cache_misses_total",
 			"Decode results computed afresh and inserted into the LRU."),
+		DecodeRepairs: reg.NewCounter("isgc_engine_decode_repairs_total",
+			"Decode results served by incrementally repairing the previous chosen set."),
+		DecodeFallbacks: reg.NewCounter("isgc_engine_decode_fallbacks_total",
+			"Incremental repairs that could not be certified maximum and fell back to a fresh solve."),
 	}
 }
 

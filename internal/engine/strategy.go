@@ -207,6 +207,17 @@ func (s *isGC) EnableDecodeCache(capacity int)           { s.scheme.EnableDecode
 func (s *isGC) SetDecodeCacheHooks(onHit, onMiss func()) { s.scheme.SetDecodeCacheHooks(onHit, onMiss) }
 func (s *isGC) DecodeCacheStats() (hits, misses uint64)  { return s.scheme.DecodeCacheStats() }
 
+// isGC also implements IncrementalDecoder by forwarding to the scheme's
+// repair path (see isgc/incremental.go).
+func (s *isGC) EnableIncrementalDecode() { s.scheme.EnableIncrementalDecode() }
+func (s *isGC) SetIncrementalHooks(onRepair, onFallback func()) {
+	s.scheme.SetIncrementalHooks(onRepair, onFallback)
+}
+func (s *isGC) IncrementalDecodeCounts() (repairs, fallbacks, fullSolves, cacheSyncs uint64) {
+	st := s.scheme.IncrementalDecodeStats()
+	return st.Repairs, st.Fallbacks, st.FullSolves, st.CacheSyncs
+}
+
 // isGC implements RandStateful so checkpoints capture the decoder's
 // tie-break stream position and restores are bit-exact.
 

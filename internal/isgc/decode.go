@@ -2,7 +2,6 @@ package isgc
 
 import (
 	"isgc/internal/bitset"
-	"isgc/internal/graph"
 )
 
 // decodeFR implements Algorithm 1: in FR the conflict graph is a disjoint
@@ -65,27 +64,64 @@ func (s *Scheme) decodeCR(avail *bitset.Set) *bitset.Set {
 }
 
 // greedyWalkCR performs one greedy pass of Algorithm 2 from start.
+//
+// Rather than test every vertex, it jumps between accepted vertices with
+// word-parallel bit scans. Working in offset space relative to start (the
+// accepted offsets o satisfy CircDist(o, offlast) ≥ c and
+// CircDist(o, 0) ≥ c), the admissible region after accepting offlast is the
+// single contiguous interval [offlast+c, n−c]: the lower end comes from the
+// distance to the last accepted vertex, the upper end from the wrap-around
+// distance back to start. The linear scan it replaces visits skipped
+// vertices without accepting them, so jumping straight to the earliest
+// available offset in that interval produces the identical set
+// (TestGreedyWalkCRMatchesLinearReference pins this bit-for-bit).
 func (s *Scheme) greedyWalkCR(avail *bitset.Set, start int) *bitset.Set {
 	n, c := s.p.N(), s.p.C()
 	cur := bitset.New(n)
 	cur.Add(start)
-	last := start
-	for off := 1; off < n; off++ {
-		v := (start + off) % n
-		if !avail.Contains(v) {
-			continue
+	offlast := 0
+	for {
+		lo, hi := offlast+c, n-c // inclusive offset bounds
+		if lo > hi {
+			break
 		}
-		if graph.CircDist(last, v, n) >= c && graph.CircDist(v, start, n) >= c {
-			cur.Add(v)
-			last = v
+		o := nextAvailOffset(avail, n, start, lo, hi+1)
+		if o < 0 {
+			break
 		}
+		cur.Add((start + o) % n)
+		offlast = o
 	}
 	return cur
 }
 
+// nextAvailOffset returns the smallest offset o in [lo, hi) — offsets taken
+// clockwise from start, 0 < lo ≤ o < hi ≤ n — whose vertex (start+o) mod n
+// is available, or -1. The circular interval unwraps into at most two
+// linear NextInRange probes, each O(span/64) words.
+func nextAvailOffset(avail *bitset.Set, n, start, lo, hi int) int {
+	a, b := start+lo, start+hi
+	if b <= n {
+		if v := avail.NextInRange(a, b); v >= 0 {
+			return v - start
+		}
+		return -1
+	}
+	if a < n {
+		if v := avail.NextInRange(a, n); v >= 0 {
+			return v - start
+		}
+		a = n
+	}
+	if v := avail.NextInRange(a-n, b-n); v >= 0 {
+		return v - start + n
+	}
+	return -1
+}
+
 // decodeHR implements Algorithm 3 (+ the CONFLICT predicate of Algorithm 4,
-// realized here as O(1) lookups in the precomputed conflict graph, which
-// tests prove identical to the Alg. 4 formula): pick a random group with at
+// realized here as O(1) lookups in the conflict predicate, which tests
+// prove identical to the Alg. 4 formula): pick a random group with at
 // least one available worker, run the greedy clockwise walk from every
 // available worker of that group, and keep the largest result.
 //
@@ -94,21 +130,42 @@ func (s *Scheme) greedyWalkCR(avail *bitset.Set, start int) *bitset.Set {
 // conflict with either the last accepted vertex or the start); conflicts
 // only exist within a group or between clockwise-neighboring groups, so
 // checking the last accepted vertex and the start suffices for full
-// pairwise independence. Theorem 8 guarantees some maximum independent set
-// intersects the chosen start group's available workers.
+// pairwise independence.
+//
+// Anchor escalation: the anchor-group guarantee ("some maximum independent
+// set intersects the start group's available workers") can fail on sparse
+// masks where the anchor group's only available workers are dominated —
+// e.g. HR(12, c1=1, c2=3, g=3) with W' = {3, 6, 8}: worker 6 conflicts
+// with both 3 and 8, so no maximum set touches group 1, and walks anchored
+// there top out one short of α (a latent miss FuzzIncrementalDecode
+// surfaced). When the anchor group's best walk falls short of the
+// structural upper bound on α, the decoder escalates to walking from every
+// other group's available workers, so some start lands inside a maximum
+// set. Escalation is rare — on dense masks the anchor walks reach the
+// bound — so the expected cost stays the paper's O(c·|W'| + c²).
 func (s *Scheme) decodeHR(avail *bitset.Set) *bitset.Set {
 	n := s.p.N()
 	n0 := s.p.GroupSize()
 	u := s.randomAvailable(avail)
-	groupBase := (u / n0) * n0
-	best := bitset.New(n)
-	for j := 0; j < n0; j++ {
-		start := groupBase + j
-		if !avail.Contains(start) {
-			continue
+	anchorBase := (u / n0) * n0
+	best := s.walkHRGroup(avail, anchorBase, bitset.New(n))
+	if bound := s.freshBound(avail); best.Len() < bound {
+		for base := 0; base < n && best.Len() < bound; base += n0 {
+			if base != anchorBase {
+				best = s.walkHRGroup(avail, base, best)
+			}
 		}
-		cur := s.greedyWalkConflict(avail, start)
-		if cur.Len() > best.Len() {
+	}
+	return best
+}
+
+// walkHRGroup runs the Alg. 3 greedy walk from every available worker of
+// the group starting at base, returning the largest of those walks and
+// best.
+func (s *Scheme) walkHRGroup(avail *bitset.Set, base int, best *bitset.Set) *bitset.Set {
+	n0 := s.p.GroupSize()
+	for start := avail.NextInRange(base, base+n0); start >= 0; start = avail.NextInRange(start+1, base+n0) {
+		if cur := s.greedyWalkConflict(avail, start); cur.Len() > best.Len() {
 			best = cur
 		}
 	}

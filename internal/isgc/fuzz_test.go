@@ -80,6 +80,70 @@ func FuzzDecodeHR(f *testing.F) {
 	})
 }
 
+// FuzzIncrementalDecode drives the incremental repair path with arbitrary
+// placements, base masks, and mask deltas, asserting every repaired result
+// is an available independent set whose size equals the exact independence
+// number — i.e. indistinguishable from a fresh solve. Seeds are drawn from
+// the golden exhaustive placements of exhaustive_test.go.
+func FuzzIncrementalDecode(f *testing.F) {
+	// kind: 0 → FR, 1 → CR, 2 → HR (mirrors exhaustivePlacements coverage).
+	f.Add(uint8(0), uint8(8), uint8(2), uint8(0), uint16(0xFF), uint16(0x08), uint16(0x11), int64(1))
+	f.Add(uint8(1), uint8(10), uint8(3), uint8(0), uint16(0x3B7), uint16(0x101), uint16(0x040), int64(2))
+	f.Add(uint8(2), uint8(12), uint8(2), uint8(2), uint16(0xFFF), uint16(0x021), uint16(0x400), int64(3))
+	f.Add(uint8(1), uint8(5), uint8(1), uint8(0), uint16(0x1F), uint16(0x02), uint16(0x02), int64(4))
+	f.Fuzz(func(t *testing.T, kind, nRaw, aRaw, bRaw uint8, mask, delta1, delta2 uint16, seed int64) {
+		n := int(nRaw%14) + 2 // 2..15 keeps the oracle fast
+		var p *placement.Placement
+		var err error
+		switch kind % 3 {
+		case 0:
+			c := int(aRaw)%n + 1
+			if n%c != 0 {
+				return
+			}
+			p, err = placement.FR(n, c)
+		case 1:
+			p, err = placement.CR(n, int(aRaw)%n+1)
+		case 2:
+			c1, c2 := int(aRaw%5), int(bRaw%5)
+			g := 1 + int(seed&3)
+			if n%g != 0 {
+				return
+			}
+			p, err = placement.HR(n, c1, c2, g)
+		}
+		if err != nil {
+			return // invalid parameters: rejection is the correct behavior
+		}
+		s := New(p, seed)
+		s.EnableIncrementalDecode()
+		toSet := func(m uint16) *bitset.Set {
+			avail := bitset.New(n)
+			for v := 0; v < n; v++ {
+				if m&(1<<v) != 0 {
+					avail.Add(v)
+				}
+			}
+			return avail
+		}
+		g := p.ConflictGraph()
+		// Walk: base mask, two deltas, then the base again (return path).
+		for _, m := range []uint16{mask, mask ^ delta1, mask ^ delta1 ^ delta2, mask} {
+			avail := toSet(m)
+			chosen := s.Decode(avail)
+			if !chosen.SubsetOf(avail) {
+				t.Fatalf("%v m=%04x: chosen %v ⊄ %v", p, m, chosen, avail)
+			}
+			if !g.IsIndependent(chosen) {
+				t.Fatalf("%v m=%04x: chosen %v not independent", p, m, chosen)
+			}
+			if want := graph.IndependenceNumber(g, avail); chosen.Len() != want {
+				t.Fatalf("%v m=%04x: incremental |I|=%d ≠ α=%d", p, m, chosen.Len(), want)
+			}
+		}
+	})
+}
+
 // FuzzEncodeAggregate checks the end-to-end algebra under fuzzed gradient
 // values: ĝ must equal the direct sum over recovered partitions.
 func FuzzEncodeAggregate(f *testing.F) {

@@ -1,0 +1,426 @@
+package isgc
+
+import (
+	"math/rand"
+	"testing"
+
+	"isgc/internal/bitset"
+	"isgc/internal/graph"
+	"isgc/internal/placement"
+)
+
+// differentialPlacements returns FR/CR/HR placements spanning n ∈ {8..64},
+// including the n ≤ 12 sizes where the branch-and-bound oracle is cheap
+// enough to pin exact α.
+func differentialPlacements(t *testing.T) []*placement.Placement {
+	t.Helper()
+	var ps []*placement.Placement
+	mustCR := func(n, c int) {
+		p, err := placement.CR(n, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps = append(ps, p)
+	}
+	mustFR := func(n, c int) {
+		p, err := placement.FR(n, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps = append(ps, p)
+	}
+	mustHR := func(n, c1, c2, g int) {
+		p, err := placement.HR(n, c1, c2, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Kind() != placement.KindHR {
+			t.Fatalf("HR(%d,%d,%d,%d) degenerated to %v", n, c1, c2, g, p.Kind())
+		}
+		ps = append(ps, p)
+	}
+	for _, n := range []int{8, 9, 12, 16, 24, 33, 64} {
+		mustCR(n, 3)
+		switch n {
+		case 8:
+			mustFR(8, 2)
+			mustHR(8, 2, 2, 2)
+		case 9:
+			mustFR(9, 3)
+			mustHR(9, 1, 2, 3)
+		case 12:
+			mustFR(12, 3)
+			mustHR(12, 2, 2, 3)
+		case 16:
+			mustFR(16, 4)
+			mustHR(16, 2, 2, 4)
+		case 24:
+			mustFR(24, 3)
+			mustHR(24, 2, 2, 6)
+		case 33:
+			mustFR(33, 3)
+			mustHR(33, 5, 3, 3)
+		case 64:
+			mustFR(64, 8)
+			mustHR(64, 2, 2, 16)
+		}
+	}
+	return ps
+}
+
+// churnStep mutates the mask in place according to the named model.
+func churnStep(model string, rng *rand.Rand, mask *bitset.Set, n int) {
+	present := mask.Len()
+	switch model {
+	case "single-departure":
+		if present > 1 {
+			mask.Remove(mask.Select(rng.Intn(present)))
+		} else {
+			// Refill so the walk keeps exercising departures.
+			for v := 0; v < n; v++ {
+				if rng.Intn(2) == 0 {
+					mask.Add(v)
+				}
+			}
+		}
+	case "single-return":
+		if present < n {
+			for {
+				v := rng.Intn(n)
+				if !mask.Contains(v) {
+					mask.Add(v)
+					return
+				}
+			}
+		}
+		mask.Remove(mask.Select(rng.Intn(present)))
+	case "batch":
+		k := 1 + rng.Intn(4)
+		for i := 0; i < k; i++ {
+			v := rng.Intn(n)
+			if mask.Contains(v) {
+				mask.Remove(v)
+			} else {
+				mask.Add(v)
+			}
+		}
+	default:
+		panic("unknown churn model " + model)
+	}
+}
+
+// assertIncrementalStep checks the full contract of one incremental decode
+// against an independent fresh scheme (and the oracle at small n): the
+// repaired set must be an available independent set of the same size as
+// the fresh maximum, with the matching recovered-partition count.
+func assertIncrementalStep(t *testing.T, p *placement.Placement, inc, fresh *Scheme, avail *bitset.Set, useOracle bool) {
+	t.Helper()
+	chosen, rec := inc.DecodeWithRecovered(avail)
+	if !chosen.SubsetOf(avail) {
+		t.Fatalf("%v avail=%v: incremental chosen %v not available", p, avail, chosen)
+	}
+	g := p.ConflictGraph()
+	if !g.IsIndependent(chosen) {
+		t.Fatalf("%v avail=%v: incremental chosen %v not independent", p, avail, chosen)
+	}
+	fchosen, frec := fresh.DecodeWithRecovered(avail)
+	if chosen.Len() != fchosen.Len() {
+		t.Fatalf("%v avail=%v: incremental |I|=%d, fresh |I|=%d", p, avail, chosen.Len(), fchosen.Len())
+	}
+	if rec.Len() != frec.Len() {
+		t.Fatalf("%v avail=%v: incremental recovers %d partitions, fresh %d",
+			p, avail, rec.Len(), frec.Len())
+	}
+	if p.Kind() == placement.KindFR && !rec.Equal(frec) {
+		// In FR every worker of a group holds the same partitions, so the
+		// recovered set — not just its size — is determined by the mask.
+		t.Fatalf("%v avail=%v: FR recovered sets differ: %v vs %v", p, avail, rec, frec)
+	}
+	if useOracle {
+		if want := graph.IndependenceNumber(g, avail); chosen.Len() != want {
+			t.Fatalf("%v avail=%v: incremental |I|=%d, oracle α=%d", p, avail, chosen.Len(), want)
+		}
+	}
+}
+
+// TestIncrementalDifferentialWalks is the differential suite: random
+// mask-delta walks under three churn models assert that the incremental
+// decoder matches an independent fresh scheme at every step (and the
+// branch-and-bound oracle at n ≤ 12), for all of FR/CR/HR at n ∈ {8..64}.
+func TestIncrementalDifferentialWalks(t *testing.T) {
+	for _, p := range differentialPlacements(t) {
+		for _, model := range []string{"single-departure", "single-return", "batch"} {
+			p, model := p, model
+			t.Run(p.String()+"/"+model, func(t *testing.T) {
+				n := p.N()
+				useOracle := n <= 12
+				rng := rand.New(rand.NewSource(int64(n)*31 + int64(len(model))))
+				inc := New(p, 7)
+				inc.EnableIncrementalDecode()
+				fresh := New(p, 8)
+
+				mask := bitset.New(n)
+				start := n
+				if model == "single-return" {
+					start = 1 + n/4
+				}
+				for v := 0; v < start; v++ {
+					mask.Add(v)
+				}
+				steps := 120
+				if useOracle {
+					steps = 80
+				}
+				for step := 0; step < steps; step++ {
+					assertIncrementalStep(t, p, inc, fresh, mask, useOracle)
+					churnStep(model, rng, mask, n)
+				}
+				stats := inc.IncrementalDecodeStats()
+				if stats.Repairs == 0 {
+					t.Fatalf("%v/%s: walk never exercised the repair path (stats %+v)", p, model, stats)
+				}
+				if stats.Repairs+stats.FullSolves == 0 {
+					t.Fatalf("%v/%s: no decodes recorded", p, model)
+				}
+			})
+		}
+	}
+}
+
+// TestIncrementalEqualMaskFastPath pins the repeated-mask shortcut: the
+// second decode of an identical mask must be served by the repair path and
+// return the same chosen set.
+func TestIncrementalEqualMaskFastPath(t *testing.T) {
+	p, err := placement.CR(24, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(p, 3)
+	s.EnableIncrementalDecode()
+	avail := bitset.FromSlice([]int{0, 2, 5, 9, 14, 15, 20, 23})
+	first := s.Decode(avail)
+	second := s.Decode(avail)
+	if !first.Equal(second) {
+		t.Fatalf("equal-mask decodes differ: %v vs %v", first, second)
+	}
+	stats := s.IncrementalDecodeStats()
+	if stats.FullSolves != 1 || stats.Repairs != 1 {
+		t.Fatalf("stats = %+v, want 1 full solve + 1 repair", stats)
+	}
+	// The caller's copy must be private: mutating it cannot corrupt state.
+	second.Clear()
+	third := s.Decode(avail)
+	if !first.Equal(third) {
+		t.Fatalf("state aliased caller's set: %v vs %v", first, third)
+	}
+}
+
+// TestIncrementalEmptyMaskInvalidates checks an empty mask resets the
+// baseline instead of repairing from garbage.
+func TestIncrementalEmptyMaskInvalidates(t *testing.T) {
+	p, err := placement.FR(12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(p, 5)
+	s.EnableIncrementalDecode()
+	full := bitset.New(12)
+	for v := 0; v < 12; v++ {
+		full.Add(v)
+	}
+	if got := s.Decode(full); got.Len() != 4 {
+		t.Fatalf("full mask decode = %v", got)
+	}
+	if got := s.Decode(bitset.New(12)); !got.Empty() {
+		t.Fatalf("empty mask decode = %v", got)
+	}
+	if got := s.Decode(full); got.Len() != 4 {
+		t.Fatalf("post-empty decode = %v", got)
+	}
+	stats := s.IncrementalDecodeStats()
+	if stats.FullSolves != 2 {
+		t.Fatalf("stats = %+v, want 2 full solves around the empty mask", stats)
+	}
+}
+
+// TestIncrementalCacheInterplay is the regression test for the
+// decode-cache/incremental coherence rules: a cache hit must resynchronize
+// the repair baseline, and a repaired result must never be inserted into
+// the LRU.
+func TestIncrementalCacheInterplay(t *testing.T) {
+	p, err := placement.CR(32, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(p, 11)
+	s.EnableDecodeCache(16)
+	s.EnableIncrementalDecode()
+	fresh := New(p, 12)
+
+	maskA := bitset.New(32)
+	for v := 0; v < 32; v++ {
+		maskA.Add(v)
+	}
+	maskB := maskA.Clone()
+	maskB.Remove(7) // A with one departure
+	maskC := maskB.Clone()
+	maskC.Remove(19) // B with one more departure
+
+	check := func(mask *bitset.Set, label string) {
+		t.Helper()
+		chosen := s.Decode(mask)
+		if !chosen.SubsetOf(mask) || !p.ConflictGraph().IsIndependent(chosen) {
+			t.Fatalf("%s: invalid chosen %v", label, chosen)
+		}
+		if want := fresh.Decode(mask).Len(); chosen.Len() != want {
+			t.Fatalf("%s: |I|=%d, fresh α=%d", label, chosen.Len(), want)
+		}
+	}
+
+	check(maskA, "A cold")      // miss → fresh solve, cached, adopted
+	check(maskB, "B repair")    // miss → repaired, must NOT be cached
+	check(maskB, "B again")     // must still miss the cache; equal-mask repair
+	check(maskA, "A cache hit") // hit → must resync incremental baseline
+	check(maskC, "C from A")    // miss → repair must run from A's set, not B's
+
+	hits, misses := s.DecodeCacheStats()
+	if hits != 1 {
+		t.Fatalf("cache hits = %d, want exactly 1 (repairs must not populate the LRU)", hits)
+	}
+	// A cold, B, B again, C — four lookups missed.
+	if misses != 4 {
+		t.Fatalf("cache misses = %d, want 4", misses)
+	}
+	stats := s.IncrementalDecodeStats()
+	if stats.CacheSyncs != 1 {
+		t.Fatalf("stats = %+v, want exactly 1 cache sync", stats)
+	}
+	if stats.Repairs < 2 {
+		t.Fatalf("stats = %+v, want ≥2 repairs (B and its equal-mask re-decode)", stats)
+	}
+	if stats.FullSolves < 1 {
+		t.Fatalf("stats = %+v, want the cold solve counted", stats)
+	}
+
+	// Interleave a longer churned sequence through the cached scheme and a
+	// fresh one; α must agree at every step regardless of which layer
+	// serves the decode.
+	rng := rand.New(rand.NewSource(99))
+	mask := maskA.Clone()
+	for step := 0; step < 60; step++ {
+		churnStep("batch", rng, mask, 32)
+		if mask.Empty() {
+			continue
+		}
+		check(mask.Clone(), "interleaved")
+		if step%7 == 0 {
+			check(maskA, "recurring A") // keeps hitting the cache mid-walk
+		}
+	}
+}
+
+// TestDecodeHRDominatedAnchorGroup is the regression for a latent
+// fresh-decoder miss FuzzIncrementalDecode surfaced: in HR(12,1,3,3) with
+// W' = {3, 6, 8}, worker 6 conflicts with both other available workers, so
+// no maximum independent set touches group 1 — walks anchored there found
+// only {6} (α = 2) until decodeHR learned to escalate past the anchor
+// group when the structural bound is not met. Every seed must now decode
+// optimally regardless of which anchor the RNG draws.
+func TestDecodeHRDominatedAnchorGroup(t *testing.T) {
+	p, err := placement.HR(12, 1, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avail := bitset.FromSlice([]int{3, 6, 8})
+	want := graph.IndependenceNumber(p.ConflictGraph(), avail)
+	if want != 2 {
+		t.Fatalf("oracle α = %d, counterexample expects 2", want)
+	}
+	for seed := int64(0); seed < 40; seed++ {
+		s := New(p, seed)
+		if got := s.Decode(avail); got.Len() != want {
+			t.Fatalf("seed %d: decode %v (size %d), want α=%d", seed, got, got.Len(), want)
+		}
+	}
+}
+
+// TestIncrementalHooksAndReset checks hook delivery and that re-enabling
+// resets counters but keeps hooks, mirroring the decode-cache contract.
+func TestIncrementalHooksAndReset(t *testing.T) {
+	p, err := placement.CR(16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(p, 1)
+	var repairs, fallbacks int
+	s.SetIncrementalHooks(func() { repairs++ }, func() { fallbacks++ })
+	s.EnableIncrementalDecode()
+
+	mask := bitset.New(16)
+	for v := 0; v < 16; v++ {
+		mask.Add(v)
+	}
+	s.Decode(mask)
+	mask.Remove(3)
+	s.Decode(mask)
+	stats := s.IncrementalDecodeStats()
+	if int(stats.Repairs) != repairs || int(stats.Fallbacks) != fallbacks {
+		t.Fatalf("hooks (r=%d f=%d) disagree with stats %+v", repairs, fallbacks, stats)
+	}
+	if repairs+fallbacks == 0 {
+		t.Fatal("second decode took neither repair nor fallback path")
+	}
+
+	s.EnableIncrementalDecode() // reset
+	if got := s.IncrementalDecodeStats(); got != (IncrementalStats{}) {
+		t.Fatalf("counters survived reset: %+v", got)
+	}
+	before := repairs
+	s.Decode(mask)
+	mask.Remove(8)
+	s.Decode(mask)
+	if repairs+fallbacks == before && s.IncrementalDecodeStats().Repairs == 0 {
+		t.Fatal("hooks lost after re-enable")
+	}
+}
+
+// TestIncrementalBoundMaintenance: the acceptance rule's proof rests on the
+// O(1) maintained bound (incBound) equaling the O(n/c)-probe freshBound of
+// the current mask. Walk random deltas — including cache syncs and empty-
+// mask invalidations — and pin the two against each other after every step.
+func TestIncrementalBoundMaintenance(t *testing.T) {
+	for _, p := range differentialPlacements(t) {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			n := p.N()
+			rng := rand.New(rand.NewSource(int64(n)))
+			s := New(p, 5)
+			s.EnableDecodeCache(8) // exercise the sync path too
+			s.EnableIncrementalDecode()
+			mask := bitset.New(n)
+			for v := 0; v < n; v++ {
+				mask.Add(v)
+			}
+			for step := 0; step < 150; step++ {
+				s.Decode(mask)
+				if s.inc.valid {
+					if got, want := s.incBound(), s.freshBound(s.inc.prev); got != want {
+						t.Fatalf("%v step %d mask=%v: maintained bound %d, fresh bound %d",
+							p, step, s.inc.prev, got, want)
+					}
+				}
+				switch step % 10 {
+				case 7:
+					mask.Clear() // invalidates; next decode readopts
+					for v := 0; v < n; v++ {
+						if rng.Intn(4) > 0 {
+							mask.Add(v)
+						}
+					}
+				default:
+					churnStep("batch", rng, mask, n)
+				}
+			}
+		})
+	}
+}

@@ -39,6 +39,12 @@ type Scheme struct {
 	// (see cache.go for the LRU and the fairness tradeoff).
 	cache      *decodeCache
 	cacheHooks [2]func() // onHit, onMiss — survive cache resets
+
+	// inc, when non-nil, repairs the previous chosen set against the mask
+	// delta instead of re-solving (see incremental.go for the repair rules
+	// and the proof obligations on accepted repairs).
+	inc      *incrementalState
+	incHooks [2]func() // onRepair, onFallback — survive re-enables
 }
 
 // New returns an IS-GC scheme over the given placement. The seed fixes the
@@ -69,19 +75,60 @@ func (s *Scheme) Placement() *placement.Placement { return s.p }
 // paper's linear-time claims; optimality is property-tested against an
 // exact branch-and-bound oracle.
 func (s *Scheme) Decode(available *bitset.Set) *bitset.Set {
-	avail := s.clampAvailable(available)
+	chosen, _ := s.decodeMasked(s.clampAvailable(available), false)
+	return chosen
+}
+
+// decodeMasked runs the full decode pipeline — decode-cache lookup,
+// incremental repair, fresh solve — on an already-clamped mask. The
+// recovered set is non-nil only when wantRecovered or when the cache
+// computes it as a side effect; returned sets are the caller's to mutate.
+//
+// Coherence rules between the two acceleration layers: a cache hit syncs
+// the incremental baseline (a later repair must start from the set the
+// caller actually received, not a stale one), and an accepted repair is
+// never stored in the cache (only fresh solves are; see incremental.go).
+func (s *Scheme) decodeMasked(avail *bitset.Set, wantRecovered bool) (*bitset.Set, *bitset.Set) {
+	n := s.p.N()
 	if avail.Empty() {
-		return bitset.New(s.p.N())
+		if s.inc != nil {
+			s.inc.invalidate()
+		}
+		return bitset.New(n), bitset.New(n)
 	}
 	if s.cache != nil {
 		if e := s.cache.lookup(avail); e != nil {
-			return e.chosen.Clone()
+			if s.inc != nil {
+				s.inc.sync(avail, e.chosen)
+				s.rebuildIncBound(avail)
+			}
+			return e.chosen.Clone(), e.recovered.Clone()
 		}
-		chosen := s.decode(avail)
-		s.cache.store(avail, chosen, s.p.RecoveredPartitions(chosen))
-		return chosen.Clone()
 	}
-	return s.decode(avail)
+	if s.inc != nil && s.inc.valid {
+		if repaired, ok := s.tryRepair(avail); ok {
+			var rec *bitset.Set
+			if wantRecovered {
+				rec = s.p.RecoveredPartitions(repaired)
+			}
+			return repaired.Clone(), rec
+		}
+	}
+	chosen := s.decode(avail)
+	if s.inc != nil {
+		s.inc.adopt(avail, chosen)
+		s.rebuildIncBound(avail)
+	}
+	if s.cache != nil {
+		rec := s.p.RecoveredPartitions(chosen)
+		s.cache.store(avail, chosen, rec)
+		return chosen.Clone(), rec.Clone()
+	}
+	var rec *bitset.Set
+	if wantRecovered {
+		rec = s.p.RecoveredPartitions(chosen)
+	}
+	return chosen, rec
 }
 
 // decode dispatches to the placement-specific greedy MIS walk.
@@ -99,18 +146,13 @@ func (s *Scheme) decode(avail *bitset.Set) *bitset.Set {
 }
 
 // clampAvailable restricts the availability set to valid worker indices.
+// Word-parallel (O(n/64)): this runs on every decode, so a per-bit walk
+// would dominate the incremental path's cost at large n.
 func (s *Scheme) clampAvailable(available *bitset.Set) *bitset.Set {
-	out := bitset.New(s.p.N())
 	if available == nil {
-		return out
+		return bitset.New(s.p.N())
 	}
-	available.Range(func(v int) bool {
-		if v < s.p.N() {
-			out.Add(v)
-		}
-		return true
-	})
-	return out
+	return available.CloneCapped(s.p.N())
 }
 
 // Recovered maps a decoded worker set I to the set of partition indices
@@ -126,21 +168,7 @@ func (s *Scheme) Recovered(chosen *bitset.Set) *bitset.Set {
 // recomputed for repeated masks. The returned sets are the caller's to
 // mutate.
 func (s *Scheme) DecodeWithRecovered(available *bitset.Set) (chosen, recovered *bitset.Set) {
-	avail := s.clampAvailable(available)
-	if avail.Empty() {
-		return bitset.New(s.p.N()), bitset.New(s.p.N())
-	}
-	if s.cache != nil {
-		if e := s.cache.lookup(avail); e != nil {
-			return e.chosen.Clone(), e.recovered.Clone()
-		}
-		c := s.decode(avail)
-		r := s.p.RecoveredPartitions(c)
-		s.cache.store(avail, c, r)
-		return c.Clone(), r.Clone()
-	}
-	chosen = s.decode(avail)
-	return chosen, s.p.RecoveredPartitions(chosen)
+	return s.decodeMasked(s.clampAvailable(available), true)
 }
 
 // RecoveredFraction returns |Recovered(Decode(available))| / n — the
@@ -152,16 +180,9 @@ func (s *Scheme) RecoveredFraction(available *bitset.Set) float64 {
 }
 
 // randomAvailable picks a uniformly random element of avail (non-empty).
+// Select skips words by popcount, so the pick is O(n/64); the single
+// rng.Intn draw keeps decode sequences bit-identical to the per-bit walk
+// this replaced.
 func (s *Scheme) randomAvailable(avail *bitset.Set) int {
-	k := s.rng.Intn(avail.Len())
-	picked := -1
-	avail.Range(func(v int) bool {
-		if k == 0 {
-			picked = v
-			return false
-		}
-		k--
-		return true
-	})
-	return picked
+	return avail.Select(s.rng.Intn(avail.Len()))
 }

@@ -1,0 +1,107 @@
+package isgc
+
+import (
+	"math/rand"
+	"testing"
+
+	"isgc/internal/bitset"
+	"isgc/internal/graph"
+	"isgc/internal/placement"
+)
+
+// referenceGreedyWalkCR is a frozen copy of the original linear-scan
+// Algorithm 2 pass. The word-parallel greedyWalkCR must stay bit-identical
+// to it — not merely same-cardinality — because decode sequences feed
+// checkpoint/restore equivalence tests that compare exact chosen sets.
+func referenceGreedyWalkCR(avail *bitset.Set, n, c, start int) *bitset.Set {
+	cur := bitset.New(n)
+	cur.Add(start)
+	last := start
+	for off := 1; off < n; off++ {
+		v := (start + off) % n
+		if !avail.Contains(v) {
+			continue
+		}
+		if graph.CircDist(last, v, n) >= c && graph.CircDist(v, start, n) >= c {
+			cur.Add(v)
+			last = v
+		}
+	}
+	return cur
+}
+
+// referenceRandomAvailable is the original per-bit uniform pick. It must
+// consume exactly one rng.Intn(len) draw and return the same element as the
+// Select-based replacement for any fixed draw value.
+func referenceRandomAvailable(avail *bitset.Set, k int) int {
+	picked := -1
+	avail.Range(func(v int) bool {
+		if k == 0 {
+			picked = v
+			return false
+		}
+		k--
+		return true
+	})
+	return picked
+}
+
+// TestGreedyWalkCRMatchesLinearReference sweeps n, c, densities, and start
+// vertices, asserting the interval-scan walk equals the frozen linear walk
+// element-for-element.
+func TestGreedyWalkCRMatchesLinearReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{3, 4, 5, 8, 13, 16, 31, 64, 65, 100, 129} {
+		for _, c := range []int{1, 2, 3, 5, 8} {
+			if c >= n {
+				continue
+			}
+			p, err := placement.CR(n, c)
+			if err != nil {
+				t.Fatalf("CR(%d,%d): %v", n, c, err)
+			}
+			s := New(p, 1)
+			for trial := 0; trial < 25; trial++ {
+				avail := bitset.New(n)
+				for v := 0; v < n; v++ {
+					if rng.Float64() < []float64{0.1, 0.5, 0.9, 1.0}[trial%4] {
+						avail.Add(v)
+					}
+				}
+				avail.Range(func(start int) bool {
+					got := s.greedyWalkCR(avail, start)
+					want := referenceGreedyWalkCR(avail, n, c, start)
+					if !got.Equal(want) {
+						t.Fatalf("n=%d c=%d start=%d avail=%v: walk %v, reference %v",
+							n, c, start, avail, got, want)
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// TestRandomAvailableMatchesReference fixes the rng draw and checks the
+// Select-based pick lands on the same worker as the per-bit walk, for masks
+// straddling word boundaries.
+func TestRandomAvailableMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		avail := bitset.New(n)
+		for v := 0; v < n; v++ {
+			if rng.Float64() < 0.3 {
+				avail.Add(v)
+			}
+		}
+		if avail.Empty() {
+			avail.Add(rng.Intn(n))
+		}
+		for k := 0; k < avail.Len(); k++ {
+			if got, want := avail.Select(k), referenceRandomAvailable(avail, k); got != want {
+				t.Fatalf("n=%d k=%d: Select=%d reference=%d (avail %v)", n, k, got, want, avail)
+			}
+		}
+	}
+}

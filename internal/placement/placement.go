@@ -13,6 +13,7 @@ package placement
 
 import (
 	"fmt"
+	"sync"
 
 	"isgc/internal/bitset"
 	"isgc/internal/graph"
@@ -44,7 +45,8 @@ func (k Kind) String() string {
 
 // Placement describes which partitions each worker stores, plus the derived
 // conflict structure. Construct via FR, CR, or HR; the struct is immutable
-// after construction.
+// after construction (the one exception is the lazily memoized conflict
+// graph of a Structural placement, guarded by a sync.Once).
 type Placement struct {
 	kind Kind
 	n    int // number of workers == number of partitions
@@ -54,15 +56,53 @@ type Placement struct {
 	c1, c2 int
 	groups int // number of groups g (FR: n/c, HR: given; CR: 1)
 
-	parts    [][]int       // parts[i] = sorted partitions on worker i
-	partSets []*bitset.Set // same, as bitsets
-	conflict *graph.Graph  // ground-truth conflict graph
+	// structural marks a placement built with the Structural option: parts,
+	// partSets, and conflict stay nil and every query is answered from the
+	// closed-form predicates instead.
+	structural bool
+
+	parts    [][]int       // parts[i] = sorted partitions on worker i (nil when structural)
+	partSets []*bitset.Set // same, as bitsets (nil when structural)
+	conflict *graph.Graph  // ground-truth conflict graph (nil when structural until demanded)
+	lazyOnce sync.Once     // builds conflict on demand for structural placements
+}
+
+// Option configures placement construction.
+type Option func(*buildOpts)
+
+type buildOpts struct {
+	structural bool
+}
+
+// Structural skips the O(n²) dense conflict graph and the per-worker
+// partition bitsets at construction time: Conflicts answers via the
+// paper's closed-form predicates (ConflictsFormula — Theorem 1 for CR,
+// group arithmetic for FR, Alg. 4 for HR), and partition rows are
+// generated on demand. This makes construction O(1) in n and is what lets
+// the decoder scale-out harness instantiate placements with tens of
+// thousands of workers; the structural predicates are proven equal to the
+// ground truth by TestStructuralConflictMatchesGroundTruth and the
+// structural decode-equivalence suite.
+//
+// ConflictGraph() still works on a structural placement — it densifies
+// lazily on first call — but costs the full O(n²) it was built to avoid,
+// so large-n callers should stick to Conflicts/ConflictsFormula.
+func Structural() Option {
+	return func(o *buildOpts) { o.structural = true }
+}
+
+func applyOpts(opts []Option) buildOpts {
+	var o buildOpts
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
 }
 
 // FR constructs a fractional-repetition placement: c must divide n; the n
 // workers are split into n/c groups and every worker in group k stores
 // exactly the partitions {kc, …, kc+c-1} (Sec. III).
-func FR(n, c int) (*Placement, error) {
+func FR(n, c int, opts ...Option) (*Placement, error) {
 	if err := checkNC(n, c); err != nil {
 		return nil, fmt.Errorf("placement: FR: %w", err)
 	}
@@ -70,14 +110,13 @@ func FR(n, c int) (*Placement, error) {
 		return nil, fmt.Errorf("placement: FR requires c|n, got n=%d c=%d", n, c)
 	}
 	p := &Placement{kind: KindFR, n: n, c: c, groups: n / c}
+	if applyOpts(opts).structural {
+		p.structural = true
+		return p, nil
+	}
 	p.parts = make([][]int, n)
 	for i := 0; i < n; i++ {
-		base := (i / c) * c
-		row := make([]int, c)
-		for j := 0; j < c; j++ {
-			row[j] = base + j
-		}
-		p.parts[i] = row
+		p.parts[i] = p.row(i)
 	}
 	p.finish()
 	return p, nil
@@ -85,18 +124,18 @@ func FR(n, c int) (*Placement, error) {
 
 // CR constructs a cyclic-repetition placement: worker i stores partitions
 // {i, i+1, …, i+c-1} mod n (Sec. III). No divisibility constraint.
-func CR(n, c int) (*Placement, error) {
+func CR(n, c int, opts ...Option) (*Placement, error) {
 	if err := checkNC(n, c); err != nil {
 		return nil, fmt.Errorf("placement: CR: %w", err)
 	}
 	p := &Placement{kind: KindCR, n: n, c: c, groups: 1}
+	if applyOpts(opts).structural {
+		p.structural = true
+		return p, nil
+	}
 	p.parts = make([][]int, n)
 	for i := 0; i < n; i++ {
-		row := make([]int, c)
-		for j := 0; j < c; j++ {
-			row[j] = (i + j) % n
-		}
-		p.parts[i] = row
+		p.parts[i] = p.row(i)
 	}
 	p.finish()
 	return p, nil
@@ -122,7 +161,7 @@ func CR(n, c int) (*Placement, error) {
 // c1 ≤ n0. Note the paper's own Fig. 13 uses g=2 < c=4: g ≥ c is NOT
 // required — a worker's lower (CR) rows overflow at most c2-1 < n0
 // positions, so conflicts never reach past the clockwise-neighboring group.
-func HR(n, c1, c2, g int) (*Placement, error) {
+func HR(n, c1, c2, g int, opts ...Option) (*Placement, error) {
 	c := c1 + c2
 	if err := checkNC(n, c); err != nil {
 		return nil, fmt.Errorf("placement: HR: %w", err)
@@ -131,7 +170,7 @@ func HR(n, c1, c2, g int) (*Placement, error) {
 		return nil, fmt.Errorf("placement: HR requires c1, c2 ≥ 0, got c1=%d c2=%d", c1, c2)
 	}
 	if c1 == 0 {
-		return CR(n, c)
+		return CR(n, c, opts...)
 	}
 	if g <= 0 || n%g != 0 {
 		return nil, fmt.Errorf("placement: HR requires g|n with g > 0, got n=%d g=%d", n, g)
@@ -144,19 +183,23 @@ func HR(n, c1, c2, g int) (*Placement, error) {
 		return nil, fmt.Errorf("placement: HR requires c ≤ n0 ≤ min(2c-1, c+c1) (Theorem 6), got c=%d c1=%d n0=%d", c, c1, n0)
 	}
 	p := &Placement{kind: KindHR, n: n, c: c, c1: c1, c2: c2, groups: g}
+	if applyOpts(opts).structural {
+		p.structural = true
+		// Upper/lower row overlap depends only on the in-group index j (the
+		// lower rows that cross a group boundary can never hit the upper
+		// rows, which stay in-group), so validating one group's worth of
+		// workers covers every worker at O(n0·c) instead of O(n·c).
+		for i := 0; i < n0; i++ {
+			if row := p.row(i); len(row) != c {
+				return nil, fmt.Errorf("placement: HR(n=%d,c1=%d,c2=%d,g=%d): worker %d stores %d distinct partitions, want %d (overlapping upper/lower parts)",
+					n, c1, c2, g, i, len(row), c)
+			}
+		}
+		return p, nil
+	}
 	p.parts = make([][]int, n)
 	for i := 0; i < n; i++ {
-		k := i / n0
-		j := i % n0
-		base := k * n0
-		row := make([]int, 0, c)
-		for r := n0 - c1; r < n0; r++ {
-			row = append(row, base+(j+r)%n0)
-		}
-		for r := 0; r < c2; r++ {
-			row = append(row, (i+r)%n)
-		}
-		p.parts[i] = dedupSorted(row)
+		p.parts[i] = p.row(i)
 		if len(p.parts[i]) != c {
 			return nil, fmt.Errorf("placement: HR(n=%d,c1=%d,c2=%d,g=%d): worker %d stores %d distinct partitions, want %d (overlapping upper/lower parts)",
 				n, c1, c2, g, i, len(p.parts[i]), c)
@@ -164,6 +207,41 @@ func HR(n, c1, c2, g int) (*Placement, error) {
 	}
 	p.finish()
 	return p, nil
+}
+
+// row generates worker i's sorted partition list from parameters alone —
+// the single source of truth both the eager constructors and the
+// structural on-demand accessors share.
+func (p *Placement) row(i int) []int {
+	switch p.kind {
+	case KindFR:
+		base := (i / p.c) * p.c
+		row := make([]int, p.c)
+		for j := range row {
+			row[j] = base + j
+		}
+		return row
+	case KindCR:
+		row := make([]int, p.c)
+		for j := range row {
+			row[j] = (i + j) % p.n
+		}
+		return dedupSorted(row)
+	case KindHR:
+		n0 := p.n / p.groups
+		base := (i / n0) * n0
+		j := i % n0
+		row := make([]int, 0, p.c)
+		for r := n0 - p.c1; r < n0; r++ {
+			row = append(row, base+(j+r)%n0)
+		}
+		for r := 0; r < p.c2; r++ {
+			row = append(row, (i+r)%p.n)
+		}
+		return dedupSorted(row)
+	default:
+		panic(fmt.Sprintf("placement: unknown kind %v", p.kind))
+	}
 }
 
 func checkNC(n, c int) error {
@@ -222,20 +300,38 @@ func (p *Placement) GroupSize() int { return p.n / p.groups }
 // GroupOf returns the group index of worker i.
 func (p *Placement) GroupOf(i int) int { return i / p.GroupSize() }
 
+// IsStructural reports whether the placement was built with the Structural
+// option (no precomputed partition bitsets or dense conflict graph).
+func (p *Placement) IsStructural() bool { return p.structural }
+
 // Partitions returns a copy of the sorted partition list of worker i.
 func (p *Placement) Partitions(i int) []int {
+	if p.structural {
+		return p.row(i)
+	}
 	out := make([]int, len(p.parts[i]))
 	copy(out, p.parts[i])
 	return out
 }
 
 // PartitionSet returns a copy of worker i's partition set.
-func (p *Placement) PartitionSet(i int) *bitset.Set { return p.partSets[i].Clone() }
+func (p *Placement) PartitionSet(i int) *bitset.Set {
+	if p.structural {
+		return bitset.FromSlice(p.row(i))
+	}
+	return p.partSets[i].Clone()
+}
 
 // Workers returns, for each partition, the sorted list of workers storing it.
 func (p *Placement) Workers() [][]int {
 	holders := make([][]int, p.n)
-	for w, row := range p.parts {
+	for w := 0; w < p.n; w++ {
+		var row []int
+		if p.structural {
+			row = p.row(w)
+		} else {
+			row = p.parts[w]
+		}
 		for _, d := range row {
 			holders[d] = append(holders[d], w)
 		}
@@ -246,11 +342,30 @@ func (p *Placement) Workers() [][]int {
 // ConflictGraph returns the ground-truth conflict graph: workers are
 // adjacent iff their partition sets intersect. The returned graph is shared
 // and must not be mutated; use Clone for a private copy.
-func (p *Placement) ConflictGraph() *graph.Graph { return p.conflict }
+//
+// On a Structural placement the dense graph is built lazily on first call
+// (from the same closed-form predicates Conflicts uses, which tests prove
+// equal to partition-set intersection) — an O(n²) cost the structural mode
+// otherwise avoids, so large-n callers should prefer Conflicts.
+func (p *Placement) ConflictGraph() *graph.Graph {
+	if p.structural {
+		p.lazyOnce.Do(func() { p.conflict = p.StructuralConflictGraph() })
+	}
+	return p.conflict
+}
 
 // Conflicts reports whether workers u and v conflict (share a partition).
-// O(1) via the precomputed adjacency bitsets.
-func (p *Placement) Conflicts(u, v int) bool { return p.conflict.HasEdge(u, v) }
+// O(1) via the precomputed adjacency bitsets, or via the closed-form
+// predicate (O(c2) for HR, O(1) otherwise) on a Structural placement.
+// Structural placements never consult the lazily built dense graph here,
+// so Conflicts stays safe for concurrent use even while another goroutine
+// densifies via ConflictGraph.
+func (p *Placement) Conflicts(u, v int) bool {
+	if p.structural {
+		return p.ConflictsFormula(u, v)
+	}
+	return p.conflict.HasEdge(u, v)
+}
 
 // RecoveredPartitions returns the union of partitions held by the workers in
 // the independent set chosen: these are the indices I of the paper's
@@ -260,7 +375,13 @@ func (p *Placement) Conflicts(u, v int) bool { return p.conflict.HasEdge(u, v) }
 func (p *Placement) RecoveredPartitions(chosen *bitset.Set) *bitset.Set {
 	out := bitset.New(p.n)
 	chosen.Range(func(w int) bool {
-		out.UnionWith(p.partSets[w])
+		if p.structural {
+			for _, d := range p.row(w) {
+				out.Add(d)
+			}
+		} else {
+			out.UnionWith(p.partSets[w])
+		}
 		return true
 	})
 	return out

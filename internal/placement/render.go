@@ -36,7 +36,7 @@ func (p *Placement) Render() string {
 	for r := 0; r < p.c; r++ {
 		row := make([]string, p.n)
 		for i := 0; i < p.n; i++ {
-			row[i] = fmt.Sprintf("D%d", p.parts[i][r])
+			row[i] = fmt.Sprintf("D%d", p.Partitions(i)[r])
 		}
 		writeRow(row)
 	}

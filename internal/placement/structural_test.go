@@ -1,0 +1,142 @@
+package placement
+
+import (
+	"testing"
+
+	"isgc/internal/bitset"
+)
+
+// structuralPairs builds (eager, structural) placement pairs across all
+// three families and a spread of parameters.
+func structuralPairs(t *testing.T) [][2]*Placement {
+	t.Helper()
+	var out [][2]*Placement
+	add := func(e *Placement, err error, s *Placement, serr error) {
+		if err != nil || serr != nil {
+			t.Fatalf("constructing pair: eager=%v structural=%v", err, serr)
+		}
+		out = append(out, [2]*Placement{e, s})
+	}
+	for _, nc := range [][2]int{{4, 2}, {9, 3}, {12, 4}, {15, 4}, {16, 1}, {24, 6}} {
+		n, c := nc[0], nc[1]
+		e, err := CR(n, c)
+		s, serr := CR(n, c, Structural())
+		add(e, err, s, serr)
+		if n%c == 0 {
+			e, err = FR(n, c)
+			s, serr = FR(n, c, Structural())
+			add(e, err, s, serr)
+		}
+	}
+	for _, q := range [][4]int{{8, 2, 2, 2}, {8, 4, 0, 2}, {12, 2, 2, 3}, {12, 3, 1, 3}, {20, 3, 2, 4}} {
+		e, err := HR(q[0], q[1], q[2], q[3])
+		s, serr := HR(q[0], q[1], q[2], q[3], Structural())
+		add(e, err, s, serr)
+	}
+	return out
+}
+
+// TestStructuralPlacementEquivalence proves a Structural placement is
+// observationally identical to its eager twin: same partition rows and
+// sets, same pairwise conflicts, same recovered-partition mapping, and the
+// same lazily densified conflict graph.
+func TestStructuralPlacementEquivalence(t *testing.T) {
+	for _, pair := range structuralPairs(t) {
+		e, s := pair[0], pair[1]
+		if e.Kind() != s.Kind() || e.N() != s.N() || e.C() != s.C() || e.Groups() != s.Groups() {
+			t.Fatalf("%v vs %v: parameter mismatch", e, s)
+		}
+		if s.Kind() == KindCR && s.IsStructural() == false {
+			t.Fatalf("%v: structural CR lost its flag", s)
+		}
+		n := e.N()
+		for i := 0; i < n; i++ {
+			er, sr := e.Partitions(i), s.Partitions(i)
+			if len(er) != len(sr) {
+				t.Fatalf("%v worker %d: rows %v vs %v", e, i, er, sr)
+			}
+			for j := range er {
+				if er[j] != sr[j] {
+					t.Fatalf("%v worker %d: rows %v vs %v", e, i, er, sr)
+				}
+			}
+			if !e.PartitionSet(i).Equal(s.PartitionSet(i)) {
+				t.Fatalf("%v worker %d: partition sets differ", e, i)
+			}
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if e.Conflicts(u, v) != s.Conflicts(u, v) {
+					t.Fatalf("%v: Conflicts(%d,%d) eager=%v structural=%v",
+						e, u, v, e.Conflicts(u, v), s.Conflicts(u, v))
+				}
+			}
+		}
+		chosen := bitset.FromSlice([]int{0, n / 2})
+		if !e.RecoveredPartitions(chosen).Equal(s.RecoveredPartitions(chosen)) {
+			t.Fatalf("%v: RecoveredPartitions differ for %v", e, chosen)
+		}
+		if !e.ConflictGraph().Equal(s.ConflictGraph()) {
+			t.Fatalf("%v: lazily densified conflict graph differs from ground truth", e)
+		}
+		holders, sh := e.Workers(), s.Workers()
+		for d := range holders {
+			if len(holders[d]) != len(sh[d]) {
+				t.Fatalf("%v partition %d: holders %v vs %v", e, d, holders[d], sh[d])
+			}
+			for j := range holders[d] {
+				if holders[d][j] != sh[d][j] {
+					t.Fatalf("%v partition %d: holders %v vs %v", e, d, holders[d], sh[d])
+				}
+			}
+		}
+		if e.Render() != s.Render() {
+			t.Fatalf("%v: Render differs between eager and structural", e)
+		}
+	}
+}
+
+// TestStructuralRejectsSameInvalidParams pins the structural constructors
+// to the eager ones' validation, including the HR overlap check that the
+// structural path performs on a single group's pattern.
+func TestStructuralRejectsSameInvalidParams(t *testing.T) {
+	cases := [][4]int{
+		{8, 5, 0, 2},  // c1 > n0
+		{12, 2, 1, 2}, // n0 > 2c-1
+		{6, 1, 1, 3},  // n0 < c is fine here? n0=2, c=2 → valid; keep a real invalid below
+		{9, 2, 2, 3},  // n0=3 < c=4
+	}
+	for _, q := range cases {
+		_, eerr := HR(q[0], q[1], q[2], q[3])
+		_, serr := HR(q[0], q[1], q[2], q[3], Structural())
+		if (eerr == nil) != (serr == nil) {
+			t.Fatalf("HR%v: eager err=%v, structural err=%v", q, eerr, serr)
+		}
+	}
+}
+
+// TestStructuralConstructionIsCheapAtScale is the scale smoke: building a
+// 50k-worker structural placement must not materialize O(n²) state (the
+// eager twin would need ~300 MB and billions of intersection probes).
+func TestStructuralConstructionIsCheapAtScale(t *testing.T) {
+	for _, build := range []func() (*Placement, error){
+		func() (*Placement, error) { return FR(50000, 8, Structural()) },
+		func() (*Placement, error) { return CR(50000, 8, Structural()) },
+		func() (*Placement, error) { return HR(50000, 4, 4, 5000, Structural()) },
+	} {
+		p, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.N() != 50000 {
+			t.Fatalf("n = %d", p.N())
+		}
+		// Spot-check conflicts and rows at the far end of the index space.
+		if p.Kind() != KindFR && !p.Conflicts(49999, 0) {
+			t.Fatalf("%v: wrap-around conflict (49999,0) missing", p)
+		}
+		if got := p.Partitions(49999); len(got) != 8 {
+			t.Fatalf("%v: worker 49999 row %v", p, got)
+		}
+	}
+}
