@@ -11,11 +11,14 @@ package isgc
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
 	"isgc/internal/bitset"
+	"isgc/internal/cluster"
 	"isgc/internal/dataset"
+	"isgc/internal/engine"
 	"isgc/internal/experiments"
 	"isgc/internal/gc"
 	"isgc/internal/graph"
@@ -469,6 +472,108 @@ func BenchmarkDecodeCached(b *testing.B) {
 				s.Decode(avails[i%len(avails)])
 			}
 		})
+	}
+}
+
+// --- Cluster gather benchmarks ---------------------------------------------
+// The pipelined-engine + dim-sharded-gather headline numbers: one full
+// training step over real loopback TCP at large-model scale — dim = 2^20
+// (8 MiB of gradient payload per worker), 16 workers, wait-all. Elapsed in
+// the master's step records covers the gather phase alone (broadcast
+// excluded), so the reported gather-p95-ns is the tail metric
+// BENCH_PR10.json archives and `isgc-bench diff -fail-over` gates in CI.
+
+const gatherBenchDim = 1 << 20
+
+const gatherBenchWorkers = 16
+
+func benchClusterGather(b *testing.B, pipeline bool, shards int) {
+	st, err := engine.NewSyncSGD(gatherBenchWorkers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mdl := model.Constant{D: gatherBenchDim}
+	data, _, err := dataset.SyntheticLinear(64, 2, 0.1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	master, err := cluster.NewMaster(cluster.MasterConfig{
+		Addr: "127.0.0.1:0", Strategy: st, Model: mdl, Data: data,
+		LearningRate: 0.01, W: gatherBenchWorkers, MaxSteps: b.N, Seed: 42,
+		AcceptTimeout: 60 * time.Second, Wire: cluster.WireBinary,
+		Pipeline: pipeline,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	parts, err := data.Partition(gatherBenchWorkers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < gatherBenchWorkers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pids := st.Partitions(i)
+			loaders := make([]*dataset.Loader, len(pids))
+			for j, d := range pids {
+				var err error
+				loaders[j], err = dataset.NewLoader(parts[d], 4, 42)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+			}
+			wk, err := cluster.NewWorker(cluster.WorkerConfig{
+				Addr: master.Addr(), ID: i, Partitions: pids, Loaders: loaders,
+				Model: mdl, Encode: cluster.SumEncoder(),
+				Wire: cluster.WireBinary, GatherShards: shards,
+			})
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			_, _ = wk.Run()
+		}()
+	}
+	b.SetBytes(int64(gatherBenchWorkers * 8 * gatherBenchDim))
+	b.ResetTimer()
+	res, err := master.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	wg.Wait()
+	ls := res.Run.LatencySummary()
+	b.ReportMetric(float64(ls.P50), "gather-p50-ns")
+	b.ReportMetric(float64(ls.P95), "gather-p95-ns")
+}
+
+// BenchmarkClusterGather compares the synchronous binaryv1 baseline, the
+// pipelined master loop, and the dim-sharded binaryv2 gather at 2 and 4
+// lanes per worker. Heavy (each step moves 256 MiB over loopback), so the
+// -short CI smoke skips it; BENCH_PR10.json carries the committed numbers.
+func BenchmarkClusterGather(b *testing.B) {
+	if testing.Short() {
+		b.Skip("heavy loopback benchmark: 16 workers at dim 2^20; skipped under -short")
+	}
+	cases := []struct {
+		name     string
+		pipeline bool
+		shards   int
+	}{
+		// Subtest names avoid a trailing "-<digits>", which the isgc-bench
+		// parser would strip as a GOMAXPROCS suffix.
+		{"sync", false, 1},
+		{"pipelined", true, 1},
+		{"shards=2", false, 2},
+		{"shards=4", false, 4},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) { benchClusterGather(b, c.pipeline, c.shards) })
 	}
 }
 

@@ -58,6 +58,9 @@ type options struct {
 	data          cliconfig.DataSpec
 	w             int
 	deadline      time.Duration
+	pipeline      bool // overlap broadcast(t+1) with gather(t)'s tail
+	staleness     int  // bounded staleness k (implies pipeline)
+	gatherShards  int  // cap on per-worker gather lanes (0 = protocol max)
 	lr            float64
 	maxSteps      int
 	threshold     float64
@@ -94,6 +97,9 @@ func main() {
 		g         = flag.Int("g", 2, "HR group count (scheme=hr)")
 		w         = flag.Int("w", 0, "workers to wait for per step (0 = all)")
 		deadline  = flag.Duration("deadline", 0, "per-step gather deadline (overrides -w when > 0)")
+		pipeline  = flag.Bool("pipeline", false, "overlap the next step's broadcast with the previous gather's tail (staleness 0 stays bit-identical to the synchronous loop; excludes -deadline)")
+		staleness = flag.Int("staleness", 0, "bounded staleness: wait for this many fewer workers per step and fold late gradients in as exact corrections (implies -pipeline; flexible schemes only)")
+		shards    = flag.Int("gather-shards", 0, "cap the gather lanes granted to binaryv2 workers (0 = accept proposals up to the protocol max, 1 = negotiate down to single-stream binaryv1)")
 		lr        = flag.Float64("lr", 0.2, "learning rate")
 		batch     = flag.Int("batch", 8, "per-partition batch size (must match workers)")
 		maxSteps  = flag.Int("steps", 200, "maximum steps")
@@ -182,6 +188,9 @@ func main() {
 		data:          data,
 		w:             *w,
 		deadline:      *deadline,
+		pipeline:      *pipeline,
+		staleness:     *staleness,
+		gatherShards:  *shards,
 		lr:            *lr,
 		maxSteps:      *maxSteps,
 		threshold:     *threshold,
@@ -314,6 +323,9 @@ func run(opts options) error {
 		LearningRate:      opts.lr,
 		W:                 w,
 		Deadline:          opts.deadline,
+		Pipeline:          opts.pipeline,
+		Staleness:         opts.staleness,
+		GatherShards:      opts.gatherShards,
 		MaxSteps:          opts.maxSteps,
 		LossThreshold:     opts.threshold,
 		Seed:              opts.data.Seed,

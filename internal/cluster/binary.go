@@ -163,6 +163,12 @@ func AppendFrame(dst []byte, e *Envelope) ([]byte, error) {
 	if e.Wire != "" {
 		return nil, fmt.Errorf("cluster: %s frame cannot carry wire negotiation %q", e.Kind, e.Wire)
 	}
+	if e.Shards != 0 || e.Shard != 0 {
+		return nil, fmt.Errorf("cluster: %s frame cannot carry lane negotiation", e.Kind)
+	}
+	if e.Offset != 0 || e.Total != 0 {
+		return nil, fmt.Errorf("cluster: v1 %s frame cannot carry sub-frame geometry (%d, %d)", e.Kind, e.Offset, e.Total)
+	}
 	t := frameTypeOf(e.Kind)
 	if t == 0 {
 		return nil, fmt.Errorf("cluster: no binary frame type for kind %q", e.Kind)
@@ -344,10 +350,10 @@ func (c *conn) sendFrame(e *Envelope) error {
 // connection opted into vector reuse (the worker side, where params are
 // consumed within the step and never retained).
 func (c *conn) recvFrame() (*Envelope, error) {
-	if _, err := io.ReadFull(c.r, c.hdrScratch[:]); err != nil {
+	if _, err := io.ReadFull(c.r, c.hdrScratch[:frameHeaderSize]); err != nil {
 		return nil, fmt.Errorf("cluster: recv frame header: %w", err)
 	}
-	fh, err := parseFrameHeader(c.hdrScratch[:])
+	fh, err := parseFrameHeader(c.hdrScratch[:frameHeaderSize])
 	if err != nil {
 		return nil, err
 	}

@@ -282,7 +282,7 @@ func TestConnBinaryUpgradeRoundTrip(t *testing.T) {
 		done <- b.send(&Envelope{Kind: MsgStep, Step: 1, Params: []float64{9, 8}})
 	}()
 
-	wire, err := clientHello(a, 4, 0, WireBinary)
+	wire, _, err := clientHello(a, 4, 0, WireBinary, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

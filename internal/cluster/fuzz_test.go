@@ -122,6 +122,74 @@ func FuzzDecodeFrame(f *testing.F) {
 	})
 }
 
+// FuzzDecodeSubFrame hammers the binaryv2 parser the way FuzzDecodeFrame
+// hammers v1. The extra geometry fields add rejection paths (offset/total
+// overflow, zero-total gradients, geometry on control frames) — all seeded
+// here — and the canonical-encoding invariant extends to them: whatever
+// decodes must re-encode to the exact input bytes, sub-frame geometry
+// included.
+func FuzzDecodeSubFrame(f *testing.F) {
+	for _, e := range goldenSubFrameEnvelopes() {
+		data, err := EncodeSubFrame(e)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+		f.Add(append(append([]byte(nil), data...), 0))
+		corrupt := append([]byte(nil), data...)
+		corrupt[len(corrupt)/3] ^= 0xff
+		f.Add(corrupt)
+	}
+	grad, err := EncodeSubFrame(&Envelope{Kind: MsgGradient, Worker: 1, Step: 2,
+		Coded: []float64{1}, Offset: 4, Total: 8})
+	if err != nil {
+		f.Fatal(err)
+	}
+	skewDown := append([]byte(nil), grad...)
+	skewDown[4] = frameVersion
+	f.Add(skewDown)
+	skewUp := append([]byte(nil), grad...)
+	skewUp[4] = frameVersion2 + 1
+	f.Add(skewUp)
+	dimOverflow := append([]byte(nil), grad...)
+	putU32(dimOverflow[32:], maxVectorLen+1)
+	f.Add(dimOverflow)
+	offOverflow := append([]byte(nil), grad...)
+	putU32(offOverflow[36:], maxVectorLen+1)
+	f.Add(offOverflow)
+	zeroTotal := append([]byte(nil), grad...)
+	putU32(zeroTotal[40:], 0)
+	f.Add(zeroTotal)
+	f.Add([]byte{})
+	f.Add([]byte("ISGC"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := DecodeSubFrame(data)
+		if err != nil {
+			return
+		}
+		if verr := validateEnvelope(e); verr != nil {
+			t.Fatalf("decoded envelope fails validation: %v (%+v)", verr, e)
+		}
+		if e.Wire != "" || e.Shards != 0 || e.Shard != 0 {
+			t.Fatalf("v2 frame produced negotiation fields: %+v", e)
+		}
+		re, err := AppendSubFrame(nil, e)
+		if err != nil {
+			t.Fatalf("re-encode of decoded envelope failed: %v (%+v)", err, e)
+		}
+		if len(re) != len(data) {
+			t.Fatalf("re-encode length %d != input length %d", len(re), len(data))
+		}
+		for i := range re {
+			if re[i] != data[i] {
+				t.Fatalf("re-encode differs from input at byte %d", i)
+			}
+		}
+	})
+}
+
 func TestDecodeMessageRoundTrip(t *testing.T) {
 	want := &Envelope{Kind: MsgGradient, Worker: 2, Step: 11, Coded: []float64{1, 2, 3},
 		ComputeStartUnixNano: 1_700_000_000_000_000_000, ComputeDurNanos: 42_000_000}

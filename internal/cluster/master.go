@@ -92,6 +92,26 @@ type MasterConfig struct {
 	// its hello and keeps gob for the rest; WireGob pins every connection
 	// to gob (the ack then tells upgrading workers to stay on gob).
 	Wire string
+	// GatherShards caps how many parallel gather lanes a worker proposing
+	// the binaryv2 codec may open (1..16). 0 accepts the worker's proposal
+	// up to the protocol maximum; 1 negotiates sharding workers down to a
+	// single binaryv1 stream. Workers that never propose sharding are
+	// untouched either way — the default path stays bit-identical.
+	GatherShards int
+	// Pipeline enables the overlapped step loop: step t+1's broadcast
+	// goes out the moment step t's update lands, and step t's loss
+	// evaluation + record finalization run under step t+1's compute
+	// window. With Staleness == 0 the records and final parameters are
+	// bit-identical to the synchronous loop — only wall clock moves.
+	// Mutually exclusive with Deadline.
+	Pipeline bool
+	// Staleness, when positive, is the bounded-staleness window k: the
+	// gather target drops to max(1, waitFor−k) and a decoded step stays
+	// correctable for k more steps — a straggler gradient arriving while
+	// a later step gathers folds into the parameters as the exact
+	// correction that retroactively includes it in its own step's
+	// normalized update. Implies Pipeline; requires a flexible scheme.
+	Staleness int
 	// Metrics, when non-nil, receives live instrumentation (gather
 	// latency, recovered fraction, liveness, evictions); serve it via the
 	// admin package. One MasterMetrics per master.
@@ -163,7 +183,11 @@ type WarmState struct {
 // every (re-)registration so a stale reader goroutine cannot mark a
 // reborn worker's fresh connection dead.
 type workerState struct {
-	c        *conn
+	c *conn
+	// lanes are the extra binaryv2 gather-lane connections a sharding
+	// worker attached (nil on unsharded registrations). They carry
+	// gradient sub-frames only; control traffic stays on c.
+	lanes    []*conn
 	alive    bool
 	lastSeen time.Time
 	gen      int
@@ -226,6 +250,11 @@ type Master struct {
 	// attribution accumulates per-worker arrival/compute samples for the
 	// straggler-attribution report.
 	attribution *trace.Attribution
+
+	// shardAsms holds one sub-frame assembler per worker id that ever
+	// registered with sharding (lazily created; see shard.go).
+	shardMu   sync.Mutex
+	shardAsms map[int]*shardAssembler
 }
 
 // ArrivalCounts returns, per worker, how many steps gathered that worker's
@@ -320,6 +349,21 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 		return nil, err
 	}
 	cfg.Wire = wire
+	if cfg.GatherShards < 0 || cfg.GatherShards > maxGatherShards {
+		return nil, fmt.Errorf("cluster: need 0 ≤ GatherShards ≤ %d, got %d", maxGatherShards, cfg.GatherShards)
+	}
+	if cfg.Staleness < 0 {
+		return nil, fmt.Errorf("cluster: need Staleness ≥ 0, got %d", cfg.Staleness)
+	}
+	if cfg.Staleness > 0 {
+		cfg.Pipeline = true
+		if cfg.Strategy.WaitFor(1) == cfg.Strategy.WaitFor(cfg.Strategy.N()) {
+			return nil, fmt.Errorf("cluster: Staleness requires a flexible scheme; %s is rigid", cfg.Strategy.Name())
+		}
+	}
+	if cfg.Pipeline && cfg.Deadline > 0 {
+		return nil, fmt.Errorf("cluster: Pipeline and Deadline are mutually exclusive")
+	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: listen: %w", err)
@@ -591,14 +635,33 @@ func (m *Master) handshake(raw net.Conn, readers *sync.WaitGroup) {
 	}
 	m.mu.Unlock()
 
+	// Extra gather lanes attach through the same listener: a binaryv2
+	// hello tagged with a lane index joins an existing registration
+	// instead of creating one.
+	if hello.Wire == WireBinary2 && hello.Shard > 0 {
+		m.attachLane(c, hello, readers)
+		return
+	}
+
 	// Codec negotiation, completed before the connection becomes visible
 	// to broadcasts and readers so no message can straddle the switch. A
 	// worker that proposed an upgrade gets a gob hello ack naming the
 	// chosen codec; a pre-negotiation hello (empty Wire) gets no ack and
-	// stays on gob — exactly the legacy exchange.
+	// stays on gob — exactly the legacy exchange. A binaryv2 proposal
+	// carries the worker's desired lane count; the ack answers with the
+	// granted one (possibly negotiated down to a single binaryv1 stream).
 	wire := WireGob
+	shards := 1
 	if hello.Wire != "" {
-		if hello.Wire == WireBinary && m.cfg.Wire != WireGob {
+		switch {
+		case hello.Wire == WireBinary2 && m.cfg.Wire != WireGob:
+			shards = grantShards(hello.Shards, m.cfg.GatherShards)
+			if shards > 1 {
+				wire = WireBinary2
+			} else {
+				wire = WireBinary
+			}
+		case hello.Wire == WireBinary && m.cfg.Wire != WireGob:
 			wire = WireBinary
 		}
 		m.mu.Lock()
@@ -606,11 +669,21 @@ func (m *Master) handshake(raw net.Conn, readers *sync.WaitGroup) {
 		m.mu.Unlock()
 		// The ack carries the master's run generation so a resuming worker
 		// learns it is talking to a restored (or failed-over) master.
-		if err := c.send(&Envelope{Kind: MsgHello, Worker: id, Wire: wire, Gen: masterGen}); err != nil {
+		ack := &Envelope{Kind: MsgHello, Worker: id, Wire: wire, Gen: masterGen}
+		if wire == WireBinary2 {
+			ack.Shards = shards
+		}
+		if err := c.send(ack); err != nil {
 			_ = c.close()
 			return
 		}
-		if wire == WireBinary {
+		switch wire {
+		case WireBinary2:
+			// Every gradient on a v2 connection is a sub-frame: decode its
+			// payload straight into the shard assembler's gather buffer.
+			c.gradReserve = m.shardAsmFor(id).reserveFor
+			c.upgradeV2(false)
+		case WireBinary:
 			c.upgrade(false) // gradient ownership transfers: no vector reuse
 		}
 	}
@@ -688,16 +761,7 @@ func (m *Master) readFrom(id, gen int, c *conn, readers *sync.WaitGroup) {
 		}
 		m.mu.Unlock()
 		if e.Kind == MsgGradient {
-			a := arrival{worker: id, step: e.Step, coded: e.Coded, recvAt: time.Now(),
-				computeDur: time.Duration(e.ComputeDurNanos)}
-			if e.ComputeStartUnixNano > 0 {
-				a.computeStart = time.Unix(0, e.ComputeStartUnixNano)
-			}
-			// The arrival is attributed to the authenticated connection id,
-			// not the envelope's claim, so a worker cannot spoof another.
-			select {
-			case m.grads <- a:
-			case <-m.quit:
+			if !m.deliverGradient(id, e) {
 				return
 			}
 		}
@@ -705,9 +769,11 @@ func (m *Master) readFrom(id, gen int, c *conn, readers *sync.WaitGroup) {
 	m.mu.Lock()
 	ws := m.workers[id]
 	current := ws != nil && ws.gen == gen
+	var lanes []*conn
 	if current {
 		ws.alive = false
 		ws.deadSince = time.Now()
+		lanes = ws.lanes
 	}
 	step := events.NoStep
 	if m.running {
@@ -725,8 +791,45 @@ func (m *Master) readFrom(id, gen int, c *conn, readers *sync.WaitGroup) {
 				events.Fields{"generation": gen, "reason": "connection_lost"})
 		}
 		_ = c.close()
+		for _, lc := range lanes {
+			_ = lc.close()
+		}
 		m.pokeLiveness()
 	}
+}
+
+// deliverGradient routes one authenticated gradient envelope to the gather
+// loop: whole-vector gradients forward directly, sub-frames commit to the
+// worker's shard assembler and forward once the last span lands. Returns
+// false when the master is shutting down.
+func (m *Master) deliverGradient(id int, e *Envelope) bool {
+	if e.Total > 0 {
+		if e.Coded == nil {
+			// Declined reservation: a stale, overlapping, or mismatched
+			// sub-frame whose payload bytes were drained undecoded.
+			return true
+		}
+		m.cfg.Metrics.markSubFrames(1)
+		full, ok := m.shardAsmFor(id).commit(e)
+		if !ok {
+			return true // more spans outstanding, or the step was evicted
+		}
+		e = &Envelope{Kind: MsgGradient, Worker: id, Step: e.Step, Coded: full,
+			ComputeStartUnixNano: e.ComputeStartUnixNano, ComputeDurNanos: e.ComputeDurNanos}
+	}
+	a := arrival{worker: id, step: e.Step, coded: e.Coded, recvAt: time.Now(),
+		computeDur: time.Duration(e.ComputeDurNanos)}
+	if e.ComputeStartUnixNano > 0 {
+		a.computeStart = time.Unix(0, e.ComputeStartUnixNano)
+	}
+	// The arrival is attributed to the authenticated connection id, not
+	// the envelope's claim, so a worker cannot spoof another.
+	select {
+	case m.grads <- a:
+	case <-m.quit:
+		return false
+	}
+	return true
 }
 
 // pokeLiveness nudges whoever is blocked on the gather/accept select to
@@ -878,39 +981,69 @@ func (m *Master) achievable(avail *bitset.Set) int {
 	return count
 }
 
+// trainState carries the setup shared by the synchronous and pipelined
+// step loops: scheme geometry, the (possibly restored) parameter vector,
+// the loss-evaluation pool, and the step to start from.
+type trainState struct {
+	st          engine.Strategy
+	n           int
+	waitFor     int
+	flexible    bool
+	useDeadline bool
+	params      []float64
+	dim         int
+	all         []dataset.Sample
+	pool        *model.ParallelGrad
+	startStep   int
+}
+
 func (m *Master) trainLoop() (*engine.Result, error) {
-	st := m.cfg.Strategy
-	n := st.N()
-	waitFor := st.WaitFor(m.cfg.W)
-	// Deadline mode and graceful degradation apply only to flexible
-	// schemes: a rigid scheme reports the same WaitFor for every target
-	// and cannot decode a smaller subset.
-	flexible := st.WaitFor(1) != st.WaitFor(n)
-	useDeadline := m.cfg.Deadline > 0 && flexible
-	params := m.cfg.Model.InitParams(m.cfg.Seed)
-	dim := len(params)
-	all := make([]dataset.Sample, m.cfg.Data.Len())
-	for i := range all {
-		all[i] = m.cfg.Data.At(i)
+	res := &engine.Result{}
+	ts, finished, err := m.setupTrain(res)
+	if err != nil || finished {
+		return res, err
 	}
 	// The per-step full-dataset loss is the master's only heavy compute;
 	// shard it across a long-lived pool.
-	pool := model.NewParallelGrad(m.cfg.ComputePar)
-	defer pool.Close()
-	m.cfg.Metrics.setComputeShards(pool.Par())
+	ts.pool = model.NewParallelGrad(m.cfg.ComputePar)
+	defer ts.pool.Close()
+	m.cfg.Metrics.setComputeShards(ts.pool.Par())
+	if m.cfg.Pipeline {
+		return m.runPipelined(ts, res)
+	}
+	return m.runSync(ts, res)
+}
 
-	res := &engine.Result{}
-	startStep := 0
+// setupTrain resolves the scheme geometry and the starting parameters —
+// cold start, warm handoff, or durable-checkpoint restore. finished is
+// true when a completed checkpoint already answers the run (res is then
+// fully populated).
+func (m *Master) setupTrain(res *engine.Result) (*trainState, bool, error) {
+	st := m.cfg.Strategy
+	n := st.N()
+	ts := &trainState{st: st, n: n, waitFor: st.WaitFor(m.cfg.W)}
+	// Deadline mode and graceful degradation apply only to flexible
+	// schemes: a rigid scheme reports the same WaitFor for every target
+	// and cannot decode a smaller subset.
+	ts.flexible = st.WaitFor(1) != st.WaitFor(n)
+	ts.useDeadline = m.cfg.Deadline > 0 && ts.flexible
+	ts.params = m.cfg.Model.InitParams(m.cfg.Seed)
+	ts.dim = len(ts.params)
+	ts.all = make([]dataset.Sample, m.cfg.Data.Len())
+	for i := range ts.all {
+		ts.all[i] = m.cfg.Data.At(i)
+	}
+
 	if m.cfg.Warm != nil {
 		// Live re-placement handoff: resume from the in-memory state the
 		// previous master generation quiesced on. Checkpoint-equivalent —
 		// same params, same next step — just without the disk round trip.
-		if len(m.cfg.Warm.Params) != dim {
-			return res, fmt.Errorf("cluster: warm params dim %d, model dim %d", len(m.cfg.Warm.Params), dim)
+		if len(m.cfg.Warm.Params) != ts.dim {
+			return ts, false, fmt.Errorf("cluster: warm params dim %d, model dim %d", len(m.cfg.Warm.Params), ts.dim)
 		}
-		params = append([]float64(nil), m.cfg.Warm.Params...)
-		startStep = m.cfg.Warm.StartStep
-		m.cfg.Events.Info("master.warm_resumed", "resumed from in-memory handoff state", startStep,
+		ts.params = append([]float64(nil), m.cfg.Warm.Params...)
+		ts.startStep = m.cfg.Warm.StartStep
+		m.cfg.Events.Info("master.warm_resumed", "resumed from in-memory handoff state", ts.startStep,
 			events.NoWorker, events.Fields{"generation": m.cfg.Warm.Generation})
 	}
 	if m.cfg.Restore && m.cfg.Checkpoint != nil {
@@ -920,14 +1053,14 @@ func (m *Master) trainLoop() (*engine.Result, error) {
 		case errors.Is(err, checkpoint.ErrNoCheckpoint):
 			// Fresh directory: cold start.
 		case err != nil:
-			return res, fmt.Errorf("cluster: restore: %w", err)
+			return ts, false, fmt.Errorf("cluster: restore: %w", err)
 		default:
 			if cst.Scheme != st.Name() || cst.N != n || cst.Seed != m.cfg.Seed {
-				return res, fmt.Errorf("cluster: checkpoint %s is for scheme=%q n=%d seed=%d, config says scheme=%q n=%d seed=%d",
+				return ts, false, fmt.Errorf("cluster: checkpoint %s is for scheme=%q n=%d seed=%d, config says scheme=%q n=%d seed=%d",
 					info.File, cst.Scheme, cst.N, cst.Seed, st.Name(), n, m.cfg.Seed)
 			}
-			params = checkpoint.BytesToFloat64s(cst.Params)
-			startStep = cst.Step
+			ts.params = checkpoint.BytesToFloat64s(cst.Params)
+			ts.startStep = cst.Step
 			if rs, ok := st.(engine.RandStateful); ok {
 				rs.RestoreRandState(cst.DecoderSeed, cst.DecoderDraws)
 			}
@@ -943,17 +1076,29 @@ func (m *Master) trainLoop() (*engine.Result, error) {
 			m.cfg.Events.Info("master.checkpoint_restored", "resumed from durable checkpoint", cst.Step,
 				events.NoWorker, events.Fields{"file": info.File, "generation": gen, "completed": cst.Completed})
 			if cst.Completed {
-				res.Params = params
+				res.Params = ts.params
 				res.Converged = cst.Step < m.cfg.MaxSteps
 				if res.Converged {
 					res.StepsToThreshold = cst.Step
 				} else {
 					res.StepsToThreshold = m.cfg.MaxSteps
 				}
-				return res, nil
+				return ts, true, nil
 			}
 		}
 	}
+	return ts, false, nil
+}
+
+// runSync is the classic strictly phase-serialized step loop: broadcast,
+// gather, decode, update, loss, record — nothing overlaps. This is the
+// default path and every step of it is pinned bit-identical by the
+// equivalence suites.
+func (m *Master) runSync(ts *trainState, res *engine.Result) (*engine.Result, error) {
+	st, n := ts.st, ts.n
+	waitFor, flexible, useDeadline := ts.waitFor, ts.flexible, ts.useDeadline
+	params, dim, all, pool := ts.params, ts.dim, ts.all, ts.pool
+	startStep := ts.startStep
 	saveCheckpoint := func(nextStep, records int, completed bool) {
 		m.writeCheckpoint(params, nextStep, records, completed)
 	}
@@ -1107,6 +1252,322 @@ func (m *Master) trainLoop() (*engine.Result, error) {
 		if m.cfg.Checkpoint != nil && (step+1)%m.cfg.CheckpointEvery == 0 && step+1 < m.cfg.MaxSteps {
 			saveCheckpoint(step+1, res.Run.Steps(), false)
 		}
+	}
+	if !res.Converged {
+		res.StepsToThreshold = m.cfg.MaxSteps
+	}
+	res.Params = params
+	if m.cfg.Checkpoint != nil {
+		saveCheckpoint(startStep+res.Run.Steps(), res.Run.Steps(), true)
+	}
+	return res, nil
+}
+
+// runPipelined is the overlapped step loop: step t+1's broadcast goes out
+// the moment step t's update lands, and step t's loss evaluation + record
+// finalization run while the fleet is already computing t+1. With
+// Staleness == 0 the schedule is the only thing that changes — the gather
+// target, every record, and the final parameters are bit-identical to
+// runSync, because the deferred loss is evaluated on the same parameter
+// bits (a broadcast writes nothing). With Staleness = k > 0 the gather
+// target drops to max(1, waitFor−k) and each decoded step stays pending
+// for k steps: a straggler gradient arriving while a later step gathers
+// folds into the current parameters as the exact correction that
+// retroactively includes it in its own step's normalized update.
+func (m *Master) runPipelined(ts *trainState, res *engine.Result) (*engine.Result, error) {
+	st, n := ts.st, ts.n
+	params, dim, all, pool := ts.params, ts.dim, ts.all, ts.pool
+	startStep := ts.startStep
+	target := ts.waitFor
+	if m.cfg.Staleness > 0 {
+		if target -= m.cfg.Staleness; target < 1 {
+			target = 1
+		}
+	}
+	saveCheckpoint := func(nextStep, records int, completed bool) {
+		m.writeCheckpoint(params, nextStep, records, completed)
+	}
+	interrupted := func(step, records int) {
+		res.Interrupted = true
+		if m.cfg.Checkpoint != nil {
+			saveCheckpoint(step, records, false)
+		}
+	}
+
+	// pendingStep is a decoded-but-still-correctable step: its owned
+	// gradient sum, normalizer, and covered partitions stick around for
+	// Staleness more steps so late stragglers can fold in.
+	type pendingStep struct {
+		step  int
+		avail *bitset.Set // workers already counted
+		mask  *bitset.Set // partitions already counted
+		g     []float64   // owned decoded sum over mask
+		r     int         // partitions in g (the update's normalizer)
+	}
+	var pending []*pendingStep
+	folded := 0 // folds landed during the current gather
+
+	// tryFold retroactively includes a straggler's gradient in its own
+	// step's update. The parameters already carry −lr·G/r for that step;
+	// folding the late sum g (c fresh partitions) means applying the
+	// difference −lr·((G+g)/(r+c) − G/r) now — exact, because SGD updates
+	// compose additively on the parameter vector.
+	tryFold := func(a arrival) bool {
+		if m.cfg.Staleness == 0 || a.worker < 0 || a.worker >= n || len(a.coded) != dim {
+			return false
+		}
+		var p *pendingStep
+		for _, q := range pending {
+			if q.step == a.step {
+				p = q
+				break
+			}
+		}
+		if p == nil || p.avail.Contains(a.worker) {
+			return false
+		}
+		parts := st.Partitions(a.worker)
+		for _, pt := range parts {
+			if p.mask.Contains(pt) {
+				return false // overlaps the counted set: cannot fold exactly
+			}
+		}
+		rOld, rNew := float64(p.r), float64(p.r+len(parts))
+		lr := m.cfg.LearningRate
+		for i, g := range a.coded {
+			ng := p.g[i] + g
+			old := 0.0
+			if p.r > 0 {
+				old = p.g[i] / rOld
+			}
+			params[i] -= lr * (ng/rNew - old)
+			p.g[i] = ng
+		}
+		p.r += len(parts)
+		p.avail.Add(a.worker)
+		for _, pt := range parts {
+			p.mask.Add(pt)
+		}
+		folded++
+		m.accepted[a.worker].Add(1)
+		m.cfg.Metrics.markAccepted(a.worker)
+		m.cfg.Metrics.markFolded()
+		m.attribution.ObserveAccepted(trace.ArrivalSample{Worker: a.worker, Step: a.step, Compute: a.computeDur})
+		m.cfg.Events.Debug("master.gradient_folded", "late gradient folded into parameters",
+			a.step, a.worker, events.Fields{"partitions": len(parts), "normalizer": p.r})
+		return true
+	}
+
+	// deferredStep is a completed step whose loss evaluation and record
+	// append are finalized one iteration later, under the next step's
+	// compute window.
+	type deferredStep struct {
+		step, avail, recovered, aliveAt, folded     int
+		recParts                                    []int
+		degraded                                    bool
+		elapsed                                     time.Duration
+		bcastStart, stepStart, gatherEnd, decodeEnd time.Time
+		updateEnd                                   time.Time
+	}
+	var prev *deferredStep
+	// finalize evaluates the deferred step's loss on the current
+	// parameters — identical bits to evaluating before the next broadcast
+	// — appends its record, and handles convergence and periodic
+	// checkpoints. Returns true when the run converged.
+	finalize := func(d *deferredStep) bool {
+		loss := pool.Loss(params, m.cfg.Model, all)
+		lossEnd := time.Now()
+		if m.cfg.Timeline != nil {
+			stepArgs := map[string]any{"gathered": d.avail, "recovered": d.recovered, "degraded": d.degraded}
+			if d.folded > 0 {
+				stepArgs["folded"] = d.folded
+			}
+			m.cfg.Timeline.Add(events.Span{Name: fmt.Sprintf("step %d", d.step), Cat: "step",
+				Start: d.bcastStart, Dur: d.updateEnd.Sub(d.bcastStart), Args: stepArgs})
+			m.cfg.Timeline.Add(events.Span{Name: "broadcast", Cat: "phase",
+				Start: d.bcastStart, Dur: d.stepStart.Sub(d.bcastStart)})
+			m.cfg.Timeline.Add(events.Span{Name: "gather", Cat: "phase",
+				Start: d.stepStart, Dur: d.elapsed})
+			m.cfg.Timeline.Add(events.Span{Name: "decode", Cat: "phase",
+				Start: d.gatherEnd, Dur: d.decodeEnd.Sub(d.gatherEnd)})
+			m.cfg.Timeline.Add(events.Span{Name: "update", Cat: "phase",
+				Start: d.decodeEnd, Dur: d.updateEnd.Sub(d.decodeEnd)})
+			// The deferred loss overlaps the next step's broadcast and the
+			// fleet's compute — the pipelining win, visible as a phase span
+			// that outlives its own step span.
+			m.cfg.Timeline.Add(events.Span{Name: "loss", Cat: "phase",
+				Start: d.updateEnd, Dur: lossEnd.Sub(d.updateEnd), Args: map[string]any{"step": d.step}})
+		}
+		m.cfg.Events.Debug("master.step_completed", "step finished", d.step, events.NoWorker,
+			events.Fields{"gathered": d.avail, "recovered": d.recovered,
+				"degraded": d.degraded, "loss": loss, "elapsed": d.elapsed.String()})
+		res.Run.Append(trace.StepRecord{
+			Step:              d.step,
+			Available:         d.avail,
+			Chosen:            d.recovered / st.C(),
+			RecoveredFraction: float64(d.recovered) / float64(n),
+			Partitions:        d.recParts,
+			Alive:             d.aliveAt,
+			Degraded:          d.degraded,
+			Folded:            d.folded,
+			Loss:              loss,
+			Elapsed:           d.elapsed,
+		})
+		if m.cfg.LossThreshold > 0 && loss <= m.cfg.LossThreshold {
+			res.Converged = true
+			res.StepsToThreshold = d.step + 1
+			return true
+		}
+		if m.cfg.Checkpoint != nil && (d.step+1)%m.cfg.CheckpointEvery == 0 && d.step+1 < m.cfg.MaxSteps {
+			saveCheckpoint(d.step+1, res.Run.Steps(), false)
+		}
+		return false
+	}
+
+	for step := startStep; step < m.cfg.MaxSteps; step++ {
+		select {
+		case <-m.stop:
+			if prev != nil && finalize(prev) {
+				// The deferred record converged: the run finished on its own
+				// before the stop could take effect.
+				res.Params = params
+				if m.cfg.Checkpoint != nil {
+					saveCheckpoint(startStep+res.Run.Steps(), res.Run.Steps(), true)
+				}
+				return res, nil
+			}
+			// Params are exactly the post-step-(step−1) state (plus any
+			// landed folds), so the checkpoint resumes at step.
+			interrupted(step, res.Run.Steps())
+			res.Params = params
+			return res, nil
+		default:
+		}
+		m.mu.Lock()
+		m.running = true
+		m.curStep = step
+		// Rejoin handshakes read curParams concurrently with the updates
+		// below, so they get their own copy.
+		m.curParams = append([]float64(nil), params...)
+		m.mu.Unlock()
+		bcastStart := time.Now()
+		m.broadcast(&Envelope{Kind: MsgStep, Step: step, Params: params})
+		stepStart := time.Now()
+
+		// The fleet is computing step now; finalize the previous step's
+		// loss and record under that window.
+		if prev != nil {
+			done := finalize(prev)
+			prev = nil
+			if done {
+				break
+			}
+		}
+
+		avail := bitset.New(n)
+		coded := make([][]float64, n)
+		folded = 0
+		accept := func(a arrival) {
+			if a.step != step || a.worker < 0 || a.worker >= n || avail.Contains(a.worker) {
+				if tryFold(a) {
+					return
+				}
+				// Stale or duplicate delivery outside the fold window: the
+				// "ignored" column of the attribution report, exactly as in
+				// the synchronous loop.
+				if a.worker >= 0 && a.worker < n {
+					s := trace.ArrivalSample{Worker: a.worker, Step: step, Compute: a.computeDur}
+					if a.step == step {
+						s.Arrival = a.recvAt.Sub(stepStart)
+					}
+					m.attribution.ObserveIgnored(s)
+				}
+				return
+			}
+			if len(a.coded) != dim {
+				m.malformed.Add(1)
+				m.cfg.Metrics.markMalformed()
+				m.cfg.Events.Warn("master.malformed_gradient", "gradient rejected before decode",
+					step, a.worker, events.Fields{"got_dim": len(a.coded), "want_dim": dim})
+				return
+			}
+			avail.Add(a.worker)
+			coded[a.worker] = a.coded
+			m.accepted[a.worker].Add(1)
+			m.cfg.Metrics.markAccepted(a.worker)
+			m.attribution.ObserveAccepted(trace.ArrivalSample{
+				Worker: a.worker, Step: step,
+				Compute: a.computeDur, Arrival: a.recvAt.Sub(stepStart),
+			})
+			if a.computeDur > 0 && !a.computeStart.IsZero() {
+				m.cfg.Timeline.Add(events.Span{
+					Name: "compute", Cat: "compute", TID: a.worker + 1,
+					Start: a.computeStart, Dur: a.computeDur,
+					Args: map[string]any{"step": step},
+				})
+			}
+		}
+
+		degraded, gatherErr := m.gatherFastest(step, n, target, ts.flexible, avail, accept)
+		if errors.Is(gatherErr, errInterrupted) {
+			// Stopped mid-gather: params are still this step's pre-update
+			// state, so the checkpoint replays step in the next life.
+			interrupted(step, res.Run.Steps())
+			res.Params = params
+			return res, nil
+		}
+		if gatherErr != nil {
+			return res, gatherErr
+		}
+		gatherEnd := time.Now()
+		elapsed := gatherEnd.Sub(stepStart)
+		if degraded {
+			m.mu.Lock()
+			m.degraded++
+			m.mu.Unlock()
+			m.cfg.Events.Warn("master.step_degraded", "gather target shrank below configured wait",
+				step, events.NoWorker, events.Fields{"gathered": avail.Len(), "configured": target})
+		}
+
+		ghat, recParts, err := st.Recover(avail, coded)
+		if err != nil {
+			return res, fmt.Errorf("cluster: step %d: %w", step, err)
+		}
+		decodeEnd := time.Now()
+		recovered := len(recParts)
+		m.cfg.Metrics.observeStep(elapsed, float64(recovered)/float64(n), degraded)
+		if recovered > 0 {
+			linalg.AXPY(params, -m.cfg.LearningRate/float64(recovered), ghat)
+		}
+		updateEnd := time.Now()
+		prev = &deferredStep{step: step, avail: avail.Len(), recovered: recovered,
+			aliveAt: m.countAlive(), folded: folded, recParts: recParts, degraded: degraded,
+			elapsed: elapsed, bcastStart: bcastStart, stepStart: stepStart,
+			gatherEnd: gatherEnd, decodeEnd: decodeEnd, updateEnd: updateEnd}
+
+		if m.cfg.Staleness > 0 {
+			g := ghat
+			if g == nil {
+				g = make([]float64, dim)
+			}
+			mask := bitset.New(n)
+			for _, pt := range recParts {
+				mask.Add(pt)
+			}
+			pending = append(pending, &pendingStep{step: step, avail: avail, mask: mask, g: g, r: recovered})
+			// A gradient for step s can fold while steps s+1..s+k gather;
+			// gathering step+1 next, keep entries with step s > step−k.
+			keep := pending[:0]
+			for _, p := range pending {
+				if p.step > step-m.cfg.Staleness {
+					keep = append(keep, p)
+				}
+			}
+			pending = keep
+		}
+	}
+	if prev != nil {
+		finalize(prev)
 	}
 	if !res.Converged {
 		res.StepsToThreshold = m.cfg.MaxSteps
@@ -1292,6 +1753,9 @@ func (m *Master) closeAll() {
 	for _, ws := range m.workers {
 		if ws != nil {
 			_ = ws.c.close()
+			for _, lc := range ws.lanes {
+				_ = lc.close()
+			}
 		}
 	}
 }

@@ -77,10 +77,25 @@ const (
 	WireGob = "gob"
 	// WireBinary upgrades the connection to the binary frame codec of
 	// binary.go after the hello exchange. The version suffix is part of
-	// the negotiated name: a future v2 negotiates "binaryv2" and a v1
+	// the negotiated name: a v2 peer negotiates "binaryv2" and a v1
 	// peer falls back to gob instead of misparsing frames.
 	WireBinary = "binaryv1"
+	// WireBinary2 is the dim-sharded extension of the binary codec: the
+	// same frame grammar with a 44-byte header carrying an (offset, total)
+	// sub-frame geometry, so one step's gradient may arrive split across
+	// several parallel lane connections (see subframe.go). A worker
+	// proposes it only when it wants more than one gather lane; a master
+	// that does not speak it falls back to gob per the versioning rule
+	// above, and a v2-capable master may still negotiate down to v1 when
+	// sharding is disabled on its side.
+	WireBinary2 = "binaryv2"
 )
+
+// maxGatherShards caps how many parallel gather lanes one worker may
+// negotiate. The win saturates with the memory bandwidth of a handful of
+// decode goroutines; a hostile hello must not be able to open hundreds of
+// sockets.
+const maxGatherShards = 16
 
 // maxWireNameLen caps the negotiation string a peer may claim in a hello.
 const maxWireNameLen = 64
@@ -138,6 +153,23 @@ type Envelope struct {
 	// from a durable checkpoint. Rides only in gob hello messages, like
 	// Wire.
 	Gen int
+	// Shards is the gather-lane negotiation field of the binaryv2 hello
+	// exchange: on a worker's MsgHello it proposes how many parallel lane
+	// connections the worker wants for its gradient uploads; on the
+	// master's ack it names the granted count. Rides only in gob hello
+	// messages, like Wire.
+	Shards int
+	// Shard tags a lane-attach MsgHello with the lane index (1..Shards-1)
+	// it registers; the primary connection is lane 0 and never sets it.
+	// Rides only in gob hello messages.
+	Shard int
+	// Offset is the first gradient element a binaryv2 sub-frame carries
+	// (Gradient only; whole uploads use 0).
+	Offset int
+	// Total is the full gradient dimension a binaryv2 sub-frame belongs
+	// to (Gradient only; 0 on v1 envelopes, which always carry whole
+	// vectors).
+	Total int
 }
 
 // validateEnvelope enforces the structural invariants every well-formed
@@ -174,6 +206,25 @@ func validateEnvelope(e *Envelope) error {
 	}
 	if e.Gen < 0 {
 		return fmt.Errorf("cluster: negative generation %d in %s", e.Gen, e.Kind)
+	}
+	if e.Shards < 0 || e.Shards > maxGatherShards {
+		return fmt.Errorf("cluster: shard count %d outside [0, %d] in %s", e.Shards, maxGatherShards, e.Kind)
+	}
+	if e.Shard < 0 || e.Shard >= maxGatherShards {
+		return fmt.Errorf("cluster: lane index %d outside [0, %d) in %s", e.Shard, maxGatherShards, e.Kind)
+	}
+	if e.Offset < 0 || e.Offset > maxVectorLen {
+		return fmt.Errorf("cluster: sub-frame offset %d outside [0, %d] in %s", e.Offset, maxVectorLen, e.Kind)
+	}
+	if e.Total < 0 || e.Total > maxVectorLen {
+		return fmt.Errorf("cluster: sub-frame total %d outside [0, %d] in %s", e.Total, maxVectorLen, e.Kind)
+	}
+	if e.Total == 0 && e.Offset != 0 {
+		return fmt.Errorf("cluster: sub-frame offset %d without a total in %s", e.Offset, e.Kind)
+	}
+	if e.Total > 0 && e.Offset+len(e.Coded) > e.Total {
+		return fmt.Errorf("cluster: sub-frame [%d, %d) exceeds total %d in %s",
+			e.Offset, e.Offset+len(e.Coded), e.Total, e.Kind)
 	}
 	return nil
 }
@@ -253,13 +304,26 @@ type conn struct {
 	dec *gob.Decoder
 	// binary is set by upgrade: all subsequent messages are frames.
 	binary bool
+	// wireV2 selects the 44-byte binaryv2 header (sub-frame geometry) for
+	// both directions; set together with binary by upgradeV2.
+	wireV2 bool
 	// reuseVecs lets recvFrame decode payload vectors into a reusable
 	// per-connection scratch slice. Only safe when the consumer never
 	// retains a received vector past the next recv — true for the worker
 	// (params are consumed within the step), never for the master
 	// (gradient ownership transfers to the gather loop).
-	reuseVecs      bool
-	hdrScratch     [frameHeaderSize]byte
+	reuseVecs bool
+	// gradReserve, when set on a binaryv2 connection, maps an incoming
+	// gradient sub-frame (worker, step, offset, count, total) to the
+	// destination slice its payload decodes into — the zero-copy
+	// reassembly hook the master's shard assembler provides. Returning
+	// nil declines the sub-frame (stale, overlapping, or out of range):
+	// the payload bytes are still drained but not decoded, and the
+	// envelope surfaces with a nil Coded.
+	gradReserve func(worker, step, offset, count, total int) []float64
+	// hdrScratch is sized for the larger v2 header; v1 frames use the
+	// first frameHeaderSize bytes.
+	hdrScratch     [frameHeaderSizeV2]byte
 	payloadScratch []byte
 	vecScratch     []float64
 
@@ -292,6 +356,16 @@ func (c *conn) upgrade(reuseVecs bool) {
 	c.sendMu.Unlock()
 }
 
+// upgradeV2 switches the connection to the binaryv2 sub-frame codec. Same
+// quiet-point contract as upgrade.
+func (c *conn) upgradeV2(reuseVecs bool) {
+	c.sendMu.Lock()
+	c.binary = true
+	c.wireV2 = true
+	c.reuseVecs = reuseVecs
+	c.sendMu.Unlock()
+}
+
 func (c *conn) send(e *Envelope) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
@@ -301,9 +375,12 @@ func (c *conn) send(e *Envelope) error {
 		}
 	}
 	var err error
-	if c.binary {
+	switch {
+	case c.wireV2:
+		err = c.sendFrameV2(e)
+	case c.binary:
 		err = c.sendFrame(e)
-	} else {
+	default:
 		err = c.enc.Encode(e)
 	}
 	if err != nil {
@@ -316,6 +393,9 @@ func (c *conn) send(e *Envelope) error {
 }
 
 func (c *conn) recv() (*Envelope, error) {
+	if c.wireV2 {
+		return c.recvFrameV2()
+	}
 	if c.binary {
 		return c.recvFrame()
 	}
@@ -331,34 +411,77 @@ func (c *conn) close() error { return c.raw.Close() }
 // the chosen codec and switch to it. A gob-pinned worker sends exactly the
 // pre-negotiation hello and expects no ack, which is what keeps old
 // workers and new masters interoperable in both pairings.
-func clientHello(c *conn, id, step int, wire string) (string, error) {
+//
+// shards > 1 raises the proposal to binaryv2 with that many gather lanes;
+// the returned ack (nil on the no-ack gob path) carries the granted lane
+// count and the master's generation, which the caller needs to attach the
+// extra lane connections. A master that only speaks v1 answers the unknown
+// "binaryv2" proposal with a gob ack (the documented fallback), and a
+// v2-capable master may negotiate down to v1 when sharding is off on its
+// side — the worker then runs a single lane either way.
+func clientHello(c *conn, id, step int, wire string, shards int) (string, *Envelope, error) {
 	hello := &Envelope{Kind: MsgHello, Worker: id, Step: step}
 	if wire != WireGob {
-		hello.Wire = WireBinary
+		if shards > 1 {
+			hello.Wire = WireBinary2
+			hello.Shards = shards
+		} else {
+			hello.Wire = WireBinary
+		}
 	}
 	if err := c.send(hello); err != nil {
-		return "", err
+		return "", nil, err
 	}
 	if hello.Wire == "" {
-		return WireGob, nil
+		return WireGob, nil, nil
 	}
 	_ = c.raw.SetReadDeadline(time.Now().Add(wireAckTimeout))
 	ack, err := c.recv()
 	if err != nil {
-		return "", fmt.Errorf("cluster: wire negotiation: %w", err)
+		return "", nil, fmt.Errorf("cluster: wire negotiation: %w", err)
 	}
 	_ = c.raw.SetReadDeadline(time.Time{})
 	if ack.Kind == MsgJobGone {
-		return "", ErrJobGone
+		return "", nil, ErrJobGone
 	}
 	if ack.Kind != MsgHello {
-		return "", fmt.Errorf("cluster: wire negotiation: got %s before hello ack", ack.Kind)
+		return "", nil, fmt.Errorf("cluster: wire negotiation: got %s before hello ack", ack.Kind)
 	}
-	if ack.Wire == WireBinary {
+	switch ack.Wire {
+	case WireBinary2:
+		c.upgradeV2(true)
+		return WireBinary2, ack, nil
+	case WireBinary:
 		c.upgrade(true)
-		return WireBinary, nil
+		return WireBinary, ack, nil
 	}
-	return WireGob, nil
+	return WireGob, ack, nil
+}
+
+// laneHello attaches one extra gather-lane connection to an already
+// registered binaryv2 worker: a gob hello tagged with the lane index and
+// the master's generation (so a lane from a previous life cannot attach to
+// a reborn master), answered by a binaryv2 ack, after which the lane
+// speaks sub-frames only.
+func laneHello(c *conn, id, lane, gen int) error {
+	hello := &Envelope{Kind: MsgHello, Worker: id, Wire: WireBinary2, Shard: lane, Gen: gen}
+	if err := c.send(hello); err != nil {
+		return err
+	}
+	_ = c.raw.SetReadDeadline(time.Now().Add(wireAckTimeout))
+	ack, err := c.recv()
+	if err != nil {
+		return fmt.Errorf("cluster: lane %d negotiation: %w", lane, err)
+	}
+	_ = c.raw.SetReadDeadline(time.Time{})
+	if ack.Kind == MsgJobGone {
+		return ErrJobGone
+	}
+	if ack.Kind != MsgHello || ack.Wire != WireBinary2 {
+		return fmt.Errorf("cluster: lane %d negotiation: got %s wire %q", lane, ack.Kind, ack.Wire)
+	}
+	c.upgradeV2(true)
+	return nil
 }
 
 // wireAckTimeout bounds the wait for the master's hello ack: a peer that

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"math/rand"
 	"sync"
 	"testing"
@@ -113,6 +114,69 @@ func BenchmarkWireCodec(b *testing.B) {
 			}
 		}
 	})
+}
+
+// subFrameEnvelopes splits the benchmark gradient into per-lane sub-frame
+// envelopes the way the worker's sharded upload does.
+func subFrameEnvelopes(e *Envelope, shards int) []*Envelope {
+	spans := shardSpans(len(e.Coded), shards)
+	subs := make([]*Envelope, 0, len(spans))
+	for _, sp := range spans {
+		if sp[1] == 0 {
+			continue
+		}
+		sub := *e
+		sub.Offset, sub.Total = sp[0], len(e.Coded)
+		sub.Coded = e.Coded[sp[0] : sp[0]+sp[1]]
+		subs = append(subs, &sub)
+	}
+	return subs
+}
+
+// BenchmarkSubFrameSend measures the binaryv2 lane-send path: one full
+// 2^16-dim gradient serialized as S sub-frames through the pooled frame
+// buffer. Total payload bytes are constant across S, so ns/op isolates the
+// per-lane framing overhead the sharded gather pays for its parallelism.
+func BenchmarkSubFrameSend(b *testing.B) {
+	e := benchGradient()
+	for _, shards := range []int{1, 2, 4} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			subs := subFrameEnvelopes(e, shards)
+			c := &conn{w: io.Discard}
+			b.ReportAllocs()
+			b.SetBytes(int64(len(subs)*frameHeaderSizeV2 + 8*benchDim))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, sub := range subs {
+					if err := c.sendFrameV2(sub); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSubFrameSendSteadyStateAllocs pins the frame-buffer pool contract:
+// sendFrameV2 pools its serialization buffer sized by the shard width, so
+// a steady-state sharded upload allocates nothing per step. The bound is 1
+// (not 0) only because a concurrently triggered GC may clear the pool
+// mid-measurement.
+func TestSubFrameSendSteadyStateAllocs(t *testing.T) {
+	subs := subFrameEnvelopes(benchGradient(), 4)
+	c := &conn{w: io.Discard}
+	send := func() {
+		for _, sub := range subs {
+			if err := c.sendFrameV2(sub); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	send() // warm the pool to the shard width
+	if avg := testing.AllocsPerRun(50, send); avg > 1 {
+		t.Errorf("sharded upload allocates %.1f objects/step in steady state, want 0", avg)
+	}
 }
 
 // BenchmarkWorkerCompute measures the worker's per-step compute stage on

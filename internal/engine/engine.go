@@ -58,6 +58,20 @@ type Config struct {
 	// arrival time. Rigid schemes ignore it. Takes precedence over
 	// WSchedule.
 	Deadline time.Duration
+	// Staleness, when positive, simulates the cluster's pipelined
+	// bounded-staleness mode (cluster.MasterConfig.Staleness): the master
+	// waits for only max(1, WaitFor(W)−Staleness) workers each step, and
+	// every straggler keeps uploading in the background — its remaining
+	// simulated time carries across steps, and when it runs out the late
+	// gradient lands in that step's gather window and folds into the
+	// parameters as the exact correction that retroactively includes it
+	// in its own step's normalized update (conflicting partitions cannot
+	// fold and are dropped). Uploads still in flight after Staleness
+	// steps are abandoned. Flexible schemes only; requires Momentum == 0
+	// and WeightDecay == 0 (folds compose additively on plain SGD) and
+	// excludes Deadline. A checkpoint restore resumes with an empty
+	// in-flight queue: uploads pending at the snapshot are dropped.
+	Staleness int
 	// MaxSteps bounds the run.
 	MaxSteps int
 	// LossThreshold stops the run once the full-training-set loss drops
@@ -357,6 +371,71 @@ func Train(cfg Config) (*Result, error) {
 		}
 	}
 
+	// Bounded-staleness simulation state (Config.Staleness): lateQ holds
+	// the stragglers' in-flight uploads with the simulated time left until
+	// they land, open the recent steps they may still fold into, busy the
+	// workers mid-upload (they rejoin the fleet once their upload lands or
+	// is abandoned).
+	type lateUpload struct {
+		step      int
+		worker    int
+		remaining time.Duration
+		coded     []float64
+		lr        float64
+	}
+	type openStep struct {
+		step int
+		mask *bitset.Set // partitions already counted in the step's update
+		g    []float64   // running decoded sum G
+		r    int         // running recovered-partition count
+	}
+	var lateQ []*lateUpload
+	var open []*openStep
+	var busy []bool
+	var maskedTimes []time.Duration
+	if cfg.Staleness > 0 {
+		busy = make([]bool, n)
+		maskedTimes = make([]time.Duration, n)
+	}
+	// foldLate retroactively includes one landed upload in its own step's
+	// normalized update: params −= η_t·((G+g)/(r+c) − G/r), the exact
+	// difference between that step's mean-gradient update with and without
+	// the straggler. A worker whose partitions were already counted (a
+	// replica beat it) cannot fold and is dropped.
+	foldLate := func(lu *lateUpload) bool {
+		var p *openStep
+		for _, q := range open {
+			if q.step == lu.step {
+				p = q
+				break
+			}
+		}
+		if p == nil || len(lu.coded) != len(params) {
+			return false
+		}
+		wparts := st.Partitions(lu.worker)
+		for _, d := range wparts {
+			if p.mask.Contains(d) {
+				return false
+			}
+		}
+		rOld, rNew := float64(p.r), float64(p.r+len(wparts))
+		for j, g := range lu.coded {
+			ng := p.g[j] + g
+			old := 0.0
+			if p.r > 0 {
+				old = p.g[j] / rOld
+			}
+			params[j] -= lu.lr * (ng/rNew - old)
+			p.g[j] = ng
+		}
+		p.r += len(wparts)
+		for _, d := range wparts {
+			p.mask.Add(d)
+		}
+		return true
+	}
+
 	for step := startStep; step < cfg.MaxSteps; step++ {
 		var wallStart time.Time
 		if cfg.Metrics != nil {
@@ -370,6 +449,30 @@ func Train(cfg Config) (*Result, error) {
 		var elapsed time.Duration
 		var err error
 		switch {
+		case cfg.Staleness > 0:
+			// Pipelined bounded-staleness gather: wait for Staleness fewer
+			// workers, among those not still uploading an earlier step.
+			w := cfg.W
+			if cfg.WSchedule != nil {
+				w = cfg.WSchedule(step)
+			}
+			target := st.WaitFor(w) - cfg.Staleness
+			if target < 1 {
+				target = 1
+			}
+			eligible := 0
+			copy(maskedTimes, times)
+			for i, b := range busy {
+				if b {
+					maskedTimes[i] = time.Duration(1) << 62 // never the fastest
+				} else {
+					eligible++
+				}
+			}
+			if target > eligible {
+				target = eligible
+			}
+			avail, elapsed, err = simclock.FastestW(maskedTimes, target)
 		case cfg.Deadline > 0 && !rigid:
 			avail, elapsed = simclock.Deadline(times, cfg.Deadline)
 			if avail.Empty() {
@@ -388,6 +491,9 @@ func Train(cfg Config) (*Result, error) {
 			// worker's total finish time, compute is its share before
 			// upload and injected delay.
 			for i := 0; i < n; i++ {
+				if busy != nil && busy[i] {
+					continue // mid-upload from an earlier step; no arrival here
+				}
 				compute := time.Duration(st.C()) * cfg.ComputePerPartition
 				if cfg.ComputeFactors != nil {
 					compute = time.Duration(float64(compute) * cfg.ComputeFactors[i])
@@ -407,11 +513,24 @@ func Train(cfg Config) (*Result, error) {
 		// needed partition into its own reusable buffer, on the pool.
 		// Partition granularity keeps any pool size bit-identical to the
 		// sequential path.
+		// Under staleness every eligible worker computes and encodes this
+		// step — the stragglers' uploads stay in flight and may fold into a
+		// later step, so their coded vectors are needed too.
+		uploaders := avail
+		if cfg.Staleness > 0 {
+			up := bitset.New(n)
+			for i, b := range busy {
+				if !b {
+					up.Add(i)
+				}
+			}
+			uploaders = up
+		}
 		for d := range grads {
 			grads[d] = nil
 		}
 		tasks = tasks[:0]
-		avail.Range(func(i int) bool {
+		uploaders.Range(func(i int) bool {
 			for _, d := range st.Partitions(i) {
 				if grads[d] != nil {
 					continue
@@ -432,12 +551,37 @@ func Train(cfg Config) (*Result, error) {
 		// 3. Worker-side encoding for available workers.
 		coded := make([][]float64, n)
 		var encodeErr error
-		avail.Range(func(i int) bool {
+		uploaders.Range(func(i int) bool {
 			coded[i], encodeErr = st.Encode(i, grads)
 			return encodeErr == nil
 		})
 		if encodeErr != nil {
 			return nil, fmt.Errorf("engine: step %d: %w", step, encodeErr)
+		}
+
+		// 3b. Land the in-flight uploads whose remaining time ran out during
+		// this step's gather window and abandon those that aged out of the
+		// staleness window. Folds mutate params alongside this step's
+		// update, mirroring the cluster master where late arrivals land
+		// mid-gather; either worker rejoins the eligible fleet next step.
+		folded := 0
+		if cfg.Staleness > 0 {
+			kept := lateQ[:0]
+			for _, lu := range lateQ {
+				lu.remaining -= elapsed
+				if lu.remaining > 0 && step-lu.step < cfg.Staleness {
+					kept = append(kept, lu)
+					continue
+				}
+				busy[lu.worker] = false
+				if lu.remaining <= 0 && foldLate(lu) {
+					folded++
+					if cfg.Attribution != nil {
+						cfg.Attribution.ObserveAccepted(trace.ArrivalSample{Worker: lu.worker, Step: lu.step})
+					}
+				}
+			}
+			lateQ = kept
 		}
 
 		// 4. Master-side recovery and parameter update, normalized by the
@@ -476,6 +620,44 @@ func Train(cfg Config) (*Result, error) {
 			}
 		}
 
+		// 4b. Open this step for late folds and enqueue the remaining upload
+		// time of the stragglers this gather did not wait for.
+		if cfg.Staleness > 0 {
+			stepLR := cfg.LearningRate
+			if cfg.LRSchedule != nil {
+				factor := cfg.LRSchedule(step)
+				if factor <= 0 {
+					return nil, fmt.Errorf("engine: LRSchedule(%d) = %v, need > 0", step, factor)
+				}
+				stepLR *= factor
+			}
+			g := ghat
+			if g == nil {
+				g = make([]float64, len(params))
+			}
+			mask := bitset.New(n)
+			for _, d := range recParts {
+				mask.Add(d)
+			}
+			keep := open[:0]
+			for _, p := range open {
+				if p.step > step-cfg.Staleness {
+					keep = append(keep, p)
+				}
+			}
+			open = append(keep, &openStep{step: step, mask: mask, g: g, r: recovered})
+			uploaders.Range(func(i int) bool {
+				if !avail.Contains(i) {
+					busy[i] = true
+					lateQ = append(lateQ, &lateUpload{
+						step: step, worker: i, remaining: times[i] - elapsed,
+						coded: append([]float64(nil), coded[i]...), lr: stepLR,
+					})
+				}
+				return true
+			})
+		}
+
 		// 5. Bookkeeping.
 		if cfg.EvalEvery <= 1 || (step+1)%cfg.EvalEvery == 0 || step == cfg.MaxSteps-1 {
 			lastLoss = cfg.Model.Loss(params, all)
@@ -496,6 +678,7 @@ func Train(cfg Config) (*Result, error) {
 			Chosen:            recovered / st.C(),
 			RecoveredFraction: float64(recovered) / float64(n),
 			Partitions:        recParts,
+			Folded:            folded,
 			Loss:              lastLoss,
 			Accuracy:          lastAcc,
 			Elapsed:           elapsed,
@@ -559,6 +742,19 @@ func validate(cfg *Config) error {
 		return fmt.Errorf("engine: need ComputePar ≥ 0, got %d", cfg.ComputePar)
 	case cfg.DecodeCache < 0:
 		return fmt.Errorf("engine: need DecodeCache ≥ 0, got %d", cfg.DecodeCache)
+	case cfg.Staleness < 0:
+		return fmt.Errorf("engine: need Staleness ≥ 0, got %d", cfg.Staleness)
+	}
+	if cfg.Staleness > 0 {
+		if cfg.Strategy.WaitFor(1) == cfg.Strategy.WaitFor(cfg.Strategy.N()) {
+			return fmt.Errorf("engine: Staleness requires a flexible scheme; %s is rigid", cfg.Strategy.Name())
+		}
+		if cfg.Momentum > 0 || cfg.WeightDecay > 0 {
+			return fmt.Errorf("engine: Staleness requires Momentum == 0 and WeightDecay == 0 (folds compose additively on plain SGD)")
+		}
+		if cfg.Deadline > 0 {
+			return fmt.Errorf("engine: Staleness and Deadline are mutually exclusive")
+		}
 	}
 	return nil
 }

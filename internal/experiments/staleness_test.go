@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func fastStaleness() StalenessConfig {
+	cfg := DefaultStaleness()
+	cfg.Trials = 2
+	cfg.MaxSteps = 120
+	cfg.DelayMean = 4 * time.Millisecond
+	cfg.Compute = time.Millisecond
+	cfg.Upload = 2 * time.Millisecond
+	return cfg
+}
+
+func TestStalenessSweep(t *testing.T) {
+	cfg := fastStaleness()
+	rows, tab, err := Staleness(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := 2 * len(cfg.Ks) // IS-SGD and IS-GC-CR per k
+	if len(rows) != wantRows {
+		t.Fatalf("got %d rows, want %d", len(rows), wantRows)
+	}
+	if tab.NumRows() != wantRows {
+		t.Fatalf("table has %d rows, want %d", tab.NumRows(), wantRows)
+	}
+	for _, r := range rows {
+		if r.K == 0 && r.FoldedPerStep != 0 {
+			t.Errorf("%s k=0: baseline must not fold, got %v folds/step", r.Scheme, r.FoldedPerStep)
+		}
+		wantWait := cfg.W - r.K
+		if wantWait < 1 {
+			wantWait = 1
+		}
+		if r.Wait != wantWait {
+			t.Errorf("%s k=%d: wait = %d, want %d", r.Scheme, r.K, r.Wait, wantWait)
+		}
+		if r.Steps <= 0 || r.TotalTime <= 0 {
+			t.Errorf("%s k=%d: empty run (steps=%v total=%v)", r.Scheme, r.K, r.Steps, r.TotalTime)
+		}
+	}
+}
+
+// The k > 0 rows exist to trade steps for wall-clock time: under heavy
+// straggling the reduced wait target must shorten the mean step, and the
+// late uploads must actually fold rather than vanish.
+func TestStalenessFoldsAndSpeedsSteps(t *testing.T) {
+	cfg := fastStaleness()
+	cfg.DelayMean = 40 * time.Millisecond // heavy tail: waiting is expensive
+	rows, _, err := Staleness(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []string{"IS-SGD", "IS-GC-CR"} {
+		var base, stale *StalenessRow
+		for i := range rows {
+			if rows[i].Scheme != scheme {
+				continue
+			}
+			switch rows[i].K {
+			case 0:
+				base = &rows[i]
+			case 2:
+				stale = &rows[i]
+			}
+		}
+		if base == nil || stale == nil {
+			t.Fatalf("%s: missing k=0 or k=2 row", scheme)
+		}
+		if stale.StepTime >= base.StepTime {
+			t.Errorf("%s: staleness-2 step time %v not below baseline %v", scheme, stale.StepTime, base.StepTime)
+		}
+		if stale.FoldedPerStep <= 0 {
+			t.Errorf("%s: staleness-2 run folded nothing", scheme)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package model
+
+import (
+	"fmt"
+
+	"isgc/internal/dataset"
+)
+
+// Constant is a synthetic Model with an arbitrarily large parameter vector
+// and O(Dim) kernels containing no arithmetic worth profiling: the loss is
+// fixed and every gradient element takes the same value. Wire and gather
+// benchmarks use it at dim ≥ 2^20 so serialization and transport dominate
+// the measurement instead of model math; it deliberately never converges.
+type Constant struct {
+	// D is the parameter dimension.
+	D int
+	// G is the value every gradient element takes; 0 means 1e-6, small
+	// enough that parameters barely drift over a benchmark run.
+	G float64
+}
+
+func (m Constant) grad() float64 {
+	if m.G != 0 {
+		return m.G
+	}
+	return 1e-6
+}
+
+// Dim implements Model.
+func (m Constant) Dim() int { return m.D }
+
+// InitParams implements Model; the start point is the zero vector for
+// every seed.
+func (m Constant) InitParams(seed int64) []float64 { return make([]float64, m.D) }
+
+// Loss implements Model with a constant.
+func (m Constant) Loss(params []float64, batch []dataset.Sample) float64 { return 1 }
+
+// Grad implements Model.
+func (m Constant) Grad(params []float64, batch []dataset.Sample) []float64 {
+	g := make([]float64, m.D)
+	m.GradInto(g, params, batch)
+	return g
+}
+
+// GradInto implements Model; it is a pure fill and allocates nothing.
+func (m Constant) GradInto(dst, params []float64, batch []dataset.Sample) {
+	g := m.grad()
+	for i := range dst {
+		dst[i] = g
+	}
+}
+
+func (m Constant) String() string { return fmt.Sprintf("constant(dim=%d)", m.D) }
